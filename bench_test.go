@@ -1,0 +1,396 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// component microbenchmarks and the ablations DESIGN.md calls out.
+//
+// The experiment benches run the full pipeline at a reduced workload scale
+// (benchScale) so `go test -bench=.` completes in minutes; cmd/hotpath runs
+// the same code at scale 1.0 for the reported numbers.
+package netpath_test
+
+import (
+	"sync"
+	"testing"
+
+	"netpath/internal/balllarus"
+	"netpath/internal/bittrace"
+	"netpath/internal/boa"
+	"netpath/internal/branchpred"
+	"netpath/internal/dynamo"
+	"netpath/internal/experiments"
+	"netpath/internal/kpath"
+	"netpath/internal/metrics"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/tracecache"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+const benchScale = 0.05
+
+var (
+	profOnce sync.Once
+	profAll  []experiments.BenchProfile
+	profErr  error
+)
+
+func benchProfiles(b *testing.B) []experiments.BenchProfile {
+	b.Helper()
+	profOnce.Do(func() {
+		profAll, profErr = experiments.CollectAll(benchScale)
+	})
+	if profErr != nil {
+		b.Fatal(profErr)
+	}
+	return profAll
+}
+
+// --- One benchmark per table/figure ---------------------------------------
+
+// BenchmarkTable1 regenerates the benchmark-set table (paths, flow, hot set).
+func BenchmarkTable1(b *testing.B) {
+	bps := benchProfiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table1(bps)
+	}
+}
+
+// BenchmarkTable2 regenerates the paths-vs-heads table.
+func BenchmarkTable2(b *testing.B) {
+	bps := benchProfiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2(bps)
+	}
+}
+
+// BenchmarkFig2 regenerates the hit-rate sweep for both schemes (the τ sweep
+// dominates; rendering is free).
+func BenchmarkFig2(b *testing.B) {
+	bps := benchProfiles(b)
+	taus := metrics.DefaultTaus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.SweepSchemes(bps, taus)
+		_ = experiments.Fig2(series)
+	}
+}
+
+// BenchmarkFig3 regenerates the noise-rate sweep.
+func BenchmarkFig3(b *testing.B) {
+	bps := benchProfiles(b)
+	taus := metrics.DefaultTaus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.SweepSchemes(bps, taus)
+		_ = experiments.Fig3(series)
+	}
+}
+
+// BenchmarkFig4 regenerates the counter-space comparison.
+func BenchmarkFig4(b *testing.B) {
+	bps := benchProfiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig4(bps)
+	}
+}
+
+// BenchmarkFig5 regenerates the mini-Dynamo speedup grid (both schemes,
+// τ ∈ {10,50,100}, all nine workloads).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid, err := experiments.RunFig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.Fig5(grid)
+	}
+}
+
+// BenchmarkPhases runs the windowed-metrics extension (§6.1/§7).
+func BenchmarkPhases(b *testing.B) {
+	bps := benchProfiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.PhasesReport(bps, 50)
+	}
+}
+
+// --- Component microbenchmarks ---------------------------------------------
+
+func compressProgram(b *testing.B) *profile.Profile {
+	b.Helper()
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := profile.Collect(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+// BenchmarkVMInterp measures raw interpreter throughput (instructions/op
+// reported via b.N scaling is not meaningful; use ns/op per full run).
+func BenchmarkVMInterp(b *testing.B) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(p)
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathTracking measures the profiled run (VM + tracker + intern).
+func BenchmarkPathTracking(b *testing.B) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Collect(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNETReplay measures the abstract NET replay over a recorded
+// stream — the inner loop of Figures 2-3.
+func BenchmarkNETReplay(b *testing.B) {
+	pr := compressProgram(b)
+	hs := pr.Hot(experiments.HotFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Evaluate(pr, hs, predict.NewNET(50, pr.Paths.Head), 50)
+	}
+}
+
+// BenchmarkPathProfileReplay is the path-profile analogue of NETReplay.
+func BenchmarkPathProfileReplay(b *testing.B) {
+	pr := compressProgram(b)
+	hs := pr.Hot(experiments.HotFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Evaluate(pr, hs, predict.NewPathProfile(50), 50)
+	}
+}
+
+// BenchmarkBallLarus measures Ball-Larus chord-instrumented profiling of a
+// full workload run.
+func BenchmarkBallLarus(b *testing.B) {
+	bm, err := workload.ByName("deltablue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := balllarus.Profile(p, true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitTrace measures bit-tracing path profiling of a full run.
+func BenchmarkBitTrace(b *testing.B) {
+	bm, err := workload.ByName("deltablue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bittrace.Profile(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKPathExact and BenchmarkKPathLazy compare Young-Smith k-bounded
+// profiling with materialized keys vs the lazy rolling hash.
+func BenchmarkKPathExact(b *testing.B) {
+	benchKPath(b, false)
+}
+
+func BenchmarkKPathLazy(b *testing.B) {
+	benchKPath(b, true)
+}
+
+func benchKPath(b *testing.B, lazy bool) {
+	bm, err := workload.ByName("deltablue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kpath.Profile(p, 8, lazy, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) -------------------------
+
+func benchDynamo(b *testing.B, name string, mutate func(*dynamo.Config)) {
+	bm, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dynamo.DefaultConfig(dynamo.SchemeNET, 50)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynamo.New(p, cfg).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Speedup(), "speedup%")
+	}
+}
+
+// BenchmarkDynamoNET is the baseline mini-Dynamo configuration (compress,
+// NET, τ=50); the ablations below perturb one design choice each. Compare
+// the reported speedup% metrics.
+func BenchmarkDynamoNET(b *testing.B) {
+	benchDynamo(b, "compress", nil)
+}
+
+// BenchmarkDynamoPathProfile swaps the selection scheme (the paper's Fig 5
+// comparison).
+func BenchmarkDynamoPathProfile(b *testing.B) {
+	benchDynamo(b, "compress", func(c *dynamo.Config) {
+		c.Scheme = dynamo.SchemePathProfile
+		c.BailoutAfter = 0
+	})
+}
+
+// BenchmarkDynamoNoOptimizer ablates the trace optimizer.
+func BenchmarkDynamoNoOptimizer(b *testing.B) {
+	benchDynamo(b, "compress", func(c *dynamo.Config) { c.DisableOptimizer = true })
+}
+
+// BenchmarkDynamoNoLinking ablates fragment linking.
+func BenchmarkDynamoNoLinking(b *testing.B) {
+	benchDynamo(b, "compress", func(c *dynamo.Config) { c.DisableLinking = true })
+}
+
+// BenchmarkDynamoTinyCache ablates cache capacity (forces flush thrash).
+func BenchmarkDynamoTinyCache(b *testing.B) {
+	benchDynamo(b, "compress", func(c *dynamo.Config) { c.MaxFragments = 8 })
+}
+
+// BenchmarkNETSingleReplay ablates NET's secondary-trace counter reset
+// (primary traces only) in the abstract metrics.
+func BenchmarkNETSingleReplay(b *testing.B) {
+	pr := compressProgram(b)
+	hs := pr.Hot(experiments.HotFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := metrics.Evaluate(pr, hs, predict.NewNETSingle(50, pr.Paths.Head), 50)
+		b.ReportMetric(pt.HitRate(), "hit%")
+	}
+}
+
+// BenchmarkBranchPredGShare measures the gshare hardware-predictor
+// simulation over a full workload run (related-work comparison).
+func BenchmarkBranchPredGShare(b *testing.B) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := branchpred.Measure(p, branchpred.NewGShare(14), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Accuracy(), "accuracy%")
+	}
+}
+
+// BenchmarkTraceCache measures the hardware trace-cache simulation over a
+// full workload run.
+func BenchmarkTraceCache(b *testing.B) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := tracecache.Measure(p, tracecache.Config{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.SuppliedPct(), "supplied%")
+	}
+}
+
+// BenchmarkBoa measures the Boa edge-profile construction pipeline
+// (related-work comparison).
+func BenchmarkBoa(b *testing.B) {
+	bm, err := workload.ByName("m88ksim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := profile.Collect(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := pr.Hot(experiments.HotFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := boa.Evaluate(p, pr, hot, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.HitRate(), "hit%")
+	}
+}

@@ -1,0 +1,89 @@
+// Command dynamo runs one benchmark (or all of them) under the mini-Dynamo
+// dynamic optimizer and prints the execution report: speedup over native,
+// cycle breakdown, cache behaviour, and the heuristics' decisions.
+//
+// Usage:
+//
+//	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-v] [benchmark ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"netpath/internal/dynamo"
+	"netpath/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dynamo: ")
+	schemeFlag := flag.String("scheme", "net", "prediction scheme: net or pathprofile")
+	tau := flag.Int64("tau", 50, "prediction delay")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	verbose := flag.Bool("v", false, "print the full cycle breakdown")
+	noopt := flag.Bool("noopt", false, "disable the trace optimizer (ablation)")
+	nolink := flag.Bool("nolink", false, "disable fragment linking (ablation)")
+	fragments := flag.Int("fragments", 0, "print the top N resident fragments after the run")
+	flag.Parse()
+
+	var scheme dynamo.Scheme
+	switch strings.ToLower(*schemeFlag) {
+	case "net":
+		scheme = dynamo.SchemeNET
+	case "pathprofile", "pp":
+		scheme = dynamo.SchemePathProfile
+	default:
+		log.Fatalf("unknown scheme %q", *schemeFlag)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	for _, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := b.Build(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := dynamo.DefaultConfig(scheme, *tau)
+		cfg.DisableOptimizer = *noopt
+		cfg.DisableLinking = *nolink
+		start := time.Now()
+		sys := dynamo.New(p, cfg)
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  [%.2fs]\n", res, time.Since(start).Seconds())
+		if *verbose {
+			printBreakdown(res)
+			opt := sys.OptimizerStats()
+			fmt.Printf("  opt:    %d folded, %d branches folded, %d loads removed, %d dead writes, %d jumps straightened\n",
+				opt.FoldedOps, opt.FoldedBranches, opt.LoadsRemoved, opt.DeadRemoved, opt.JumpsRemoved)
+		}
+		if *fragments > 0 {
+			fmt.Print(sys.DumpCache(*fragments))
+		}
+	}
+}
+
+func printBreakdown(r dynamo.Result) {
+	fmt.Printf("  native: %.0f cycles (%d instrs, %d redirects)\n", r.NativeCycles, r.Steps, r.Redirects)
+	fmt.Printf("  dynamo: %.0f cycles = interp %.0f + frag %.0f + profile %.0f + build %.0f + trans %.0f\n",
+		r.Cycles, r.InterpCycles, r.FragCycles, r.ProfileCycles, r.BuildCycles, r.TransCycles)
+	fmt.Printf("  instrs: interp %d, cached %d (%.2f%% of run), eliminated %d, native-after-bail %d\n",
+		r.InterpInstrs, r.FragInstrs, 100*r.CachedFraction(), r.ElimInstrs, r.NativeInstrs)
+	fmt.Printf("  cache:  %d fragments, %d flushes, enters %d, linked %d, exits %d\n",
+		r.Fragments, r.Flushes, r.FragEnters, r.LinkedJumps, r.FragExits)
+	if r.BailedOut {
+		fmt.Printf("  bail-out at step %d\n", r.BailStep)
+	}
+}

@@ -1,0 +1,134 @@
+// Command netasm assembles, runs, formats and profiles programs written in
+// the toy machine's assembly format (see internal/asm for the syntax).
+//
+// Usage:
+//
+//	netasm run file.s          execute a program, print the machine state
+//	netasm fmt file.s          parse and reprint in canonical form
+//	netasm profile file.s      execute and print the path profile
+//	netasm dump <benchmark>    emit a synthetic workload as assembly
+//	netasm sample              print a sample program to get started
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netpath/internal/asm"
+	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+const sample = `; sample: iterative fibonacci — Mem[0] = fib(20)
+.mem 8
+
+func main:
+    movi r1, 0      ; a
+    movi r2, 1      ; b
+    movi r3, 0      ; i
+loop:
+    add r4, r1, r2
+    mov r1, r2
+    mov r2, r4
+    addi r3, r3, 1
+    bri.lt r3, 19, loop
+    store [r0+0], r2
+    halt
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netasm: ")
+	steps := flag.Int64("steps", 100_000_000, "step limit for run/profile")
+	scale := flag.Float64("scale", 0.05, "workload scale for dump")
+	top := flag.Int("top", 5, "top paths to print for profile")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: netasm run|fmt|profile|dump|sample [file.s | benchmark]")
+		os.Exit(2)
+	}
+	cmd := args[0]
+	if cmd == "sample" {
+		fmt.Print(sample)
+		return
+	}
+	if len(args) != 2 {
+		log.Fatalf("%s wants one argument", cmd)
+	}
+
+	switch cmd {
+	case "dump":
+		b, err := workload.ByName(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := b.Build(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(asm.Format(p))
+	case "run", "fmt", "profile":
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := asm.Parse(args[1], string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch cmd {
+		case "fmt":
+			fmt.Print(asm.Format(p))
+		case "run":
+			run(p, *steps)
+		case "profile":
+			prof(p, *steps, *top)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func run(p *prog.Program, steps int64) {
+	m := vm.New(p)
+	err := m.Run(steps)
+	if err == vm.ErrStepLimit {
+		fmt.Printf("stopped at the %d-step limit\n", steps)
+	} else if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d instructions\n", m.Steps)
+	fmt.Print("registers:")
+	for i, v := range m.Reg {
+		if v != 0 {
+			fmt.Printf(" r%d=%d", i, v)
+		}
+	}
+	fmt.Println()
+	nonzero := 0
+	for a, v := range m.Mem {
+		if v != 0 && nonzero < 16 {
+			fmt.Printf("mem[%d] = %d\n", a, v)
+			nonzero++
+		}
+	}
+}
+
+func prof(p *prog.Program, steps int64, top int) {
+	pr, err := profile.Collect(p, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := pr.Hot(0.001)
+	fmt.Printf("flow %d, %d distinct paths, %d heads; 0.1%% hot: %d paths, %.1f%% of flow\n",
+		pr.Flow, pr.NumPaths(), pr.UniqueHeads(), hs.Count, hs.FlowPct(pr))
+	for _, pc := range pr.TopPaths(top) {
+		fmt.Printf("  %8d x %s\n", pc.Freq, pr.Paths.Info(pc.ID).Signature())
+	}
+}

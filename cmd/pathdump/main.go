@@ -1,0 +1,74 @@
+// Command pathdump inspects the path profile of a benchmark (or all of
+// them): distinct paths, flow, hot-set statistics, unique heads, and the
+// top paths by frequency. It is the debugging companion to cmd/hotpath.
+//
+// Usage:
+//
+//	pathdump [-scale f] [-top n] [-hot frac] [benchmark ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"netpath/internal/profile"
+	"netpath/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathdump: ")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	top := flag.Int("top", 0, "print the top N paths by frequency")
+	hot := flag.Float64("hot", 0.001, "fractional hot threshold")
+	disasm := flag.Bool("disasm", false, "print the program disassembly")
+	jsonOut := flag.Bool("json", false, "emit the path profile as JSON instead of a summary")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	for _, name := range names {
+		if err := dump(name, *scale, *top, *hot, *disasm, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func dump(name string, scale float64, top int, hotFrac float64, disasm, jsonOut bool) error {
+	b, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	p, err := b.Build(scale)
+	if err != nil {
+		return err
+	}
+	if disasm {
+		fmt.Print(p.Disasm())
+	}
+	start := time.Now()
+	pr, err := profile.Collect(p, 0)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return pr.WriteJSON(os.Stdout)
+	}
+	hs := pr.Hot(hotFrac)
+	fmt.Fprintf(os.Stdout,
+		"%-10s instrs=%-9d steps=%-11d paths=%-7d heads=%-6d flow=%-9d hot(%.2g%%): %d paths, %.1f%% flow  [%.2fs]\n",
+		name, p.Len(), pr.Steps, pr.NumPaths(), pr.UniqueHeads(), pr.Flow,
+		hotFrac*100, hs.Count, hs.FlowPct(pr), time.Since(start).Seconds())
+	if top > 0 {
+		for _, pc := range pr.TopPaths(top) {
+			info := pr.Paths.Info(pc.ID)
+			fmt.Printf("  %10d  %s\n", pc.Freq, info.Signature())
+		}
+	}
+	return nil
+}

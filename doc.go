@@ -1,0 +1,18 @@
+// Package netpath reproduces "Software Profiling for Hot Path Prediction:
+// Less is More" (Duesterwald & Bala, ASPLOS 2000): the NET next-executing-
+// tail hot path prediction scheme, path-profile-based prediction, the
+// abstract hit-rate/noise evaluation, and a miniature Dynamo dynamic
+// optimizer as the concrete application, all on a self-contained toy
+// machine with nine SpecInt95-shaped synthetic workloads.
+//
+// The public surface lives under internal/ (this is a research artifact,
+// not a semver library); the binaries under cmd/ and the programs under
+// examples/ are the intended entry points:
+//
+//	cmd/hotpath  — regenerate every table and figure of the paper
+//	cmd/dynamo   — run one workload under the mini-Dynamo
+//	cmd/pathdump — inspect a workload's path profile
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package netpath

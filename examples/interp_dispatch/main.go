@@ -1,0 +1,52 @@
+// Interpreter dispatch: the workload class the paper's introduction
+// motivates (just-in-time compilers and emulators spend their time in a
+// dispatch loop over virtual opcodes). This example builds a bytecode-
+// interpreter-shaped program, runs it under the mini-Dynamo with both
+// prediction schemes, and prints the Figure-5-style comparison.
+//
+//	go run ./examples/interp_dispatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netpath/internal/dynamo"
+	"netpath/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// m88ksim is the suite's fetch-decode-execute workload; build it at a
+	// moderate scale so the example runs in a second or two.
+	b, err := workload.ByName("m88ksim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", b.Name, b.Mimics)
+
+	for _, tau := range []int64{10, 50, 100} {
+		net, err := dynamo.New(p, dynamo.DefaultConfig(dynamo.SchemeNET, tau)).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppCfg := dynamo.DefaultConfig(dynamo.SchemePathProfile, tau)
+		ppCfg.BailoutAfter = 0 // run the comparison scheme to completion
+		pp, err := dynamo.New(p, ppCfg).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("τ=%-4d NET: %+6.1f%% (cached %5.1f%%, %3d fragments)   PathProfile: %+6.1f%% (cached %5.1f%%)\n",
+			tau, 100*net.Speedup(), 100*net.CachedFraction(), net.Fragments,
+			100*pp.Speedup(), 100*pp.CachedFraction())
+	}
+
+	fmt.Println("\nNET turns the dispatch loop into linked fragments (one per hot opcode")
+	fmt.Println("sequence); path-profile-based selection pays per-branch profiling in the")
+	fmt.Println("interpreter and cannot cover divergent dispatch tails, so it loses.")
+}

@@ -1,0 +1,121 @@
+// Phases: phase changes and phase-induced noise (Sections 6.1 and 7).
+//
+// A program with distinct execution phases defeats accumulated metrics: a
+// path that was hot in phase 1 stays "predicted" forever, polluting the
+// cache after its phase ends. This example builds a three-phase workload
+// (vortex's query mix), shows the windowed hit/noise extension with and
+// without prediction retiring, and demonstrates the mini-Dynamo's
+// flush-on-spike heuristic reacting to the phase transitions.
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netpath/internal/dynamo"
+	"netpath/internal/isa"
+	"netpath/internal/metrics"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	b, err := workload.ByName("vortex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := profile.Collect(p, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := pr.Hot(0.001)
+	fmt.Printf("workload: %s (three query phases favouring different method clusters)\n", b.Name)
+	fmt.Printf("flow %d, %d paths\n\n", pr.Flow, pr.NumPaths())
+
+	const tau = 50
+	head := pr.Paths.Head
+
+	// Accumulated metrics (Section 5's view — blind to phases).
+	acc := metrics.Evaluate(pr, hot, predict.NewNET(tau, head), tau)
+	fmt.Printf("accumulated:        hit %5.1f%%  noise %5.1f%%\n", acc.HitRate(), acc.NoiseRate())
+
+	// Windowed metrics (Section 7's proposed extension): noise is measured
+	// against each window's own hot set, exposing phase-induced noise.
+	cfg := metrics.PhasedConfig{Window: 25_000, HotFrac: 0.001}
+	win := metrics.EvaluatePhased(pr, cfg, predict.NewNET(tau, head), tau)
+	fmt.Printf("windowed:           hit %5.1f%%  noise %5.1f%%  (%d windows)\n",
+		win.HitRate(), win.NoiseRate(), win.Windows)
+
+	// Retiring idle predictions (modelling a cache flush / path retiring
+	// scheme) removes stale phase-1 predictions.
+	cfg.RetireAfter = 2
+	ret := metrics.EvaluatePhased(pr, cfg, predict.NewNET(tau, head), tau)
+	fmt.Printf("windowed+retiring:  hit %5.1f%%  noise %5.1f%%  (%d retirings)\n\n",
+		ret.HitRate(), ret.NoiseRate(), ret.Retired)
+
+	// The concrete side: Dynamo's flush heuristic watches the fragment-
+	// creation rate; a spike marks a phase transition. vortex's phases
+	// share code (every method runs a little in every phase), so its
+	// fragments are built once and no spike occurs. Build a program whose
+	// phases execute *disjoint* code — the spike is unmistakable there.
+	fmt.Println("\n--- flush-on-spike on a program with disjoint phases ---")
+	dp := disjointPhases(3, 60, 600)
+	cfgD := dynamo.DefaultConfig(dynamo.SchemeNET, tau)
+	cfgD.BailoutAfter = 0 // keep running so the flushes are visible
+	cfgD.FlushWindow = 50_000
+	cfgD.FlushSpike = 4.0
+	res, err := dynamo.New(dp, cfgD).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mini-Dynamo with flush-on-spike: %d fragments created, %d cache flushes\n",
+		res.Fragments, res.Flushes)
+	fmt.Printf("speedup %+.1f%% (cached %.1f%%)\n", 100*res.Speedup(), 100*res.CachedFraction())
+	fmt.Println("each phase transition spikes the prediction rate; the flush removes the")
+	fmt.Println("previous phase's (now phase-induced-noise) fragments from the cache.")
+}
+
+// disjointPhases builds a program with nPhases phases, each running its own
+// set of short loops (no code shared across phases). Within a phase the
+// loops interleave — an outer loop sweeps all of them each round — so at a
+// phase transition the whole new working set becomes hot within a few
+// rounds: the prediction-rate spike the flush heuristic looks for.
+func disjointPhases(nPhases, loopsPerPhase int, rounds int64) *prog.Program {
+	b := prog.NewBuilder("disjoint-phases")
+	b.SetMemSize(8)
+	m := b.Func("main")
+	for ph := 0; ph < nPhases; ph++ {
+		outer := fmt.Sprintf("p%d_outer", ph)
+		m.MovI(3, 0)
+		m.Label(outer)
+		for j := 0; j < loopsPerPhase; j++ {
+			lbl := fmt.Sprintf("p%d_l%d", ph, j)
+			m.MovI(0, 0)
+			m.Label(lbl)
+			m.AddI(1, 1, 1)
+			m.Op3(isa.Xor, 2, 2, 1)
+			m.MovI(4, int64(j)) // constant seed: trace-optimizer fodder
+			m.AddI(5, 4, 3)
+			m.Op3(isa.Add, 6, 5, 1)
+			m.Op3(isa.Sub, 7, 6, 2)
+			m.Jmp(lbl + "_b")
+			m.Label(lbl + "_b")
+			m.AddI(0, 0, 1)
+			m.BrI(isa.Lt, 0, 20, lbl)
+		}
+		m.AddI(3, 3, 1)
+		m.BrI(isa.Lt, 3, rounds, outer)
+	}
+	m.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,3 @@
+module netpath
+
+go 1.22

@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+const fib = `
+; iterative fibonacci: Mem[0] = fib(20)
+.mem 8
+
+func main:
+    movi r1, 0      ; a
+    movi r2, 1      ; b
+    movi r3, 0      ; i
+loop:
+    add r4, r1, r2
+    mov r1, r2
+    mov r2, r4
+    addi r3, r3, 1
+    bri.lt r3, 19, loop
+    store [r0+0], r2
+    halt
+`
+
+func TestParseAndRunFib(t *testing.T) {
+	p, err := Parse("fib", fib)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := vm.New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Mem[0] != 6765 { // fib(20)
+		t.Errorf("Mem[0] = %d, want 6765", m.Mem[0])
+	}
+}
+
+const callsAndTables = `
+.mem 16
+.data 4 = 99
+.dataptr 5 = other
+.entry main
+
+func main:
+    load r1, [r0+5]
+    jmpind r1
+other:
+    call helper
+    store [r0+1], r2
+    halt
+
+func helper:
+    load r2, [r0+4]
+    addi r2, r2, 1
+    ret
+`
+
+func TestParseDirectivesAndIndirect(t *testing.T) {
+	p, err := Parse("tbl", callsAndTables)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := vm.New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Mem[1] != 100 {
+		t.Errorf("Mem[1] = %d, want 100", m.Mem[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"instrOutsideFunc": "movi r0, 1",
+		"labelOutsideFunc": "x:",
+		"badMnemonic":      "func f:\n floop r1\n halt",
+		"badRegister":      "func f:\n movi r99, 1\n halt",
+		"badImmediate":     "func f:\n movi r1, xyz\n halt",
+		"badOperandCount":  "func f:\n movi r1\n halt",
+		"badCond":          "func f:\n top:\n bri.zz r1, 1, top\n halt",
+		"badDirective":     ".bogus 3",
+		"badMemSize":       ".mem -1",
+		"badData":          ".data 1 = zz",
+		"badDataSyntax":    ".data 1",
+		"undefinedLabel":   "func f:\n jmp nowhere\n halt",
+		"badMemOperand":    "func f:\n load r1, r2\n halt",
+		"emptyFuncName":    "func :",
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse("bad", src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("bad", "func f:\n nop\n floop\n halt")
+	if err == nil || !strings.Contains(err.Error(), "asm:3") {
+		t.Errorf("error %v must carry line number 3", err)
+	}
+}
+
+func sortedMem(m []prog.MemInit) []prog.MemInit {
+	out := append([]prog.MemInit(nil), m...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func checkRoundTrip(t *testing.T, p *prog.Program) {
+	t.Helper()
+	src := Format(p)
+	p2, err := Parse(p.Name, src)
+	if err != nil {
+		t.Fatalf("reparse: %v\nsource:\n%s", err, truncate(src, 2000))
+	}
+	if !reflect.DeepEqual(p.Instrs, p2.Instrs) {
+		for i := range p.Instrs {
+			if i < len(p2.Instrs) && p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("instruction %d differs: %v vs %v", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+		t.Fatalf("instruction count differs: %d vs %d", len(p.Instrs), len(p2.Instrs))
+	}
+	if !reflect.DeepEqual(p.Funcs, p2.Funcs) {
+		t.Error("functions differ after round-trip")
+	}
+	if !reflect.DeepEqual(p.Blocks, p2.Blocks) {
+		t.Error("blocks differ after round-trip")
+	}
+	if p.Entry != p2.Entry || p.MemSize != p2.MemSize {
+		t.Error("entry or memory size differ after round-trip")
+	}
+	if !reflect.DeepEqual(sortedMem(p.InitMem), sortedMem(p2.InitMem)) {
+		t.Error("memory initializers differ after round-trip")
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestRoundTripFib(t *testing.T) {
+	p, err := Parse("fib", fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, p)
+}
+
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := b.Build(0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRoundTrip(t, p)
+		})
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.Name, Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := vm.New(p), vm.New(p2)
+	if err := m1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Steps != m2.Steps || m1.Reg != m2.Reg {
+		t.Error("round-tripped program diverged")
+	}
+	for i := range m1.Mem {
+		if m1.Mem[i] != m2.Mem[i] {
+			t.Fatalf("memory differs at %d", i)
+		}
+	}
+}
+
+func TestFormatReadable(t *testing.T) {
+	p, err := Parse("fib", fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	for _, want := range []string{".mem 8", "func main:", "bri.lt", "store [r0+0], r2", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	src := `
+.mem 8
+func main:
+    movi r1, 4
+    store [r1+-2], r1
+    load r2, [r1-2]
+    halt
+`
+	p, err := Parse("neg", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := vm.New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[2] != 4 || m.Reg[2] != 4 {
+		t.Errorf("negative offsets wrong: mem[2]=%d r2=%d", m.Mem[2], m.Reg[2])
+	}
+	checkRoundTrip(t, p)
+}

@@ -1,0 +1,33 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpath/internal/asm"
+	"netpath/internal/vm"
+)
+
+// ExampleParse assembles a small program and runs it.
+func ExampleParse() {
+	src := `
+.mem 4
+func main:
+    movi r1, 6
+    movi r2, 7
+    mul r3, r1, r2
+    store [r0+0], r3
+    halt
+`
+	p, err := asm.Parse("answer", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := vm.New(p)
+	if err := m.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Mem[0])
+	// Output:
+	// 42
+}

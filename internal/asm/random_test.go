@@ -1,0 +1,35 @@
+package asm
+
+import (
+	"testing"
+
+	"netpath/internal/randprog"
+	"netpath/internal/vm"
+)
+
+// TestRandomProgramsRoundTrip exercises the assembler on random programs:
+// Format then Parse must reproduce the exact program image, and execution
+// of the round-tripped program must be bit-identical.
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		checkRoundTrip(t, p)
+		if t.Failed() {
+			t.Fatalf("seed %d: structural round-trip failed", seed)
+		}
+		p2, err := Parse(p.Name, Format(p))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m1, m2 := vm.New(p), vm.New(p2)
+		if err := m1.Run(20_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := m2.Run(20_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m1.Steps != m2.Steps || m1.Reg != m2.Reg {
+			t.Fatalf("seed %d: round-tripped program diverged", seed)
+		}
+	}
+}

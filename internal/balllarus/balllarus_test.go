@@ -1,0 +1,266 @@
+package balllarus
+
+import (
+	"reflect"
+	"testing"
+
+	"netpath/internal/cfg"
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// diamondLoop: a loop with an even/odd diamond body, n iterations.
+func diamondLoop(n int64) *prog.Program {
+	b := prog.NewBuilder("diamond")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.MovI(0, 0)
+	m.Label("loop")
+	m.RemI(3, 0, 2)
+	m.BrI(isa.Eq, 3, 0, "even")
+	m.AddI(1, 1, 1)
+	m.Jmp("join")
+	m.Label("even")
+	m.AddI(2, 2, 1)
+	m.Label("join")
+	m.AddI(0, 0, 1)
+	m.BrI(isa.Lt, 0, n, "loop")
+	m.Halt()
+	return b.MustBuild()
+}
+
+// nestedCalls: outer loop calls a helper containing its own diamond.
+func nestedCalls(n int64) *prog.Program {
+	b := prog.NewBuilder("nested")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.MovI(0, 0)
+	m.Label("loop")
+	m.Call("helper")
+	m.AddI(0, 0, 1)
+	m.BrI(isa.Lt, 0, n, "loop")
+	m.Halt()
+	h := b.Func("helper")
+	h.RemI(3, 0, 3)
+	h.BrI(isa.Eq, 3, 0, "div3")
+	h.AddI(1, 1, 1)
+	h.Ret()
+	h.Label("div3")
+	h.AddI(2, 2, 1)
+	h.Ret()
+	return b.MustBuild()
+}
+
+func TestNumPathsDiamond(t *testing.T) {
+	p := diamondLoop(10)
+	g, err := cfg.Build(p, 0)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	num, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Prefixes {real entry, pseudo entry} × arms {even, odd} × suffixes
+	// {halt-exit, pseudo exit} = 8 acyclic paths.
+	if num.NumPaths != 8 {
+		t.Errorf("NumPaths = %d, want 8", num.NumPaths)
+	}
+	if num.Chords() >= num.NumEdges() {
+		t.Errorf("chords %d must be < edges %d", num.Chords(), num.NumEdges())
+	}
+}
+
+func TestEdgeValuesGiveUniqueNumbers(t *testing.T) {
+	// Enumerate all DAG paths by DFS summing Val; numbers must be a
+	// permutation of [0, NumPaths).
+	p := diamondLoop(10)
+	g, _ := cfg.Build(p, 0)
+	num, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	succs := map[cfg.Node][]DAGEdge{}
+	for _, e := range num.Edges {
+		succs[e.From] = append(succs[e.From], e)
+	}
+	seen := map[int64]bool{}
+	var dfs func(u cfg.Node, sumVal, sumInc int64)
+	dfs = func(u cfg.Node, sumVal, sumInc int64) {
+		if u == cfg.Exit {
+			if sumVal != sumInc {
+				t.Fatalf("path %d: chord-increment sum %d differs", sumVal, sumInc)
+			}
+			if seen[sumVal] {
+				t.Fatalf("duplicate path number %d", sumVal)
+			}
+			seen[sumVal] = true
+			return
+		}
+		for _, e := range succs[u] {
+			inc := int64(0)
+			if !e.Tree {
+				inc = e.Inc
+			}
+			dfs(e.To, sumVal+e.Val, sumInc+inc)
+		}
+	}
+	dfs(cfg.Entry, 0, 0)
+	if int64(len(seen)) != num.NumPaths {
+		t.Fatalf("enumerated %d paths, want %d", len(seen), num.NumPaths)
+	}
+	for i := int64(0); i < num.NumPaths; i++ {
+		if !seen[i] {
+			t.Errorf("path number %d never produced", i)
+		}
+	}
+}
+
+func TestProfileCountsDiamond(t *testing.T) {
+	rt, err := Profile(diamondLoop(10), false, 0)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if got := rt.TotalCount(0); got != 10 {
+		t.Errorf("total paths = %d, want 10 (one per iteration)", got)
+	}
+	// 5 even iterations and 5 odd iterations, split across entry/middle/exit
+	// path variants. Decode each counted path and tally arms.
+	var even, odd int64
+	for num, c := range rt.Counts[0] {
+		nodes, err := rt.DecodePath(0, num)
+		if err != nil {
+			t.Fatalf("DecodePath(%d): %v", num, err)
+		}
+		// The even arm contains the block with the "even" label; identify by
+		// checking the decoded blocks' instructions for AddI r2.
+		isEven := false
+		for _, nd := range nodes {
+			bi := rt.graphs[0].BlockOf[nd]
+			blk := rt.Prog.Blocks[bi]
+			for a := blk.Start; a < blk.End; a++ {
+				in := rt.Prog.Instrs[a]
+				if in.Op == isa.AddI && in.A == 2 {
+					isEven = true
+				}
+			}
+		}
+		if isEven {
+			even += c
+		} else {
+			odd += c
+		}
+	}
+	if even != 5 || odd != 5 {
+		t.Errorf("even/odd = %d/%d, want 5/5", even, odd)
+	}
+}
+
+func TestOptimizedMatchesNaive(t *testing.T) {
+	progs := []*prog.Program{diamondLoop(25), nestedCalls(30)}
+	for _, p := range progs {
+		naive, err := Profile(p, false, 0)
+		if err != nil {
+			t.Fatalf("%s naive: %v", p.Name, err)
+		}
+		opt, err := Profile(p, true, 0)
+		if err != nil {
+			t.Fatalf("%s optimized: %v", p.Name, err)
+		}
+		for fi := range p.Funcs {
+			if naive.Counts[fi] == nil {
+				continue
+			}
+			if !reflect.DeepEqual(naive.Counts[fi], opt.Counts[fi]) {
+				t.Errorf("%s func %d: naive %v != optimized %v", p.Name, fi, naive.Counts[fi], opt.Counts[fi])
+			}
+		}
+		if opt.RegisterOps >= naive.RegisterOps {
+			t.Errorf("%s: optimized register ops %d, want < naive %d", p.Name, opt.RegisterOps, naive.RegisterOps)
+		}
+		if opt.CountOps != naive.CountOps {
+			t.Errorf("%s: count ops differ: %d vs %d", p.Name, opt.CountOps, naive.CountOps)
+		}
+	}
+}
+
+func TestCalleeProfiledSeparately(t *testing.T) {
+	rt, err := Profile(nestedCalls(30), false, 0)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	hi := -1
+	for fi, f := range rt.Prog.Funcs {
+		if f.Name == "helper" {
+			hi = fi
+		}
+	}
+	if got := rt.TotalCount(hi); got != 30 {
+		t.Errorf("helper path executions = %d, want 30", got)
+	}
+	// Two distinct helper paths (div3 or not).
+	if got := len(rt.Counts[hi]); got != 2 {
+		t.Errorf("helper distinct paths = %d, want 2", got)
+	}
+	// main: one path per iteration.
+	if got := rt.TotalCount(0); got != 30 {
+		t.Errorf("main path executions = %d, want 30", got)
+	}
+}
+
+func TestIndirectRejected(t *testing.T) {
+	b := prog.NewBuilder("ind")
+	b.SetMemSize(8)
+	m := b.Func("main")
+	m.Load(1, 0, 4)
+	m.JmpInd(1)
+	m.Label("a")
+	m.Halt()
+	b.SetMemLabel(4, "a")
+	p := b.MustBuild()
+	g, _ := cfg.Build(p, 0)
+	if _, err := New(g); err == nil {
+		t.Error("New must reject functions with indirect jumps")
+	}
+	// The runtime still runs, skipping the function.
+	rt, err := Profile(p, false, 0)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if rt.Numberings[0] != nil {
+		t.Error("unprofilable function must have nil numbering")
+	}
+}
+
+func TestParallelEdgeRejected(t *testing.T) {
+	b := prog.NewBuilder("par")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.BrI(isa.Eq, 0, 0, "next")
+	m.Label("next")
+	m.Halt()
+	p := b.MustBuild()
+	g, _ := cfg.Build(p, 0)
+	if _, err := New(g); err == nil {
+		t.Error("New must reject parallel edges")
+	}
+}
+
+func TestDecodePathErrors(t *testing.T) {
+	rt, err := Profile(diamondLoop(4), false, 0)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if _, err := rt.DecodePath(0, -1); err == nil {
+		t.Error("negative path number must fail")
+	}
+	if _, err := rt.DecodePath(0, rt.Numberings[0].NumPaths); err == nil {
+		t.Error("out-of-range path number must fail")
+	}
+	// All valid numbers decode.
+	for i := int64(0); i < rt.Numberings[0].NumPaths; i++ {
+		if _, err := rt.DecodePath(0, i); err != nil {
+			t.Errorf("DecodePath(%d): %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package balllarus implements Ball–Larus efficient path profiling
+// ("Efficient Path Profiling", MICRO-29, 1996), the offline scheme the paper
+// derives path-profile-based prediction from (Section 2).
+//
+// The algorithm assigns each acyclic entry→exit path of a function a unique
+// number in [0, NumPaths) such that summing edge values along the path
+// yields its number. Back edges are removed and replaced by pseudo edges
+// Entry→head and tail→Exit, so each loop iteration is one counted path.
+// A spanning tree then pushes the instrumentation onto the chords (non-tree
+// edges) only — the "minimal low-cost set of edges" the paper refers to.
+package balllarus
+
+import (
+	"fmt"
+	"sort"
+
+	"netpath/internal/cfg"
+)
+
+// MaxPaths bounds the path count per function; beyond it the static
+// numbering is rejected (the exponential blowup the paper warns about).
+const MaxPaths = int64(1) << 40
+
+// EdgeID indexes the DAG edge list of a Numbering.
+type EdgeID int
+
+// DAGEdge is one edge of the acyclic path-numbering graph.
+type DAGEdge struct {
+	From, To cfg.Node
+	// Pseudo marks Entry→loophead / looptail→Exit replacement edges (and
+	// the Exit→Entry tree-closing edge).
+	Pseudo bool
+	// Val is the Ball–Larus edge value: path numbers are sums of Val along
+	// DAG paths.
+	Val int64
+	// Tree marks spanning-tree membership; instrumentation goes on chords
+	// (Tree == false).
+	Tree bool
+	// Inc is the chord increment: summing Inc over the chords of a DAG path
+	// also yields the path number. Zero for tree edges.
+	Inc int64
+}
+
+// Numbering is the static Ball–Larus analysis result for one function.
+type Numbering struct {
+	G *cfg.Graph
+
+	// NumPaths is the number of distinct acyclic paths.
+	NumPaths int64
+	// Edges lists the DAG edges; EdgeIDs index it.
+	Edges []DAGEdge
+
+	// byPair resolves an executed CFG edge to its DAG edge.
+	byPair map[[2]cfg.Node]EdgeID
+	// backEdge maps an executed back edge to its pseudo replacement pair:
+	// tail→Exit and Entry→head.
+	backEdge map[[2]cfg.Node][2]EdgeID
+}
+
+// New computes the Ball–Larus numbering for g. It fails on functions with
+// indirect jumps (no static CFG), irreducible or parallel-edge graphs, and
+// path counts beyond MaxPaths.
+func New(g *cfg.Graph) (*Numbering, error) {
+	if g.HasIndirect {
+		return nil, fmt.Errorf("balllarus: function %q has indirect jumps", g.Prog.Funcs[g.Func].Name)
+	}
+	n := &Numbering{G: g, byPair: map[[2]cfg.Node]EdgeID{}, backEdge: map[[2]cfg.Node][2]EdgeID{}}
+
+	isBack := map[[2]cfg.Node]bool{}
+	for _, e := range g.BackEdges() {
+		isBack[[2]cfg.Node{e.From, e.To}] = true
+	}
+
+	addEdge := func(from, to cfg.Node, pseudo bool) EdgeID {
+		id := EdgeID(len(n.Edges))
+		n.Edges = append(n.Edges, DAGEdge{From: from, To: to, Pseudo: pseudo})
+		return id
+	}
+
+	// Real (forward) edges.
+	for _, e := range g.Edges() {
+		if isBack[[2]cfg.Node{e.From, e.To}] {
+			continue
+		}
+		key := [2]cfg.Node{e.From, e.To}
+		if _, dup := n.byPair[key]; dup {
+			return nil, fmt.Errorf("balllarus: parallel edge %v", e)
+		}
+		n.byPair[key] = addEdge(e.From, e.To, false)
+	}
+	// Pseudo edges for back edges (dedup by endpoint).
+	toExit := map[cfg.Node]EdgeID{}
+	fromEntry := map[cfg.Node]EdgeID{}
+	for _, e := range g.BackEdges() {
+		te, ok := toExit[e.From]
+		if !ok {
+			te = addEdge(e.From, cfg.Exit, true)
+			toExit[e.From] = te
+		}
+		fe, ok := fromEntry[e.To]
+		if !ok {
+			fe = addEdge(cfg.Entry, e.To, true)
+			fromEntry[e.To] = fe
+		}
+		n.backEdge[[2]cfg.Node{e.From, e.To}] = [2]EdgeID{te, fe}
+	}
+
+	if err := n.assignValues(); err != nil {
+		return nil, err
+	}
+	n.spanningTree()
+	n.chordIncrements()
+	return n, nil
+}
+
+// assignValues topologically sorts the DAG and computes NumPaths and Val.
+func (n *Numbering) assignValues() error {
+	nn := n.G.NumNodes()
+	succs := make([][]EdgeID, nn)
+	indeg := make([]int, nn)
+	for id, e := range n.Edges {
+		succs[e.From] = append(succs[e.From], EdgeID(id))
+		indeg[e.To]++
+	}
+	// Kahn's algorithm; a leftover cycle means irreducible control flow.
+	var queue []cfg.Node
+	for u := 0; u < nn; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, cfg.Node(u))
+		}
+	}
+	var topo []cfg.Node
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		topo = append(topo, u)
+		for _, id := range succs[u] {
+			v := n.Edges[id].To
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(topo) != nn {
+		return fmt.Errorf("balllarus: irreducible control flow (cycle after back-edge removal)")
+	}
+
+	np := make([]int64, nn)
+	np[cfg.Exit] = 1
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		if u == cfg.Exit {
+			continue
+		}
+		var sum int64
+		for _, id := range succs[u] {
+			n.Edges[id].Val = sum
+			sum += np[n.Edges[id].To]
+			if sum > MaxPaths {
+				return fmt.Errorf("balllarus: more than %d paths", MaxPaths)
+			}
+		}
+		np[u] = sum
+	}
+	n.NumPaths = np[cfg.Entry]
+	return nil
+}
+
+// spanningTree marks a spanning tree of the DAG edges plus a virtual
+// Exit→Entry closing edge (kept implicit: the tree is rooted at Entry and
+// the potential of Exit is pinned to zero by construction below).
+func (n *Numbering) spanningTree() {
+	// Union-find.
+	parent := make([]int, n.G.NumNodes())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	// Force the virtual Exit—Entry edge into the tree first so that Exit
+	// and Entry share a component with potential difference 0.
+	union(int(cfg.Exit), int(cfg.Entry))
+	// Deterministic greedy tree over the remaining edges.
+	ids := make([]EdgeID, len(n.Edges))
+	for i := range ids {
+		ids[i] = EdgeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := &n.Edges[id]
+		if union(int(e.From), int(e.To)) {
+			e.Tree = true
+		}
+	}
+}
+
+// chordIncrements computes pot() over the tree and Inc for every chord:
+// Inc(u→v) = Val(u→v) + pot(u) − pot(v). Summing Inc over the chords of any
+// entry→exit DAG path equals the path number (pot(Exit) == pot(Entry) == 0
+// because the virtual closing edge with value 0 is in the tree).
+func (n *Numbering) chordIncrements() {
+	nn := n.G.NumNodes()
+	type adj struct {
+		to  cfg.Node
+		val int64 // signed: +Val traversing edge forward, −Val backward
+	}
+	tree := make([][]adj, nn)
+	for _, e := range n.Edges {
+		if !e.Tree {
+			continue
+		}
+		tree[e.From] = append(tree[e.From], adj{to: e.To, val: e.Val})
+		tree[e.To] = append(tree[e.To], adj{to: e.From, val: -e.Val})
+	}
+	pot := make([]int64, nn)
+	visited := make([]bool, nn)
+	// Entry and Exit are tree-connected with difference 0 by the virtual
+	// edge: seed both.
+	stack := []cfg.Node{cfg.Entry, cfg.Exit}
+	visited[cfg.Entry], visited[cfg.Exit] = true, true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range tree[u] {
+			if visited[a.to] {
+				continue
+			}
+			visited[a.to] = true
+			pot[a.to] = pot[u] + a.val
+			stack = append(stack, a.to)
+		}
+	}
+	for i := range n.Edges {
+		e := &n.Edges[i]
+		if e.Tree {
+			e.Inc = 0
+		} else {
+			e.Inc = e.Val + pot[e.From] - pot[e.To]
+		}
+	}
+}
+
+// LookupEdge resolves an executed forward CFG edge to its DAG edge ID.
+func (n *Numbering) LookupEdge(from, to cfg.Node) (EdgeID, bool) {
+	id, ok := n.byPair[[2]cfg.Node{from, to}]
+	return id, ok
+}
+
+// LookupBackEdge resolves an executed back edge to its (tail→Exit,
+// Entry→head) pseudo edge pair.
+func (n *Numbering) LookupBackEdge(from, to cfg.Node) (toExit, fromEntry EdgeID, ok bool) {
+	p, ok := n.backEdge[[2]cfg.Node{from, to}]
+	return p[0], p[1], ok
+}
+
+// Chords returns the number of instrumented edges (non-tree DAG edges) —
+// the runtime instrumentation points of the optimized scheme.
+func (n *Numbering) Chords() int {
+	c := 0
+	for _, e := range n.Edges {
+		if !e.Tree {
+			c++
+		}
+	}
+	return c
+}
+
+// NumEdges returns the total DAG edge count (the naive scheme instruments
+// all of them).
+func (n *Numbering) NumEdges() int { return len(n.Edges) }

@@ -1,0 +1,64 @@
+package balllarus
+
+import (
+	"reflect"
+	"testing"
+
+	"netpath/internal/randprog"
+)
+
+// TestRandomProgramsNaiveVsOptimized cross-validates the two Ball-Larus
+// instrumentation placements on random programs: chord instrumentation
+// (spanning-tree increments) must produce exactly the counts of naive
+// per-edge instrumentation, with strictly fewer register operations.
+func TestRandomProgramsNaiveVsOptimized(t *testing.T) {
+	const seeds = 30
+	validated := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		naive, err := Profile(p, false, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d naive: %v", seed, err)
+		}
+		opt, err := Profile(p, true, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d optimized: %v", seed, err)
+		}
+		for fi := range p.Funcs {
+			if naive.Counts[fi] == nil {
+				continue // function with indirect jumps: not numbered
+			}
+			validated++
+			if !reflect.DeepEqual(naive.Counts[fi], opt.Counts[fi]) {
+				t.Errorf("seed %d func %q: counts differ\nnaive: %v\nopt:   %v",
+					seed, p.Funcs[fi].Name, naive.Counts[fi], opt.Counts[fi])
+			}
+		}
+		if opt.RegisterOps > naive.RegisterOps {
+			t.Errorf("seed %d: chord placement used more register ops (%d > %d)",
+				seed, opt.RegisterOps, naive.RegisterOps)
+		}
+	}
+	if validated < 20 {
+		t.Errorf("only %d numbered functions across %d seeds; generator too indirect-heavy", validated, seeds)
+	}
+}
+
+// TestRandomProgramsDecodeRoundTrip checks that every counted path number
+// decodes to a valid Entry→Exit node sequence.
+func TestRandomProgramsDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		rt, err := Profile(p, true, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for fi := range p.Funcs {
+			for num := range rt.Counts[fi] {
+				if _, err := rt.DecodePath(fi, num); err != nil {
+					t.Errorf("seed %d func %d path %d: decode failed: %v", seed, fi, num, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package bittrace implements bit-tracing path profiling (Section 2 of the
+// paper): path signatures <start>.<history>,<indirect-targets> are built on
+// the fly as the program executes — one bit shifted into the signature per
+// conditional branch, one appended target per indirect branch — and a path
+// table keyed by signature accumulates counts at every path end.
+//
+// Unlike Ball–Larus numbering, bit tracing needs no preparatory static
+// analysis, at the cost of per-branch runtime work; the Ops counters expose
+// that cost, which is exactly the overhead term path-profile-based
+// prediction pays in a dynamic optimizer (Section 4).
+package bittrace
+
+import (
+	"netpath/internal/isa"
+	"netpath/internal/path"
+	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Ops tallies the runtime profiling operations bit tracing performs.
+type Ops struct {
+	// Shifts counts history-register shifts (one per conditional branch).
+	Shifts int64
+	// Appends counts indirect-target appends.
+	Appends int64
+	// TableUpdates counts path-table lookups/increments (one per path end).
+	TableUpdates int64
+}
+
+// Profiler counts interprocedural forward paths by bit-traced signature.
+type Profiler struct {
+	Ops Ops
+
+	interner *path.Interner
+	tracker  *path.Tracker
+	counts   map[path.ID]int64
+}
+
+// New creates a profiler whose first path starts at startAddr.
+func New(startAddr int) *Profiler {
+	p := &Profiler{
+		interner: path.NewInterner(),
+		counts:   make(map[path.ID]int64),
+	}
+	p.tracker = path.NewTracker(p.interner, startAddr, func(c path.Completed) {
+		p.counts[c.ID]++
+		p.Ops.TableUpdates++
+	})
+	return p
+}
+
+// OnBranch consumes one VM branch event.
+func (p *Profiler) OnBranch(ev vm.BranchEvent) {
+	switch ev.Kind {
+	case isa.KindCond:
+		p.Ops.Shifts++
+	case isa.KindIndirect, isa.KindCallInd:
+		p.Ops.Appends++
+	}
+	p.tracker.OnBranch(ev)
+}
+
+// Finish flushes the trailing partial path.
+func (p *Profiler) Finish() { p.tracker.Finish() }
+
+// Paths returns the interner holding the observed signatures.
+func (p *Profiler) Paths() *path.Interner { return p.interner }
+
+// Count returns the execution count of a path.
+func (p *Profiler) Count(id path.ID) int64 { return p.counts[id] }
+
+// NumPaths returns the number of distinct paths observed — the counter
+// space bit tracing needs.
+func (p *Profiler) NumPaths() int { return p.interner.NumPaths() }
+
+// TotalFlow returns the total number of counted path executions.
+func (p *Profiler) TotalFlow() int64 {
+	var s int64
+	for _, c := range p.counts {
+		s += c
+	}
+	return s
+}
+
+// Profile runs prog to completion under a fresh profiler.
+func Profile(pr *prog.Program, maxSteps int64) (*Profiler, error) {
+	m := vm.New(pr)
+	p := New(m.PC)
+	m.SetListener(p.OnBranch)
+	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
+		return nil, err
+	}
+	p.Finish()
+	return p, nil
+}
+
+// CrossCheck verifies that this profiler's counts equal an oracle profile's
+// frequency table (both are driven by the same tracker semantics, so any
+// divergence indicates a bookkeeping bug). It returns the first mismatching
+// signature, or "" if the profiles agree.
+func (p *Profiler) CrossCheck(oracle *profile.Profile) string {
+	if int64(len(oracle.Stream)) != p.TotalFlow() {
+		return "total flow differs"
+	}
+	for id := 0; id < oracle.NumPaths(); id++ {
+		info := oracle.Paths.Info(path.ID(id))
+		mine := p.interner.Lookup(info.Key)
+		if mine == path.None {
+			return info.Signature()
+		}
+		if p.counts[mine] != oracle.Freq[id] {
+			return info.Signature()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,32 @@
+package bittrace
+
+import (
+	"testing"
+
+	"netpath/internal/profile"
+	"netpath/internal/randprog"
+)
+
+// TestRandomProgramsCrossCheck validates the online bit-tracing profiler
+// against the oracle path profile on random programs: same signatures, same
+// counts, same total flow.
+func TestRandomProgramsCrossCheck(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		bt, err := Profile(p, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: bittrace: %v", seed, err)
+		}
+		oracle, err := profile.Collect(p, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		if bad := bt.CrossCheck(oracle); bad != "" {
+			t.Errorf("seed %d: diverged at %q", seed, bad)
+		}
+		// Operation accounting: exactly one table update per completed path.
+		if bt.Ops.TableUpdates != oracle.Flow {
+			t.Errorf("seed %d: table updates %d != flow %d", seed, bt.Ops.TableUpdates, oracle.Flow)
+		}
+	}
+}

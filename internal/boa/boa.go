@@ -1,0 +1,316 @@
+// Package boa implements the Boa-style hot path construction the paper's
+// related-work section contrasts NET against (Sathaye et al., "BOA:
+// Targeting multi-gigahertz with binary translation", 1999).
+//
+// Boa profiles every branch during interpretation; when a hot group entry
+// is found, a path is selected by following the most likely successor of
+// each branch according to the collected edge profile. The paper's
+// criticism, which this package makes measurable: the scheme requires
+// every branch to be profiled (unlike NET's head-only counters), and
+// "constructing paths from isolated branch frequencies ignores branch
+// correlation, which may lead to paths that, as a whole, never execute".
+//
+// The Report produced here counts exactly that: how many constructed paths
+// are phantoms (never executed as a whole), and what hit rate the scheme
+// achieves compared with NET at the same prediction delay.
+package boa
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/path"
+	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// EdgeProfile holds per-branch outcome frequencies, the information Boa's
+// interpreter collects (one update per executed branch).
+type EdgeProfile struct {
+	// Taken and NotTaken count conditional branch outcomes by branch
+	// address.
+	Taken    map[int]int64
+	NotTaken map[int]int64
+	// IndTargets counts indirect transfer targets by branch address.
+	IndTargets map[int]map[int]int64
+	// Updates counts profiling operations (every branch execution).
+	Updates int64
+}
+
+// CollectEdges gathers an edge profile from a full run.
+func CollectEdges(p *prog.Program, maxSteps int64) (*EdgeProfile, error) {
+	ep := &EdgeProfile{
+		Taken:      make(map[int]int64),
+		NotTaken:   make(map[int]int64),
+		IndTargets: make(map[int]map[int]int64),
+	}
+	m := vm.New(p)
+	m.SetListener(func(ev vm.BranchEvent) {
+		ep.Updates++
+		switch ev.Kind {
+		case isa.KindCond:
+			if ev.Taken {
+				ep.Taken[ev.PC]++
+			} else {
+				ep.NotTaken[ev.PC]++
+			}
+		case isa.KindIndirect, isa.KindCallInd:
+			tm := ep.IndTargets[ev.PC]
+			if tm == nil {
+				tm = make(map[int]int64)
+				ep.IndTargets[ev.PC] = tm
+			}
+			tm[ev.Target]++
+		}
+	})
+	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// likelyTaken reports the majority outcome of a conditional branch; ok is
+// false for branches never profiled.
+func (ep *EdgeProfile) likelyTaken(pc int) (taken, ok bool) {
+	t, n := ep.Taken[pc], ep.NotTaken[pc]
+	if t == 0 && n == 0 {
+		return false, false
+	}
+	return t >= n, true
+}
+
+// likelyTarget reports the most frequent target of an indirect branch.
+func (ep *EdgeProfile) likelyTarget(pc int) (int, bool) {
+	best, bestCount := 0, int64(-1)
+	for tgt, c := range ep.IndTargets[pc] {
+		if c > bestCount || (c == bestCount && tgt < best) {
+			best, bestCount = tgt, c
+		}
+	}
+	return best, bestCount >= 0
+}
+
+// Construction classifies the outcome of constructing one path.
+type Construction int
+
+// Construction outcomes.
+const (
+	// Constructed: the walk completed and the path was executed at least
+	// once by the real program.
+	Constructed Construction = iota
+	// Phantom: the walk completed but the resulting path never executed as
+	// a whole — the branch-correlation failure the paper describes.
+	Phantom
+	// Aborted: the walk hit an unprofiled branch or left the program.
+	Aborted
+)
+
+var constructionNames = [...]string{"constructed", "phantom", "aborted"}
+
+// String names the construction outcome.
+func (c Construction) String() string {
+	if int(c) < len(constructionNames) {
+		return constructionNames[c]
+	}
+	return fmt.Sprintf("construction(%d)", int(c))
+}
+
+// Prediction is one constructed hot path.
+type Prediction struct {
+	Head    int
+	Outcome Construction
+	// ID is the constructed path's identity in the oracle profile, or
+	// path.None for phantoms and aborts.
+	ID path.ID
+	// Freq is the constructed path's true execution frequency (0 for
+	// phantoms).
+	Freq int64
+}
+
+// maxWalk bounds the constructed path length, mirroring the tracker cap.
+const maxWalk = path.DefaultMaxBranches
+
+// constructPath walks the program from head following the most likely
+// successors, building the path signature with the same rules the online
+// tracker applies to executed paths.
+func constructPath(p *prog.Program, ep *EdgeProfile, head int) (string, Construction) {
+	var sig path.SigBuilder
+	sig.Reset(head)
+	pc := head
+	depth := 0
+	var stack []int
+	for branches := 0; branches < maxWalk; {
+		if pc < 0 || pc >= p.Len() {
+			return "", Aborted
+		}
+		in := p.Instrs[pc]
+		if !in.Op.IsControl() {
+			pc++
+			continue
+		}
+		branches++
+		var next int
+		taken := true
+		switch in.Op {
+		case isa.Jmp:
+			next = int(in.Target)
+		case isa.Br, isa.BrI:
+			tk, ok := ep.likelyTaken(pc)
+			if !ok {
+				return "", Aborted
+			}
+			sig.CondBit(tk)
+			taken = tk
+			if tk {
+				next = int(in.Target)
+			} else {
+				next = pc + 1
+			}
+		case isa.JmpInd, isa.CallInd:
+			tgt, ok := ep.likelyTarget(pc)
+			if !ok {
+				return "", Aborted
+			}
+			sig.Indirect(tgt)
+			next = tgt
+			if in.Op == isa.CallInd {
+				stack = append(stack, pc+1)
+			}
+		case isa.Call:
+			next = int(in.Target)
+			stack = append(stack, pc+1)
+		case isa.Ret:
+			if len(stack) == 0 {
+				// Returning out of the walk's scope: the dynamic return
+				// address is unknowable from an edge profile.
+				return "", Aborted
+			}
+			next = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case isa.Halt:
+			return sig.Key(), Constructed
+		}
+		backward := taken && next <= pc
+		if backward {
+			return sig.Key(), Constructed
+		}
+		switch in.Op {
+		case isa.Call, isa.CallInd:
+			depth++
+		case isa.Ret:
+			if depth > 0 {
+				return sig.Key(), Constructed
+			}
+		}
+		pc = next
+	}
+	return sig.Key(), Constructed
+}
+
+// Predict constructs one hot path per head whose flow exceeds tau,
+// classifying each against the oracle profile.
+func Predict(p *prog.Program, ep *EdgeProfile, oracle *profile.Profile, tau int64) []Prediction {
+	headFlow := oracle.HeadFreq()
+	var heads []int
+	for h, f := range headFlow {
+		if f > tau {
+			heads = append(heads, h)
+		}
+	}
+	// Deterministic order.
+	for i := 1; i < len(heads); i++ {
+		for j := i; j > 0 && heads[j] < heads[j-1]; j-- {
+			heads[j], heads[j-1] = heads[j-1], heads[j]
+		}
+	}
+	out := make([]Prediction, 0, len(heads))
+	for _, h := range heads {
+		key, outcome := constructPath(p, ep, h)
+		pred := Prediction{Head: h, Outcome: outcome, ID: path.None}
+		if outcome == Constructed {
+			if id := oracle.Paths.Lookup(key); id != path.None {
+				pred.ID = id
+				pred.Freq = oracle.Freq[id]
+			} else {
+				pred.Outcome = Phantom
+			}
+		}
+		out = append(out, pred)
+	}
+	return out
+}
+
+// Report aggregates a Boa prediction run.
+type Report struct {
+	Tau         int64
+	Heads       int
+	Constructed int
+	Phantoms    int
+	Aborted     int
+	// Hits is the post-delay flow captured: Σ max(0, freq−τ) over
+	// constructed hot paths; Noise the same over constructed cold paths.
+	Hits  int64
+	Noise int64
+	// HotFlow is the oracle hot flow the rates normalize by.
+	HotFlow int64
+	// Updates is the number of per-branch profiling operations Boa paid.
+	Updates int64
+}
+
+// HitRate returns hits as a percentage of hot flow.
+func (r Report) HitRate() float64 {
+	if r.HotFlow == 0 {
+		return 0
+	}
+	return 100 * float64(r.Hits) / float64(r.HotFlow)
+}
+
+// NoiseRate returns noise as a percentage of hot flow.
+func (r Report) NoiseRate() float64 {
+	if r.HotFlow == 0 {
+		return 0
+	}
+	return 100 * float64(r.Noise) / float64(r.HotFlow)
+}
+
+// PhantomPct returns the share of completed constructions that are
+// phantoms.
+func (r Report) PhantomPct() float64 {
+	done := r.Constructed + r.Phantoms
+	if done == 0 {
+		return 0
+	}
+	return 100 * float64(r.Phantoms) / float64(done)
+}
+
+// Evaluate runs the full Boa pipeline on a program: edge collection, path
+// construction for every hot head, and scoring against the oracle hot set.
+func Evaluate(p *prog.Program, oracle *profile.Profile, hot *profile.HotSet, tau int64) (Report, error) {
+	ep, err := CollectEdges(p, 0)
+	if err != nil {
+		return Report{}, err
+	}
+	preds := Predict(p, ep, oracle, tau)
+	rep := Report{Tau: tau, Heads: len(preds), HotFlow: hot.Flow, Updates: ep.Updates}
+	for _, pr := range preds {
+		switch pr.Outcome {
+		case Aborted:
+			rep.Aborted++
+		case Phantom:
+			rep.Phantoms++
+		case Constructed:
+			rep.Constructed++
+			credit := pr.Freq - tau
+			if credit < 0 {
+				credit = 0
+			}
+			if hot.IsHot[pr.ID] {
+				rep.Hits += credit
+			} else {
+				rep.Noise += credit
+			}
+		}
+	}
+	return rep, nil
+}

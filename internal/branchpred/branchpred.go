@@ -1,0 +1,244 @@
+// Package branchpred implements the hardware branch prediction schemes the
+// paper's related-work section situates NET against: bimodal two-bit
+// counters (McFarling/Hennessy), gshare and two-level local-history
+// predictors (Yeh/Patt), and an always-taken strawman.
+//
+// The paper's argument (Sections 1 and 7): hardware predictors capture
+// branch correlation well, but they are not architecturally visible — a
+// dynamic optimizer cannot read them — and their notion of a branch may
+// not match the software's virtual branches. This package lets the
+// repository *measure* the first half of that story: how predictable the
+// workloads' branches are for classic hardware schemes, and (together with
+// the tracecache package) how hardware-built traces compare with NET's
+// software-selected paths.
+package branchpred
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Predictor is a dynamic direction predictor for conditional branches.
+type Predictor interface {
+	// Name identifies the scheme.
+	Name() string
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc int) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc int, taken bool)
+	// Reset clears all state.
+	Reset()
+}
+
+// counter2 is a saturating two-bit counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// AlwaysTaken is the static strawman (backward-taken/forward-not-taken
+// variants need target knowledge; plain always-taken suffices as a floor).
+type AlwaysTaken struct{}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(int) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(int, bool) {}
+
+// Reset implements Predictor.
+func (AlwaysTaken) Reset() {}
+
+// Bimodal is a table of two-bit counters indexed by branch address.
+type Bimodal struct {
+	mask  uint32
+	table []counter2
+}
+
+// NewBimodal creates a bimodal predictor with 2^bits entries, initialized
+// weakly taken.
+func NewBimodal(bits int) *Bimodal {
+	b := &Bimodal{mask: uint32(1)<<bits - 1, table: make([]counter2, 1<<bits)}
+	b.Reset()
+	return b
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+func (b *Bimodal) idx(pc int) uint32 { return uint32(pc) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc int) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc int, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2 // weakly taken
+	}
+}
+
+// GShare is the global-history scheme: the pattern table is indexed by the
+// branch address XORed with a global outcome history register.
+type GShare struct {
+	bits    int
+	mask    uint32
+	history uint32
+	table   []counter2
+}
+
+// NewGShare creates a gshare predictor with 2^bits entries and a bits-wide
+// global history register.
+func NewGShare(bits int) *GShare {
+	g := &GShare{bits: bits, mask: uint32(1)<<bits - 1, table: make([]counter2, 1<<bits)}
+	g.Reset()
+	return g
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d", len(g.table)) }
+
+func (g *GShare) idx(pc int) uint32 { return (uint32(pc) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc int) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GShare) Update(pc int, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= g.mask
+}
+
+// Reset implements Predictor.
+func (g *GShare) Reset() {
+	g.history = 0
+	for i := range g.table {
+		g.table[i] = 2
+	}
+}
+
+// TwoLevel is the Yeh/Patt PAg-style two-level adaptive predictor: a
+// per-branch history register selects an entry in a shared pattern table.
+type TwoLevel struct {
+	histBits  int
+	histMask  uint32
+	tableMask uint32
+	histories map[int]uint32
+	table     []counter2
+}
+
+// NewTwoLevel creates a two-level predictor with histBits of per-branch
+// history and a 2^histBits-entry pattern table.
+func NewTwoLevel(histBits int) *TwoLevel {
+	t := &TwoLevel{
+		histBits:  histBits,
+		histMask:  uint32(1)<<histBits - 1,
+		tableMask: uint32(1)<<histBits - 1,
+		histories: make(map[int]uint32),
+		table:     make([]counter2, 1<<histBits),
+	}
+	t.Reset()
+	return t
+}
+
+// Name implements Predictor.
+func (t *TwoLevel) Name() string { return fmt.Sprintf("twolevel-%d", t.histBits) }
+
+// Predict implements Predictor.
+func (t *TwoLevel) Predict(pc int) bool {
+	return t.table[t.histories[pc]&t.tableMask].taken()
+}
+
+// Update implements Predictor.
+func (t *TwoLevel) Update(pc int, taken bool) {
+	h := t.histories[pc]
+	i := h & t.tableMask
+	t.table[i] = t.table[i].update(taken)
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	t.histories[pc] = h & t.histMask
+}
+
+// Reset implements Predictor.
+func (t *TwoLevel) Reset() {
+	t.histories = make(map[int]uint32)
+	for i := range t.table {
+		t.table[i] = 2
+	}
+}
+
+// Result reports a predictor's accuracy over one run.
+type Result struct {
+	Scheme   string
+	Branches int64 // conditional branch executions
+	Mispred  int64
+}
+
+// Accuracy returns the correct-prediction rate in percent.
+func (r Result) Accuracy() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.Mispred)/float64(r.Branches))
+}
+
+// Measure runs the program and measures the predictor on every conditional
+// branch execution.
+func Measure(p *prog.Program, pred Predictor, maxSteps int64) (Result, error) {
+	res := Result{Scheme: pred.Name()}
+	m := vm.New(p)
+	m.SetListener(func(ev vm.BranchEvent) {
+		if ev.Kind != isa.KindCond {
+			return
+		}
+		res.Branches++
+		if pred.Predict(ev.PC) != ev.Taken {
+			res.Mispred++
+		}
+		pred.Update(ev.PC, ev.Taken)
+	})
+	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
+		return res, err
+	}
+	return res, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Predictor = AlwaysTaken{}
+	_ Predictor = (*Bimodal)(nil)
+	_ Predictor = (*GShare)(nil)
+	_ Predictor = (*TwoLevel)(nil)
+)

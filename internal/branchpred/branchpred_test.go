@@ -1,0 +1,222 @@
+package branchpred
+
+import (
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/randprog"
+	"netpath/internal/workload"
+)
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 5; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflowed to %d", c)
+	}
+	for i := 0; i < 5; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter = %d after saturating taken, want 3", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter must predict taken")
+	}
+	c = c.update(false)
+	if !c.taken() {
+		t.Error("3→2 must still predict taken (hysteresis)")
+	}
+	c = c.update(false)
+	if c.taken() {
+		t.Error("2→1 must predict not-taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	// Train one branch 100% taken; must converge immediately.
+	for i := 0; i < 10; i++ {
+		b.Update(100, true)
+	}
+	if !b.Predict(100) {
+		t.Error("bimodal failed to learn an always-taken branch")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(100, false)
+	}
+	if b.Predict(100) {
+		t.Error("bimodal failed to relearn an always-not-taken branch")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(2) // 4 entries: addresses 4 apart alias
+	for i := 0; i < 8; i++ {
+		b.Update(0, true)
+	}
+	if !b.Predict(4) {
+		t.Error("aliased addresses must share counters in a tiny table")
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is perfectly
+	// predictable from one bit of history.
+	g := NewGShare(12)
+	b := NewBimodal(12)
+	var gm, bm int
+	taken := false
+	for i := 0; i < 2000; i++ {
+		taken = !taken
+		if g.Predict(77) != taken {
+			gm++
+		}
+		g.Update(77, taken)
+		if b.Predict(77) != taken {
+			bm++
+		}
+		b.Update(77, taken)
+	}
+	if gm > 100 {
+		t.Errorf("gshare mispredictions on alternation = %d, want < 100 after warmup", gm)
+	}
+	if bm < 900 {
+		t.Errorf("bimodal mispredictions on alternation = %d, want ~half", bm)
+	}
+}
+
+func TestTwoLevelLearnsPattern(t *testing.T) {
+	// Period-3 pattern TTN: per-branch history captures it exactly.
+	tl := NewTwoLevel(8)
+	var miss int
+	for i := 0; i < 3000; i++ {
+		taken := i%3 != 2
+		if tl.Predict(55) != taken {
+			miss++
+		}
+		tl.Update(55, taken)
+	}
+	if miss > 150 {
+		t.Errorf("two-level mispredictions on TTN pattern = %d, want < 150", miss)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	preds := []Predictor{NewBimodal(8), NewGShare(8), NewTwoLevel(8)}
+	for _, p := range preds {
+		for i := 0; i < 50; i++ {
+			p.Update(9, false)
+		}
+		if p.Predict(9) {
+			t.Fatalf("%s: training failed", p.Name())
+		}
+		p.Reset()
+		if !p.Predict(9) {
+			t.Errorf("%s: Reset must restore the weakly-taken initial state", p.Name())
+		}
+	}
+}
+
+func biasedLoop(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("bp")
+	b.SetMemSize(32)
+	// The body branch is 90% NOT-taken, so the always-taken strawman
+	// (which nails the latch) loses visibly to learned predictors.
+	for i := 0; i < 10; i++ {
+		v := int64(10)
+		if i >= 9 {
+			v = 0
+		}
+		b.SetMem(16+i, v)
+	}
+	m := b.Func("main")
+	m.MovI(0, 0)
+	m.Label("loop")
+	m.RemI(1, 0, 10)
+	m.AddI(1, 1, 16)
+	m.Load(2, 1, 0)
+	m.BrI(isa.Lt, 2, 5, "hot")
+	m.AddI(3, 3, 1)
+	m.Jmp("join")
+	m.Label("hot")
+	m.AddI(4, 4, 1)
+	m.Label("join")
+	m.AddI(0, 0, 1)
+	m.BrI(isa.Lt, 0, 20_000, "loop")
+	m.Halt()
+	return b.MustBuild()
+}
+
+func TestMeasureOnProgram(t *testing.T) {
+	p := biasedLoop(t)
+	res, err := Measure(p, NewBimodal(12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two conditional branches per iteration.
+	if res.Branches != 40_000 {
+		t.Errorf("branches = %d, want 40000", res.Branches)
+	}
+	// The body branch is 90% taken and the latch nearly always taken:
+	// bimodal should exceed 90% overall.
+	if res.Accuracy() < 90 {
+		t.Errorf("bimodal accuracy = %.1f, want >= 90", res.Accuracy())
+	}
+	// The strawman floor: always-taken gets the latch plus the hot arm.
+	at, err := Measure(p, AlwaysTaken{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Accuracy() >= res.Accuracy() {
+		t.Errorf("always-taken (%.1f) must not beat bimodal (%.1f)", at.Accuracy(), res.Accuracy())
+	}
+}
+
+func TestMeasureOnWorkload(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() Predictor{
+		func() Predictor { return NewBimodal(14) },
+		func() Predictor { return NewGShare(14) },
+		func() Predictor { return NewTwoLevel(12) },
+	} {
+		res, err := Measure(p, mk(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Branches == 0 {
+			t.Fatal("no branches measured")
+		}
+		// compress branches are heavily biased: any real predictor should
+		// be well above coin-flip.
+		if res.Accuracy() < 75 {
+			t.Errorf("%s accuracy = %.1f on compress, want >= 75", res.Scheme, res.Accuracy())
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	p := randprog.MustGenerate(3, randprog.Options{})
+	r1, err := Measure(p, NewGShare(12), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Measure(p, NewGShare(12), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("measurement not deterministic")
+	}
+}

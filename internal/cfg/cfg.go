@@ -1,0 +1,324 @@
+// Package cfg builds intraprocedural control-flow graphs for the functions
+// of a program and provides the standard analyses the profiling substrates
+// need: reverse postorder, dominators, back edges, and natural loops.
+//
+// Nodes are the basic blocks of one function plus two virtual nodes, Entry
+// and Exit. A call instruction is treated as falling through to its
+// continuation (the callee is a separate graph); returns and halts edge to
+// Exit. Indirect jumps have no static successors; functions containing them
+// are flagged (Ball–Larus numbering requires a static CFG and rejects them).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// Node is a CFG node index. 0 is Entry and 1 is Exit; real blocks follow.
+type Node int
+
+// Virtual node indices.
+const (
+	Entry Node = 0
+	Exit  Node = 1
+)
+
+// Edge is a directed CFG edge.
+type Edge struct {
+	From, To Node
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Prog *prog.Program
+	Func int // index into Prog.Funcs
+
+	// BlockOf maps node (>= 2) to the program block index; -1 for Entry/Exit.
+	BlockOf []int
+	// NodeOf maps program block index to node.
+	NodeOf map[int]Node
+
+	Succs [][]Node
+	Preds [][]Node
+
+	// HasIndirect reports that the function contains an indirect jump, so
+	// the static successor sets are incomplete.
+	HasIndirect bool
+
+	rpo  []Node
+	idom []Node
+}
+
+// Build constructs the CFG for function fi of p.
+func Build(p *prog.Program, fi int) (*Graph, error) {
+	if fi < 0 || fi >= len(p.Funcs) {
+		return nil, fmt.Errorf("cfg: function index %d out of range", fi)
+	}
+	f := p.Funcs[fi]
+	g := &Graph{Prog: p, Func: fi, NodeOf: make(map[int]Node)}
+	g.BlockOf = []int{-1, -1}
+	for bi, b := range p.Blocks {
+		if b.Func != fi {
+			continue
+		}
+		g.NodeOf[bi] = Node(len(g.BlockOf))
+		g.BlockOf = append(g.BlockOf, bi)
+	}
+	n := len(g.BlockOf)
+	g.Succs = make([][]Node, n)
+	g.Preds = make([][]Node, n)
+
+	addEdge := func(from, to Node) {
+		g.Succs[from] = append(g.Succs[from], to)
+		g.Preds[to] = append(g.Preds[to], from)
+	}
+
+	entryBlock := p.BlockAt(f.Entry)
+	addEdge(Entry, g.NodeOf[entryBlock])
+
+	for bi, b := range p.Blocks {
+		if b.Func != fi {
+			continue
+		}
+		node := g.NodeOf[bi]
+		term := p.Instrs[b.End-1]
+		switch term.Op {
+		case isa.Jmp:
+			g.edgeToAddr(addEdge, node, int(term.Target))
+		case isa.Br, isa.BrI:
+			g.edgeToAddr(addEdge, node, int(term.Target))
+			g.edgeToAddr(addEdge, node, b.End) // fall-through
+		case isa.Call, isa.CallInd:
+			// Continuation after the call returns.
+			if b.End < f.End {
+				g.edgeToAddr(addEdge, node, b.End)
+			} else {
+				addEdge(node, Exit)
+			}
+		case isa.Ret, isa.Halt:
+			addEdge(node, Exit)
+		case isa.JmpInd:
+			g.HasIndirect = true
+			// No static successors.
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g, nil
+}
+
+func (g *Graph) edgeToAddr(add func(Node, Node), from Node, addr int) {
+	bi := g.Prog.BlockAt(addr)
+	if to, ok := g.NodeOf[bi]; ok && g.Prog.Blocks[bi].Start == addr {
+		add(from, to)
+		return
+	}
+	// Target outside this function (validated programs only branch
+	// intraprocedurally except via call/ret, so treat as function exit).
+	add(from, Exit)
+}
+
+// NumNodes returns the node count including Entry and Exit.
+func (g *Graph) NumNodes() int { return len(g.BlockOf) }
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for from, succs := range g.Succs {
+		for _, to := range succs {
+			es = append(es, Edge{Node(from), to})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+func (g *Graph) computeRPO() {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var post []Node
+	var dfs func(Node)
+	dfs = func(u Node) {
+		seen[u] = true
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(Entry)
+	g.rpo = make([]Node, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, post[i])
+	}
+}
+
+// RPO returns the reverse postorder over nodes reachable from Entry.
+func (g *Graph) RPO() []Node { return g.rpo }
+
+// Reachable reports whether node u is reachable from Entry.
+func (g *Graph) Reachable(u Node) bool {
+	for _, v := range g.rpo {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	n := g.NumNodes()
+	g.idom = make([]Node, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	g.idom[Entry] = Entry
+
+	rpoIndex := make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, u := range g.rpo {
+		rpoIndex[u] = i
+	}
+	intersect := func(a, b Node) Node {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = g.idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = g.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range g.rpo {
+			if u == Entry {
+				continue
+			}
+			var newIdom Node = -1
+			for _, p := range g.Preds[u] {
+				if rpoIndex[p] < 0 || g.idom[p] < 0 {
+					continue // unreachable or unprocessed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && g.idom[u] != newIdom {
+				g.idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Idom returns the immediate dominator of u (Entry's is Entry; unreachable
+// nodes return -1).
+func (g *Graph) Idom(u Node) Node { return g.idom[u] }
+
+// Dominates reports whether a dominates b.
+func (g *Graph) Dominates(a, b Node) bool {
+	if g.idom[b] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == Entry {
+			return false
+		}
+		b = g.idom[b]
+		if b < 0 {
+			return false
+		}
+	}
+}
+
+// BackEdges returns the edges u→v where v dominates u (natural-loop back
+// edges), in deterministic order.
+func (g *Graph) BackEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		if g.Reachable(e.From) && g.Dominates(e.To, e.From) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Loop describes a natural loop.
+type Loop struct {
+	Head Node
+	// Body contains the loop's nodes including Head, sorted.
+	Body []Node
+}
+
+// NaturalLoops returns the natural loops of the graph, one per back-edge
+// head (back edges sharing a head are merged), sorted by head.
+func (g *Graph) NaturalLoops() []Loop {
+	byHead := map[Node]map[Node]bool{}
+	for _, e := range g.BackEdges() {
+		body := byHead[e.To]
+		if body == nil {
+			body = map[Node]bool{e.To: true}
+			byHead[e.To] = body
+		}
+		// Walk predecessors from the tail until the head.
+		stack := []Node{e.From}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[u] {
+				continue
+			}
+			body[u] = true
+			for _, p := range g.Preds[u] {
+				stack = append(stack, p)
+			}
+		}
+	}
+	heads := make([]Node, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	loops := make([]Loop, 0, len(heads))
+	for _, h := range heads {
+		var body []Node
+		for u := range byHead[h] {
+			body = append(body, u)
+		}
+		sort.Slice(body, func(i, j int) bool { return body[i] < body[j] })
+		loops = append(loops, Loop{Head: h, Body: body})
+	}
+	return loops
+}
+
+// BuildAll builds CFGs for every function of p.
+func BuildAll(p *prog.Program) ([]*Graph, error) {
+	out := make([]*Graph, len(p.Funcs))
+	for fi := range p.Funcs {
+		g, err := Build(p, fi)
+		if err != nil {
+			return nil, err
+		}
+		out[fi] = g
+	}
+	return out, nil
+}

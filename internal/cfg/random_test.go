@@ -1,0 +1,111 @@
+package cfg
+
+import (
+	"testing"
+
+	"netpath/internal/randprog"
+)
+
+// TestRandomProgramDominatorProperties checks the defining properties of
+// the dominator computation on random CFGs:
+//
+//   - Entry dominates every reachable node;
+//   - idom(u) strictly dominates u (for u != Entry);
+//   - removing idom(u) from consideration, no other node on the idom chain
+//     is skipped (chain walks terminate at Entry);
+//   - back edges (u→v with v dom u) have reachable endpoints.
+func TestRandomProgramDominatorProperties(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		for fi := range p.Funcs {
+			g, err := Build(p, fi)
+			if err != nil {
+				t.Fatalf("seed %d func %d: %v", seed, fi, err)
+			}
+			for _, u := range g.RPO() {
+				if !g.Dominates(Entry, u) {
+					t.Fatalf("seed %d func %d: Entry must dominate %d", seed, fi, u)
+				}
+				if u == Entry {
+					continue
+				}
+				id := g.Idom(u)
+				if id < 0 {
+					t.Fatalf("seed %d func %d: reachable node %d has no idom", seed, fi, u)
+				}
+				if !g.Dominates(id, u) || id == u {
+					t.Fatalf("seed %d func %d: idom(%d)=%d is not a strict dominator", seed, fi, u, id)
+				}
+				// The idom chain reaches Entry in bounded steps.
+				steps := 0
+				for v := u; v != Entry; v = g.Idom(v) {
+					steps++
+					if steps > g.NumNodes() {
+						t.Fatalf("seed %d func %d: idom chain from %d does not terminate", seed, fi, u)
+					}
+				}
+			}
+			for _, e := range g.BackEdges() {
+				if !g.Reachable(e.From) || !g.Reachable(e.To) {
+					t.Fatalf("seed %d func %d: back edge %v has unreachable endpoint", seed, fi, e)
+				}
+				if !g.Dominates(e.To, e.From) {
+					t.Fatalf("seed %d func %d: back edge %v head does not dominate tail", seed, fi, e)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramLoopProperties checks natural-loop structure: bodies
+// contain their heads, every body node is dominated by the head, and two
+// loops are either disjoint or one nests inside the other (reducible CFGs).
+func TestRandomProgramLoopProperties(t *testing.T) {
+	for seed := int64(30); seed < 50; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		for fi := range p.Funcs {
+			g, err := Build(p, fi)
+			if err != nil {
+				t.Fatalf("seed %d func %d: %v", seed, fi, err)
+			}
+			loops := g.NaturalLoops()
+			for _, l := range loops {
+				in := map[Node]bool{}
+				for _, u := range l.Body {
+					in[u] = true
+					if !g.Dominates(l.Head, u) {
+						t.Fatalf("seed %d func %d: loop head %d does not dominate body node %d",
+							seed, fi, l.Head, u)
+					}
+				}
+				if !in[l.Head] {
+					t.Fatalf("seed %d func %d: loop body misses its head", seed, fi)
+				}
+			}
+			// Pairwise: disjoint or nested.
+			for i := range loops {
+				for j := i + 1; j < len(loops); j++ {
+					a, b := setOf(loops[i].Body), setOf(loops[j].Body)
+					inter, na, nb := 0, len(a), len(b)
+					for u := range a {
+						if b[u] {
+							inter++
+						}
+					}
+					if inter != 0 && inter != na && inter != nb {
+						t.Fatalf("seed %d func %d: loops %d and %d partially overlap",
+							seed, fi, loops[i].Head, loops[j].Head)
+					}
+				}
+			}
+		}
+	}
+}
+
+func setOf(nodes []Node) map[Node]bool {
+	m := make(map[Node]bool, len(nodes))
+	for _, u := range nodes {
+		m[u] = true
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+// Package dynamo implements a miniature of the Dynamo dynamic optimization
+// system (Bala, Duesterwald, Banerjia; Section 6 of the paper), faithful in
+// structure: a profiled interpreter observes the running program, a hot
+// path selector (NET or path-profile-based) picks traces, selected traces
+// are optimized and emitted into a fragment cache, fragments link to each
+// other, and heuristics flush the cache on phase changes or bail out to
+// native execution when the program defeats trace caching.
+//
+// Performance is modelled with an explicit cycle cost model rather than
+// wall-clock time: the real system's speedups and slowdowns come from the
+// relative weights of interpretation, per-branch profiling work, and
+// optimized fragment execution, and those are exactly the model's terms.
+package dynamo
+
+// CostModel assigns cycle costs to the events of the simulation. All values
+// are in units of one native instruction cycle.
+type CostModel struct {
+	// NativeInstr is the baseline cost of one instruction executed natively.
+	NativeInstr float64
+	// TakenPenalty is the extra native cost of a taken branch (pipeline
+	// redirect). Fragments lay hot paths out straight, so recorded-taken
+	// branches in cache cost no penalty — the classic trace-layout win.
+	TakenPenalty float64
+
+	// InterpInstr is the cost of interpreting one instruction (fetch,
+	// decode, dispatch in software).
+	InterpInstr float64
+
+	// HeadCounter is NET's per-observation cost: one counter lookup and
+	// increment at a path head (only at path starts — the entire profiling
+	// cost of the scheme).
+	HeadCounter float64
+
+	// BitShift is path-profile-based prediction's per-conditional-branch
+	// cost (shifting an outcome bit into the history register).
+	BitShift float64
+	// IndAppend is the per-indirect-branch signature append cost.
+	IndAppend float64
+	// PathTableUpdate is the per-path-completion cost (hash the signature,
+	// look up the path table, increment).
+	PathTableUpdate float64
+
+	// RecordInstr is the per-instruction cost of recording a selected trace.
+	RecordInstr float64
+	// OptimizeInstr is the one-time per-instruction cost of optimizing and
+	// emitting a recorded trace into the cache.
+	OptimizeInstr float64
+
+	// FragInstr is the cost of one non-eliminated fragment instruction.
+	FragInstr float64
+	// FragEnter is the interpreter-to-cache dispatch cost (context save,
+	// counter table lookup).
+	FragEnter float64
+	// FragExit is the cache-to-interpreter exit cost (context restore
+	// through an exit stub).
+	FragExit float64
+	// LinkedJump is the cost of a direct fragment-to-fragment transfer.
+	LinkedJump float64
+
+	// FlushCost is the one-time cost of flushing the fragment cache.
+	FlushCost float64
+}
+
+// DefaultCosts returns the cost model used in the reported experiments.
+// The interpreter is ~12x native — deliberately conservative; real
+// instruction-set emulators run 20-100x slower than native, which would
+// only widen the gap the experiments demonstrate.
+func DefaultCosts() CostModel {
+	return CostModel{
+		NativeInstr:     1.0,
+		TakenPenalty:    1.0,
+		InterpInstr:     12.0,
+		HeadCounter:     4.0,
+		BitShift:        2.0,
+		IndAppend:       4.0,
+		PathTableUpdate: 24.0,
+		RecordInstr:     10.0,
+		OptimizeInstr:   30.0,
+		FragInstr:       1.0,
+		FragEnter:       8.0,
+		FragExit:        20.0,
+		LinkedJump:      1.0,
+		FlushCost:       10_000.0,
+	}
+}

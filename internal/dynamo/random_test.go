@@ -1,0 +1,78 @@
+package dynamo
+
+import (
+	"testing"
+
+	"netpath/internal/randprog"
+	"netpath/internal/vm"
+)
+
+// TestRandomProgramSemantics is the strongest correctness property in the
+// repository: on randomly generated programs, execution under the
+// mini-Dynamo (fragment caching, trace optimization, linking, flushes) must
+// be bit-identical to plain interpretation — same step count, same final
+// registers, same final memory.
+func TestRandomProgramSemantics(t *testing.T) {
+	const seeds = 40
+	for seed := int64(0); seed < seeds; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+
+		plain := vm.New(p)
+		if err := plain.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: plain run: %v", seed, err)
+		}
+
+		for _, scheme := range []Scheme{SchemeNET, SchemePathProfile} {
+			for _, tau := range []int64{3, 17} {
+				cfg := DefaultConfig(scheme, tau)
+				cfg.BailoutAfter = 0 // exercise caching on every program
+				cfg.FlushWindow = 500
+				cfg.FlushSpike = 3.0
+				cfg.MaxFragments = 32 // force capacity flushes too
+				sys := New(p, cfg)
+				if _, err := sys.Run(); err != nil {
+					t.Fatalf("seed %d %v τ=%d: dynamo run: %v", seed, scheme, tau, err)
+				}
+				dm := sys.Machine()
+				if dm.Steps != plain.Steps {
+					t.Fatalf("seed %d %v τ=%d: steps %d != plain %d",
+						seed, scheme, tau, dm.Steps, plain.Steps)
+				}
+				if dm.Reg != plain.Reg {
+					t.Fatalf("seed %d %v τ=%d: final registers differ", seed, scheme, tau)
+				}
+				for a := range plain.Mem {
+					if dm.Mem[a] != plain.Mem[a] {
+						t.Fatalf("seed %d %v τ=%d: memory differs at %d: %d vs %d",
+							seed, scheme, tau, a, dm.Mem[a], plain.Mem[a])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramAccounting checks the cycle and instruction bookkeeping
+// invariants on random programs.
+func TestRandomProgramAccounting(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		cfg := DefaultConfig(SchemeNET, 5)
+		cfg.BailoutAfter = 0
+		res, err := New(p, cfg).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.InterpInstrs+res.FragInstrs+res.NativeInstrs != res.Steps {
+			t.Errorf("seed %d: instruction modes %d+%d+%d != steps %d",
+				seed, res.InterpInstrs, res.FragInstrs, res.NativeInstrs, res.Steps)
+		}
+		if res.Cycles <= 0 || res.NativeCycles <= 0 {
+			t.Errorf("seed %d: non-positive cycles", seed)
+		}
+		if res.ElimInstrs > res.FragInstrs {
+			t.Errorf("seed %d: eliminated %d > fragment instructions %d",
+				seed, res.ElimInstrs, res.FragInstrs)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dynamo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheStatsAndDump(t *testing.T) {
+	sys := New(hotLoop(30_000), DefaultConfig(SchemeNET, 20))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sys.CacheStats()
+	if len(stats) == 0 {
+		t.Fatal("no resident fragments after a hot loop")
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Enters < stats[i].Enters {
+			t.Fatal("CacheStats not sorted by enters")
+		}
+	}
+	top := stats[0]
+	if top.Enters == 0 {
+		t.Error("hottest fragment never entered")
+	}
+	if top.CompletionRate() < 0 || top.CompletionRate() > 1 {
+		t.Errorf("completion rate %f out of range", top.CompletionRate())
+	}
+	if top.Emitted > top.Len {
+		t.Error("emitted length exceeds trace length")
+	}
+
+	dump := sys.DumpCache(3)
+	if !strings.Contains(dump, "fragment cache:") || !strings.Contains(dump, "enters=") {
+		t.Errorf("DumpCache output malformed:\n%s", dump)
+	}
+	// n <= 0 dumps everything.
+	all := sys.DumpCache(0)
+	if strings.Count(all, "@") < strings.Count(dump, "@") {
+		t.Error("DumpCache(0) must include at least as many fragments")
+	}
+}
+
+func TestOptimizerStatsExposed(t *testing.T) {
+	sys := New(hotLoop(30_000), DefaultConfig(SchemeNET, 20))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	opt := sys.OptimizerStats()
+	if opt.FoldedOps == 0 && opt.DeadRemoved == 0 && opt.LoadsRemoved == 0 {
+		t.Error("hotLoop is built to exercise the optimizer; no eliminations recorded")
+	}
+}
+
+func TestEmptyCacheStats(t *testing.T) {
+	// A program too short to trigger selection leaves the cache empty.
+	sys := New(hotLoop(3), DefaultConfig(SchemeNET, 1000))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.CacheStats()) != 0 {
+		t.Error("expected an empty cache")
+	}
+	if !strings.Contains(sys.DumpCache(5), "0 resident") {
+		t.Error("DumpCache must report an empty cache")
+	}
+}

@@ -1,0 +1,567 @@
+package dynamo
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/path"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Scheme selects the hot path prediction scheme driving trace selection.
+type Scheme int
+
+// Prediction schemes.
+const (
+	// SchemeNET: counters at path heads only; when a head gets hot the next
+	// executing tail is recorded. Fragment exits count as heads too
+	// (Dynamo's exit-stub counters), forming secondary traces.
+	SchemeNET Scheme = iota
+	// SchemePathProfile: full bit-tracing path profiling in the
+	// interpreter; a path is emitted once its own counter reaches τ.
+	// Divergent fragment exits resume profiling only at the next genuine
+	// path head (mid-path suffixes are not profilable units).
+	SchemePathProfile
+)
+
+// String names the scheme as in Figure 5.
+func (s Scheme) String() string {
+	if s == SchemeNET {
+		return "NET"
+	}
+	return "PathProfile"
+}
+
+// Config parameterizes a mini-Dynamo run.
+type Config struct {
+	Scheme Scheme
+	// Tau is the prediction delay (10/50/100 in Figure 5).
+	Tau int64
+	// Costs is the cycle model; zero value means DefaultCosts.
+	Costs CostModel
+
+	// MaxFragments is the fragment-cache capacity; filling it triggers a
+	// full cache flush (Dynamo flushes rather than evicts).
+	MaxFragments int
+	// MaxTraceBranches caps recorded trace length in control transfers.
+	MaxTraceBranches int
+
+	// FlushWindow is the phase-detection window in path completions; a
+	// window whose fragment-creation count exceeds FlushSpike times the
+	// average of the preceding windows triggers a preemptive flush.
+	FlushWindow int
+	FlushSpike  float64
+
+	// BailoutAfter is the period, in path completions, of the bail-out
+	// check: if less than BailoutMinCached of executed instructions ran
+	// from the fragment cache, or more than BailoutFragBudget fragments
+	// have been created (a program with excessively many dynamic paths and
+	// no dominant reuse), Dynamo gives up and the rest of the program runs
+	// native (Section 6: gcc, go et al. bail out).
+	BailoutAfter      int64
+	BailoutMinCached  float64
+	BailoutFragBudget int
+
+	// MaxSteps bounds the run (0 = unlimited).
+	MaxSteps int64
+
+	// DisableOptimizer turns off trace optimization (ablation).
+	DisableOptimizer bool
+	// DisableLinking makes every fragment transition go through the
+	// interpreter exit path (ablation).
+	DisableLinking bool
+}
+
+// DefaultConfig returns the configuration used for Figure 5.
+func DefaultConfig(scheme Scheme, tau int64) Config {
+	return Config{
+		Scheme:            scheme,
+		Tau:               tau,
+		Costs:             DefaultCosts(),
+		MaxFragments:      8192,
+		MaxTraceBranches:  path.DefaultMaxBranches,
+		FlushWindow:       20_000,
+		FlushSpike:        6.0,
+		BailoutAfter:      60_000,
+		BailoutMinCached:  0.80,
+		BailoutFragBudget: 200,
+	}
+}
+
+// Result reports one mini-Dynamo run.
+type Result struct {
+	Program string
+	Scheme  Scheme
+	Tau     int64
+
+	// Steps and Redirects describe the program run itself (identical under
+	// any execution mode); they define the native baseline.
+	Steps     int64
+	Redirects int64 // control transfers that did not fall through
+
+	// Cycle accounting.
+	NativeCycles  float64 // Steps*NativeInstr + Redirects*TakenPenalty
+	Cycles        float64 // total simulated Dynamo cycles
+	InterpCycles  float64
+	FragCycles    float64
+	ProfileCycles float64 // counters, bit shifts, path table
+	BuildCycles   float64 // trace recording + optimization
+	TransCycles   float64 // fragment enter/exit/link + flushes
+
+	// Volume counters.
+	InterpInstrs int64
+	NativeInstrs int64 // instructions run native after bail-out
+	FragInstrs   int64
+	ElimInstrs   int64 // fragment instructions optimized away
+	PathEvents   int64
+
+	Fragments   int // fragments created (across flushes)
+	Flushes     int
+	FragEnters  int64
+	LinkedJumps int64
+	FragExits   int64
+
+	BailedOut bool
+	BailStep  int64
+}
+
+// Speedup returns the speedup over native execution as a fraction
+// (0.15 = 15% faster; negative = slowdown), the y-axis of Figure 5.
+func (r Result) Speedup() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.NativeCycles/r.Cycles - 1
+}
+
+// CachedFraction returns the fraction of instructions executed from the
+// fragment cache.
+func (r Result) CachedFraction() float64 {
+	total := r.InterpInstrs + r.FragInstrs + r.NativeInstrs
+	if total == 0 {
+		return 0
+	}
+	return float64(r.FragInstrs) / float64(total)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	status := ""
+	if r.BailedOut {
+		status = " [bail-out]"
+	}
+	return fmt.Sprintf("%s %s τ=%d: speedup %+.1f%% (cached %.1f%%, %d fragments, %d flushes)%s",
+		r.Program, r.Scheme, r.Tau, 100*r.Speedup(), 100*r.CachedFraction(), r.Fragments, r.Flushes, status)
+}
+
+type mode int
+
+const (
+	modeInterp mode = iota
+	modeFragment
+	modeNative // after bail-out
+)
+
+// System is one mini-Dynamo instance bound to a program.
+type System struct {
+	cfg Config
+	m   *vm.Machine
+	res Result
+
+	mode mode
+
+	// Interpreter-side state.
+	tracker  *path.Tracker
+	interner *path.Interner
+	skipping bool // PP: interpreting an unprofilable suffix
+	skipEnd  int  // resume address once a backward branch ends the skip
+
+	// Path completion relay from the tracker callback.
+	completed   bool
+	completedID path.ID
+
+	// Trace recording (NET).
+	recording bool
+	recStart  int
+	recBuf    []TraceStep
+
+	// Per-path capture (PathProfile).
+	capStart int
+	capBuf   []TraceStep
+
+	// Selector state.
+	headCounts map[int]int64 // NET
+	pathCounts []int64       // PathProfile, by path ID
+	armed      map[path.ID]bool
+
+	// Cache.
+	cache map[int]*Fragment
+	frag  *Fragment
+	fpos  int
+	opt   *Optimizer
+
+	// Flush heuristic. Only fragments at addresses never cached before
+	// count toward the spike window: a genuine phase change brings new
+	// code, while post-flush re-recording of known addresses must not
+	// re-trigger the heuristic (flush thrash).
+	windowEvents    int
+	windowCreations int
+	prevCreations   []int
+	everCached      map[int]bool
+
+	// nativeRedirectCycles accumulates taken-branch penalties for
+	// instructions executed natively after bail-out.
+	nativeRedirectCycles float64
+}
+
+// New creates a mini-Dynamo for program p.
+func New(p *prog.Program, cfg Config) *System {
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.MaxFragments <= 0 {
+		cfg.MaxFragments = 8192
+	}
+	if cfg.MaxTraceBranches <= 0 {
+		cfg.MaxTraceBranches = path.DefaultMaxBranches
+	}
+	s := &System{
+		cfg:        cfg,
+		m:          vm.New(p),
+		headCounts: make(map[int]int64),
+		armed:      make(map[path.ID]bool),
+		cache:      make(map[int]*Fragment),
+		everCached: make(map[int]bool),
+		opt:        NewOptimizer(),
+		interner:   path.NewInterner(),
+	}
+	if cfg.DisableOptimizer {
+		s.opt = &Optimizer{} // all passes off
+	}
+	s.res.Program = p.Name
+	s.res.Scheme = cfg.Scheme
+	s.res.Tau = cfg.Tau
+	s.skipEnd = -1
+	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
+	s.tracker.MaxBranches = cfg.MaxTraceBranches
+	s.m.SetListener(s.onBranch)
+	return s
+}
+
+// Machine exposes the underlying machine (read-only use).
+func (s *System) Machine() *vm.Machine { return s.m }
+
+func (s *System) onComplete(c path.Completed) {
+	s.completed = true
+	s.completedID = c.ID
+}
+
+func (s *System) onBranch(ev vm.BranchEvent) {
+	if ev.Target != ev.PC+1 {
+		s.res.Redirects++
+	}
+	switch s.mode {
+	case modeNative:
+		return
+	case modeInterp:
+		if s.skipping {
+			if ev.Backward {
+				s.skipping = false
+				s.skipEnd = ev.Target
+			}
+			return
+		}
+		s.tracker.OnBranch(ev)
+	}
+}
+
+// Run executes the program under Dynamo and returns the result.
+func (s *System) Run() (Result, error) {
+	s.atPathStart(s.m.PC)
+	for !s.m.Halted {
+		if s.cfg.MaxSteps > 0 && s.m.Steps >= s.cfg.MaxSteps {
+			break
+		}
+		var err error
+		if s.mode == modeFragment {
+			err = s.stepFragment()
+		} else {
+			err = s.stepInterp()
+		}
+		if err != nil {
+			return s.res, fmt.Errorf("dynamo: %w", err)
+		}
+	}
+	s.res.Steps = s.m.Steps
+	c := s.cfg.Costs
+	s.res.NativeCycles = float64(s.res.Steps)*c.NativeInstr + float64(s.res.Redirects)*c.TakenPenalty
+	s.res.Cycles = s.res.InterpCycles + s.res.FragCycles + s.res.ProfileCycles +
+		s.res.BuildCycles + s.res.TransCycles +
+		float64(s.res.NativeInstrs)*c.NativeInstr + s.nativeRedirectCycles
+	return s.res, nil
+}
+
+func (s *System) stepInterp() error {
+	c := &s.cfg.Costs
+	pc := s.m.PC
+	in := s.m.InstrAt(pc)
+
+	if s.mode == modeNative {
+		if err := s.m.Step(); err != nil {
+			return err
+		}
+		s.res.NativeInstrs++
+		if s.m.PC != pc+1 && !s.m.Halted {
+			s.nativeRedirectCycles += c.TakenPenalty
+		}
+		return nil
+	}
+
+	// Interpreter dispatch cost, plus the scheme's per-branch profiling
+	// work (only while profiling is active).
+	s.res.InterpCycles += c.InterpInstr
+	s.res.InterpInstrs++
+	if s.cfg.Scheme == SchemePathProfile && !s.skipping {
+		switch in.Op {
+		case isa.Br, isa.BrI:
+			s.res.ProfileCycles += c.BitShift
+		case isa.JmpInd, isa.CallInd:
+			s.res.ProfileCycles += c.IndAppend
+		}
+	}
+	if s.recording {
+		s.res.BuildCycles += c.RecordInstr
+	}
+
+	if err := s.m.Step(); err != nil {
+		return err
+	}
+	next := s.m.PC
+
+	if s.recording {
+		s.recBuf = append(s.recBuf, TraceStep{PC: pc, In: in, Next: next})
+	}
+	if s.cfg.Scheme == SchemePathProfile && !s.skipping {
+		s.capBuf = append(s.capBuf, TraceStep{PC: pc, In: in, Next: next})
+	}
+
+	if s.skipEnd >= 0 {
+		// A backward branch ended an unprofilable suffix: resume profiling.
+		target := s.skipEnd
+		s.skipEnd = -1
+		s.tracker.Restart(target)
+		s.atPathStart(target)
+		return nil
+	}
+
+	if s.completed {
+		s.completed = false
+		id := s.completedID
+		s.res.PathEvents++
+		s.onPathEvent()
+
+		if s.cfg.Scheme == SchemePathProfile {
+			s.res.ProfileCycles += c.PathTableUpdate
+			s.pathCount(id)
+			if s.armed[id] && s.cache[s.capStart] == nil {
+				delete(s.armed, id)
+				// Retroactive recording charge for the captured trace.
+				s.res.BuildCycles += c.RecordInstr * float64(len(s.capBuf))
+				s.emit(s.capStart, s.capBuf)
+			}
+		}
+		if s.recording {
+			s.recording = false
+			s.emit(s.recStart, s.recBuf)
+		}
+		if !s.m.Halted {
+			s.atPathStart(s.m.PC)
+		}
+	}
+	return nil
+}
+
+func (s *System) pathCount(id path.ID) {
+	for int(id) >= len(s.pathCounts) {
+		s.pathCounts = append(s.pathCounts, 0)
+	}
+	s.pathCounts[id]++
+	if s.pathCounts[id] == s.cfg.Tau {
+		s.armed[id] = true
+	}
+}
+
+// atPathStart handles the boundary where a new path begins at addr while in
+// the interpreter: enter the cache if a fragment exists, otherwise run the
+// scheme's head logic. (Fragment-side transitions go through leaveFragment.)
+func (s *System) atPathStart(addr int) {
+	c := &s.cfg.Costs
+	if fr := s.cache[addr]; fr != nil {
+		s.res.TransCycles += c.FragEnter
+		s.res.FragEnters++
+		fr.Enters++
+		s.mode = modeFragment
+		s.frag = fr
+		s.fpos = 0
+		return
+	}
+	// Interpreting from addr: reset the scheme's per-path state.
+	switch s.cfg.Scheme {
+	case SchemeNET:
+		s.res.ProfileCycles += c.HeadCounter
+		s.headCounts[addr]++
+		if s.headCounts[addr] >= s.cfg.Tau && !s.recording {
+			s.headCounts[addr] = 0
+			s.recording = true
+			s.recStart = addr
+			s.recBuf = s.recBuf[:0]
+		}
+	case SchemePathProfile:
+		s.capStart = addr
+		s.capBuf = s.capBuf[:0]
+	}
+}
+
+// emit optimizes a recorded trace and installs it in the cache.
+func (s *System) emit(start int, steps []TraceStep) {
+	if len(steps) == 0 || s.mode == modeNative {
+		return
+	}
+	c := &s.cfg.Costs
+	s.res.BuildCycles += c.OptimizeInstr * float64(len(steps))
+	cp := make([]TraceStep, len(steps))
+	copy(cp, steps)
+	fr := s.opt.Optimize(start, cp)
+	if len(s.cache) >= s.cfg.MaxFragments {
+		s.flush()
+	}
+	s.cache[start] = fr
+	s.res.Fragments++
+	if !s.everCached[start] {
+		s.everCached[start] = true
+		s.windowCreations++
+	}
+}
+
+func (s *System) flush() {
+	s.cache = make(map[int]*Fragment)
+	s.res.Flushes++
+	s.res.TransCycles += s.cfg.Costs.FlushCost
+}
+
+// onPathEvent drives the flush and bail-out heuristics.
+func (s *System) onPathEvent() {
+	if s.cfg.FlushWindow > 0 {
+		s.windowEvents++
+		if s.windowEvents >= s.cfg.FlushWindow {
+			s.windowEvents = 0
+			if len(s.prevCreations) >= 2 {
+				avg := 0.0
+				for _, v := range s.prevCreations {
+					avg += float64(v)
+				}
+				avg /= float64(len(s.prevCreations))
+				// Sudden, sharp rise in the prediction rate after a stable
+				// stretch: a phase change is starting; flush phase-stale
+				// fragments (Section 6.1's heuristic flushing scheme).
+				if s.windowCreations >= 25 && float64(s.windowCreations) > s.cfg.FlushSpike*(avg+0.5) {
+					s.flush()
+					s.prevCreations = s.prevCreations[:0]
+				}
+			}
+			s.prevCreations = append(s.prevCreations, s.windowCreations)
+			if len(s.prevCreations) > 4 {
+				s.prevCreations = s.prevCreations[1:]
+			}
+			s.windowCreations = 0
+		}
+	}
+	if s.cfg.BailoutAfter > 0 && !s.res.BailedOut && s.res.PathEvents%s.cfg.BailoutAfter == 0 {
+		lowReuse := s.res.CachedFraction() < s.cfg.BailoutMinCached
+		tooManyPaths := s.cfg.BailoutFragBudget > 0 && s.res.Fragments > s.cfg.BailoutFragBudget
+		if lowReuse || tooManyPaths {
+			s.bail()
+		}
+	}
+}
+
+func (s *System) bail() {
+	s.res.BailedOut = true
+	s.res.BailStep = s.m.Steps
+	s.mode = modeNative
+	s.cache = make(map[int]*Fragment)
+	s.recording = false
+	s.skipping = false
+}
+
+func (s *System) stepFragment() error {
+	c := &s.cfg.Costs
+	st := &s.frag.Steps[s.fpos]
+	if err := s.m.Step(); err != nil {
+		return err
+	}
+	if !st.Eliminated {
+		s.res.FragCycles += c.FragInstr
+	} else {
+		s.res.ElimInstrs++
+	}
+	s.res.FragInstrs++
+	if s.m.Halted {
+		return nil
+	}
+	actual := s.m.PC
+	if s.fpos == len(s.frag.Steps)-1 {
+		// Fragment completed: its end is a path boundary.
+		s.frag.Completions++
+		s.res.PathEvents++
+		s.onPathEvent()
+		s.leaveFragment(actual, true)
+		return nil
+	}
+	if actual == st.Next {
+		s.fpos++
+		return nil
+	}
+	s.frag.EarlyExits++
+	s.leaveFragment(actual, false)
+	return nil
+}
+
+// leaveFragment transfers control out of the current fragment to target.
+func (s *System) leaveFragment(target int, completedPath bool) {
+	c := &s.cfg.Costs
+	if s.mode == modeNative {
+		return
+	}
+	if fr := s.cache[target]; fr != nil && !s.cfg.DisableLinking {
+		s.res.TransCycles += c.LinkedJump
+		s.res.LinkedJumps++
+		fr.Enters++
+		s.frag = fr
+		s.fpos = 0
+		return
+	}
+	s.res.TransCycles += c.FragExit
+	s.res.FragExits++
+	s.mode = modeInterp
+	if completedPath {
+		// The target is a genuine path head under either scheme.
+		s.tracker.Restart(target)
+		s.atPathStart(target)
+		return
+	}
+	switch s.cfg.Scheme {
+	case SchemeNET:
+		// Exit-stub counter: the exit target becomes a potential trace
+		// head (secondary trace formation).
+		s.tracker.Restart(target)
+		s.atPathStart(target)
+	case SchemePathProfile:
+		// A mid-path suffix is not a profilable unit; interpret without
+		// profiling until the next backward taken branch.
+		s.skipping = true
+	}
+}
+
+// nativeRedirectCycles is accumulated separately so Run can fold it in once.

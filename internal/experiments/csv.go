@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV exports the Figures 2-3 sweep as CSV for external
+// plotting: one row per (benchmark, scheme, τ) with the full metric set.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "scheme", "tau",
+		"profiled_flow_pct", "hit_rate_pct", "noise_rate_pct",
+		"profiled", "hits", "noise", "flow", "hot_flow",
+		"predicted_hot", "predicted_cold", "moc", "counter_space"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV: %w", err)
+	}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			row := []string{
+				s.Bench, s.Scheme, strconv.FormatInt(pt.Tau, 10),
+				fmt.Sprintf("%.4f", pt.ProfiledPct()),
+				fmt.Sprintf("%.4f", pt.HitRate()),
+				fmt.Sprintf("%.4f", pt.NoiseRate()),
+				strconv.FormatInt(pt.Profiled, 10),
+				strconv.FormatInt(pt.Hits, 10),
+				strconv.FormatInt(pt.Noise, 10),
+				strconv.FormatInt(pt.Flow, 10),
+				strconv.FormatInt(pt.HotFlow, 10),
+				strconv.Itoa(pt.PredictedHot),
+				strconv.Itoa(pt.PredictedCold),
+				strconv.FormatInt(pt.MOC(), 10),
+				strconv.Itoa(pt.CounterSpace),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: writing CSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV exports the Dynamo grid as CSV: one row per (benchmark,
+// scheme, τ) cell.
+func WriteFig5CSV(w io.Writer, grid map[string][]Fig5Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "scheme", "tau", "speedup_pct",
+		"cached_fraction_pct", "fragments", "flushes", "bailed_out",
+		"native_cycles", "dynamo_cycles"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV: %w", err)
+	}
+	for _, key := range []string{"NET10", "NET50", "NET100", "PathProfile10", "PathProfile50", "PathProfile100"} {
+		for _, r := range grid[key] {
+			res := r.Result
+			row := []string{
+				r.Bench, res.Scheme.String(), strconv.FormatInt(res.Tau, 10),
+				fmt.Sprintf("%.4f", 100*res.Speedup()),
+				fmt.Sprintf("%.4f", 100*res.CachedFraction()),
+				strconv.Itoa(res.Fragments),
+				strconv.Itoa(res.Flushes),
+				strconv.FormatBool(res.BailedOut),
+				fmt.Sprintf("%.0f", res.NativeCycles),
+				fmt.Sprintf("%.0f", res.Cycles),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: writing CSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	bps := collect(t)
+	series := SweepSchemes(bps, []int64{10, 100})
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatalf("WriteSeriesCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parsing CSV: %v", err)
+	}
+	// Header + 9 benchmarks x 2 schemes x 2 taus.
+	if want := 1 + 9*2*2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if rows[0][0] != "benchmark" || rows[0][2] != "tau" {
+		t.Errorf("header wrong: %v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if len(r) != len(rows[0]) {
+			t.Fatal("ragged CSV row")
+		}
+		// Numeric fields parse.
+		if _, err := strconv.ParseFloat(r[3], 64); err != nil {
+			t.Fatalf("bad profiled_flow_pct %q", r[3])
+		}
+		profiled, _ := strconv.ParseInt(r[6], 10, 64)
+		hits, _ := strconv.ParseInt(r[7], 10, 64)
+		noise, _ := strconv.ParseInt(r[8], 10, 64)
+		flow, _ := strconv.ParseInt(r[9], 10, 64)
+		if profiled+hits+noise != flow {
+			t.Fatalf("flow not conserved in CSV row %v", r)
+		}
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamo grid is slow")
+	}
+	grid, err := RunFig5(expScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, grid); err != nil {
+		t.Fatalf("WriteFig5CSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parsing CSV: %v", err)
+	}
+	if want := 1 + 9*6; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows[1:] {
+		if r[7] != "true" && r[7] != "false" {
+			t.Errorf("bailed_out = %q", r[7])
+		}
+	}
+}

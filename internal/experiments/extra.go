@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"netpath/internal/boa"
+	"netpath/internal/metrics"
+	"netpath/internal/predict"
+	"netpath/internal/tables"
+	"netpath/internal/workload"
+)
+
+// BoaReport compares Boa-style edge-profile path construction (related
+// work, Section 7) against NET at the same prediction delay. Boa pays one
+// profiling operation per executed branch; NET pays one per path head
+// execution. Boa also constructs phantom paths — per-branch majorities
+// combined into a path that never executes as a whole — which the paper
+// cites as the scheme's structural weakness.
+func BoaReport(bps []BenchProfile, scale float64, tau int64) (string, error) {
+	t := tables.New("Benchmark", "heads", "constructed", "phantom", "aborted",
+		"Boa hit", "Boa noise", "NET hit", "NET noise", "Boa ops", "NET ops")
+	for _, bp := range bps {
+		b, err := workload.ByName(bp.Name)
+		if err != nil {
+			return "", err
+		}
+		p, err := b.Build(scale)
+		if err != nil {
+			return "", err
+		}
+		rep, err := boa.Evaluate(p, bp.Prof, bp.Hot, tau)
+		if err != nil {
+			return "", fmt.Errorf("boa %s: %w", bp.Name, err)
+		}
+		net := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+		t.Row(bp.Name, rep.Heads, rep.Constructed, rep.Phantoms, rep.Aborted,
+			tables.Pct(rep.HitRate()), tables.Pct(rep.NoiseRate()),
+			tables.Pct(net.HitRate()), tables.Pct(net.NoiseRate()),
+			tables.Count(rep.Updates), tables.Count(bp.Prof.Flow))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Boa-style edge-profile path construction vs NET at τ=%d (related work, §7)\n", tau)
+	b.WriteString("Boa profiles every branch (ops = branch executions) and builds one path per\n")
+	b.WriteString("hot head from per-branch majorities; NET profiles only path-head executions\n")
+	b.WriteString("(ops = path executions) and selects tails that actually ran. 'phantom'\n")
+	b.WriteString("counts constructed paths that never execute as a whole (ignored branch\n")
+	b.WriteString("correlation).\n\n")
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// AblationReport compares NET against its design ablations and the
+// reference bounds on the abstract metrics, at one delay:
+//
+//   - net: the full scheme (head counters reset on selection — Dynamo's
+//     secondary trace formation);
+//   - net-single: primary traces only (each head selects once, ever);
+//   - pathprofile: full per-path counters;
+//   - oracle: predicts exactly the hot set at first execution (upper bound
+//     at zero noise);
+//   - immediate: predicts everything at first execution (upper bound on
+//     both hit rate and noise).
+func AblationReport(bps []BenchProfile, tau int64) string {
+	t := tables.New("Benchmark",
+		"net hit", "net-single hit", "pathprofile hit", "oracle hit", "immediate hit",
+		"net noise", "net-single noise")
+	for _, bp := range bps {
+		head := bp.Prof.Paths.Head
+		net := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, head), tau)
+		single := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNETSingle(tau, head), tau)
+		pp := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewPathProfile(tau), tau)
+		oracle := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewOracle(bp.Hot.IsHot), tau)
+		imm := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewImmediate(), tau)
+		t.Row(bp.Name,
+			tables.Pct(net.HitRate()), tables.Pct(single.HitRate()),
+			tables.Pct(pp.HitRate()), tables.Pct(oracle.HitRate()), tables.Pct(imm.HitRate()),
+			tables.Pct(net.NoiseRate()), tables.Pct(single.NoiseRate()))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: NET variants and reference bounds at τ=%d\n", tau)
+	b.WriteString("net-single disables the counter reset (primary traces only): its hit-rate\n")
+	b.WriteString("deficit against net measures how much of NET's coverage comes from\n")
+	b.WriteString("secondary tail selection.\n\n")
+	b.WriteString(t.String())
+	return b.String()
+}

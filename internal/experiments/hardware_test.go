@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHardwareReportRenders(t *testing.T) {
+	out, err := HardwareReport(expScale, 20)
+	if err != nil {
+		t.Fatalf("HardwareReport: %v", err)
+	}
+	for _, want := range []string{"Hardware schemes", "bimodal", "gshare", "two-level", "NET cached", "deltablue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HardwareReport missing %q", want)
+		}
+	}
+	// Every row must contain percentage cells.
+	if strings.Count(out, "%") < 40 {
+		t.Errorf("report suspiciously sparse:\n%s", out)
+	}
+}

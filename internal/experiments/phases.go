@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"netpath/internal/metrics"
+	"netpath/internal/predict"
+	"netpath/internal/tables"
+)
+
+// PhasesReport runs the Section 6.1/7 extension: the windowed hit/noise
+// metrics with and without prediction retiring, on the phased benchmarks
+// (vortex's three query phases, deltablue's plan/execute alternation).
+// Against accumulated metrics, phase-induced noise is invisible; the
+// windowed evaluation exposes it, and retiring (modelling Dynamo's cache
+// flush) trades a little re-prediction cost for removing stale predictions.
+func PhasesReport(bps []BenchProfile, tau int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Phase extension (Sections 6.1 and 7): windowed hit/noise at τ=%d\n", tau)
+	b.WriteString("Windowed rates score each predicted execution against the hot set of its\nown window; 'retired' counts predictions removed after idle windows.\n\n")
+
+	t := tables.New("Benchmark", "accum hit", "accum noise",
+		"windowed hit", "windowed noise", "w/ retiring hit", "w/ retiring noise", "retired")
+	for _, bp := range bps {
+		accum := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+
+		cfg := metrics.PhasedConfig{Window: 50_000, HotFrac: HotFrac}
+		win := metrics.EvaluatePhased(bp.Prof, cfg, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+
+		cfgR := cfg
+		cfgR.RetireAfter = 3
+		ret := metrics.EvaluatePhased(bp.Prof, cfgR, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+
+		t.Row(bp.Name,
+			tables.Pct(accum.HitRate()), tables.Pct(accum.NoiseRate()),
+			tables.Pct(win.HitRate()), tables.Pct(win.NoiseRate()),
+			tables.Pct(ret.HitRate()), tables.Pct(ret.NoiseRate()),
+			ret.Retired)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,156 @@
+// Package kpath implements Young–Smith k-bounded general path profiling
+// (TOPLAS 1999; Section 2 of the paper). A k-bounded general path is the
+// sequence of the k most recently executed branches — unlike Ball–Larus
+// forward paths, general paths may include backward edges. The profiler
+// keeps a k-entry FIFO of branch outcomes and counts each full window.
+//
+// Two update strategies are provided:
+//
+//   - exact: the window is materialized into a byte key per branch (O(k)
+//     per update), giving exact counts;
+//   - lazy: a rolling polynomial hash updates in O(1) per branch, the fast
+//     scheme Young and Smith's lazy algorithm targets; counts are keyed by
+//     hash (collisions are theoretically possible, practically absent, and
+//     the tests cross-check the two modes).
+package kpath
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Outcome encodes one executed branch as (pc, actual target).
+type Outcome struct {
+	PC     int
+	Target int
+}
+
+func (o Outcome) word() uint64 { return uint64(uint32(o.PC))<<32 | uint64(uint32(o.Target)) }
+
+// Profiler counts k-bounded general paths.
+type Profiler struct {
+	K    int
+	Lazy bool
+
+	// Updates counts per-branch profiling operations performed.
+	Updates int64
+
+	ring   []uint64
+	pos    int
+	filled int
+
+	exact map[string]int64
+	lazy  map[uint64]int64
+	hash  uint64
+	pow   uint64 // base^(K-1), for removing the oldest element
+}
+
+const hashBase = 1099511628211 // FNV prime as polynomial base
+
+// New creates a k-bounded profiler. k must be positive.
+func New(k int, lazyMode bool) *Profiler {
+	if k <= 0 {
+		panic("kpath: k must be positive")
+	}
+	p := &Profiler{K: k, Lazy: lazyMode, ring: make([]uint64, k)}
+	if lazyMode {
+		p.lazy = make(map[uint64]int64)
+		p.pow = 1
+		for i := 0; i < k-1; i++ {
+			p.pow *= hashBase
+		}
+	} else {
+		p.exact = make(map[string]int64)
+	}
+	return p
+}
+
+// OnBranch consumes one VM branch event.
+func (p *Profiler) OnBranch(ev vm.BranchEvent) {
+	p.Push(Outcome{PC: ev.PC, Target: ev.Target})
+}
+
+// Push appends one branch outcome to the FIFO and counts the window once it
+// is full.
+func (p *Profiler) Push(o Outcome) {
+	p.Updates++
+	w := o.word()
+	if p.Lazy {
+		if p.filled == p.K {
+			oldest := p.ring[p.pos]
+			p.hash -= oldest * p.pow
+		}
+		p.hash = p.hash*hashBase + w
+	}
+	p.ring[p.pos] = w
+	p.pos = (p.pos + 1) % p.K
+	if p.filled < p.K {
+		p.filled++
+	}
+	if p.filled < p.K {
+		return
+	}
+	if p.Lazy {
+		p.lazy[p.hash]++
+		return
+	}
+	key := make([]byte, 8*p.K)
+	for i := 0; i < p.K; i++ {
+		binary.LittleEndian.PutUint64(key[8*i:], p.ring[(p.pos+i)%p.K])
+	}
+	p.exact[string(key)]++
+}
+
+// NumPaths returns the number of distinct k-paths observed.
+func (p *Profiler) NumPaths() int {
+	if p.Lazy {
+		return len(p.lazy)
+	}
+	return len(p.exact)
+}
+
+// TotalFlow returns the total number of counted windows.
+func (p *Profiler) TotalFlow() int64 {
+	var s int64
+	if p.Lazy {
+		for _, c := range p.lazy {
+			s += c
+		}
+	} else {
+		for _, c := range p.exact {
+			s += c
+		}
+	}
+	return s
+}
+
+// CountMultiset returns the sorted multiset of counts; the exact and lazy
+// modes must agree on it (hash identity permutes keys, not counts).
+func (p *Profiler) CountMultiset() []int64 {
+	var out []int64
+	if p.Lazy {
+		for _, c := range p.lazy {
+			out = append(out, c)
+		}
+	} else {
+		for _, c := range p.exact {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Profile runs pr to completion under a fresh profiler.
+func Profile(pr *prog.Program, k int, lazyMode bool, maxSteps int64) (*Profiler, error) {
+	m := vm.New(pr)
+	p := New(k, lazyMode)
+	m.SetListener(p.OnBranch)
+	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
+		return nil, err
+	}
+	return p, nil
+}

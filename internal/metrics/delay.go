@@ -1,0 +1,28 @@
+package metrics
+
+import (
+	"netpath/internal/profile"
+)
+
+// BestDelay sweeps the candidate delays and returns the one maximizing the
+// net benefit hit rate − noise rate. The paper reports exactly this
+// balancing act for Dynamo ("a prediction delay of 50 was for both schemes
+// the most beneficial choice in balancing the amount of noise that results
+// at lower thresholds and the rising profiling overhead and missed
+// opportunity cost of longer prediction delays"); this helper makes the
+// abstract-metric version of the trade-off queryable.
+//
+// Ties break toward the shorter delay (less profiling overhead, which the
+// abstract metrics do not charge for).
+func BestDelay(pr *profile.Profile, hs *profile.HotSet, f Factory, taus []int64) (best int64, points []Point) {
+	points = Sweep(pr, hs, f, taus)
+	bestScore := 0.0
+	for i, pt := range points {
+		score := pt.HitRate() - pt.NoiseRate()
+		if i == 0 || score > bestScore {
+			best = pt.Tau
+			bestScore = score
+		}
+	}
+	return best, points
+}

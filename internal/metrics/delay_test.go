@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBestDelayBalancesHitAndNoise(t *testing.T) {
+	// A stream with a few hot paths and a swarm of lukewarm cold ones:
+	// τ=1 predicts everything (max noise), τ=10^6 predicts nothing (zero
+	// hits); the best delay must be interior or at least beat both ends.
+	rng := rand.New(rand.NewSource(11))
+	heads := make([]int, 60)
+	for i := range heads {
+		heads[i] = rng.Intn(8)
+	}
+	var stream []int
+	for i := 0; i < 60_000; i++ {
+		if rng.Intn(10) < 7 {
+			stream = append(stream, rng.Intn(3)) // hot trio
+		} else {
+			stream = append(stream, 3+rng.Intn(57)) // lukewarm swarm
+		}
+	}
+	pr := mkProfile(heads, stream)
+	hs := pr.Hot(0.01)
+	taus := []int64{1, 10, 50, 200, 1000, 100_000}
+	best, pts := BestDelay(pr, hs, PathProfileFactory(), taus)
+	if len(pts) != len(taus) {
+		t.Fatalf("points = %d, want %d", len(pts), len(taus))
+	}
+	score := func(pt Point) float64 { return pt.HitRate() - pt.NoiseRate() }
+	var bestPt, first, last Point
+	for _, pt := range pts {
+		if pt.Tau == best {
+			bestPt = pt
+		}
+	}
+	first, last = pts[0], pts[len(pts)-1]
+	if score(bestPt) < score(first) || score(bestPt) < score(last) {
+		t.Errorf("best τ=%d score %.2f must dominate the extremes (%.2f, %.2f)",
+			best, score(bestPt), score(first), score(last))
+	}
+}
+
+func TestBestDelayTieBreaksShort(t *testing.T) {
+	// A single always-hot path: every delay achieves ~the same score, so
+	// the shortest must win.
+	pr := mkProfile([]int{0}, rep(0, 10_000))
+	hs := pr.Hot(0.001)
+	best, _ := BestDelay(pr, hs, PathProfileFactory(), []int64{10, 20, 50})
+	if best != 10 {
+		t.Errorf("best = %d, want 10 (tie toward the shorter delay)", best)
+	}
+}

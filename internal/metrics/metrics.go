@@ -1,0 +1,151 @@
+// Package metrics implements the paper's abstract evaluation of online path
+// prediction schemes (Sections 3 and 5).
+//
+// A recorded path-execution stream is replayed through a predictor. Every
+// execution is classified:
+//
+//   - profiled flow: the path was not yet predicted when it executed (the
+//     execution was consumed by the prediction delay);
+//   - hit: the path was already predicted and is in the oracle HotPath set;
+//   - noise: the path was already predicted but is cold.
+//
+// Hit rate and noise rate are both expressed as percentages of the hot flow
+// freq(HotPath), matching the paper's definitions:
+//
+//	HitRate(P)   = Hits(P)  / freq(HotPath) × 100
+//	NoiseRate(P) = Noise(P) / freq(HotPath) × 100
+//
+// and the missed opportunity cost of the predictions is
+//
+//	MOC(P) = |P ∩ HotPath| × τ.
+package metrics
+
+import (
+	"fmt"
+
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+)
+
+// Point is the outcome of one (scheme, τ) evaluation.
+type Point struct {
+	Scheme string
+	Tau    int64
+
+	Flow    int64 // total path executions replayed
+	HotFlow int64 // freq(HotPath)
+
+	Profiled int64 // executions consumed before prediction
+	Hits     int64 // post-prediction executions of hot predicted paths
+	Noise    int64 // post-prediction executions of cold predicted paths
+
+	PredictedHot  int // |P ∩ HotPath|
+	PredictedCold int // |P − HotPath|
+	CounterSpace  int // counters the scheme allocated
+}
+
+// HitRate returns the hit rate as a percentage of hot flow.
+func (p Point) HitRate() float64 { return pct(p.Hits, p.HotFlow) }
+
+// NoiseRate returns the noise rate as a percentage of hot flow.
+func (p Point) NoiseRate() float64 { return pct(p.Noise, p.HotFlow) }
+
+// ProfiledPct returns profiled flow as a percentage of total flow — the
+// x-axis of Figures 2 and 3.
+func (p Point) ProfiledPct() float64 { return pct(p.Profiled, p.Flow) }
+
+// MOC returns the paper's nominal missed opportunity cost |P∩Hot| × τ.
+func (p Point) MOC() int64 { return int64(p.PredictedHot) * p.Tau }
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// String renders the point compactly for logs and reports.
+func (p Point) String() string {
+	return fmt.Sprintf("%s τ=%d: profiled=%.2f%% hit=%.2f%% noise=%.2f%% (predicted %d hot + %d cold, %d counters)",
+		p.Scheme, p.Tau, p.ProfiledPct(), p.HitRate(), p.NoiseRate(), p.PredictedHot, p.PredictedCold, p.CounterSpace)
+}
+
+// Evaluate replays the profile's path stream through pred and scores it
+// against the hot set. tau is recorded in the result for reporting; the
+// predictor itself carries its delay.
+func Evaluate(pr *profile.Profile, hs *profile.HotSet, pred predict.Predictor, tau int64) Point {
+	pt := Point{
+		Scheme:  pred.Name(),
+		Tau:     tau,
+		Flow:    pr.Flow,
+		HotFlow: hs.Flow,
+	}
+	for _, id := range pr.Stream {
+		if pred.IsPredicted(id) {
+			if hs.IsHot[id] {
+				pt.Hits++
+			} else {
+				pt.Noise++
+			}
+			continue
+		}
+		pt.Profiled++
+		if pred.Observe(id) {
+			if hs.IsHot[id] {
+				pt.PredictedHot++
+			} else {
+				pt.PredictedCold++
+			}
+		}
+	}
+	pt.CounterSpace = pred.CounterSpace()
+	return pt
+}
+
+// DefaultTaus is the paper's sweep of prediction delays, 10 to 1,000,000.
+func DefaultTaus() []int64 {
+	return []int64{10, 20, 50, 100, 200, 500,
+		1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+		100_000, 200_000, 500_000, 1_000_000}
+}
+
+// Factory builds a fresh predictor for a given delay.
+type Factory func(tau int64) predict.Predictor
+
+// NETFactory returns a Factory for NET prediction over the profile's paths.
+func NETFactory(pr *profile.Profile) Factory {
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	return func(tau int64) predict.Predictor { return predict.NewNET(tau, head) }
+}
+
+// NETSingleFactory returns a Factory for the primary-trace-only NET variant.
+func NETSingleFactory(pr *profile.Profile) Factory {
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	return func(tau int64) predict.Predictor { return predict.NewNETSingle(tau, head) }
+}
+
+// PathProfileFactory returns a Factory for path-profile-based prediction.
+func PathProfileFactory() Factory {
+	return func(tau int64) predict.Predictor { return predict.NewPathProfile(tau) }
+}
+
+// Sweep evaluates the factory's scheme at every delay in taus.
+func Sweep(pr *profile.Profile, hs *profile.HotSet, f Factory, taus []int64) []Point {
+	out := make([]Point, 0, len(taus))
+	for _, tau := range taus {
+		out = append(out, Evaluate(pr, hs, f(tau), tau))
+	}
+	return out
+}
+
+// CounterSpaceRatio returns NET counter space normalized to path-profile
+// counter space for a fully-observed profile (Figure 4): unique path heads
+// divided by distinct paths.
+func CounterSpaceRatio(pr *profile.Profile) float64 {
+	paths := pr.NumPaths()
+	if paths == 0 {
+		return 0
+	}
+	return float64(pr.UniqueHeads()) / float64(paths)
+}

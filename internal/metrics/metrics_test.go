@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+)
+
+// mkProfile builds a synthetic profile: paths[i] has head heads[i]; the
+// stream is the given sequence of path indices.
+func mkProfile(heads []int, stream []int) *profile.Profile {
+	it := path.NewInterner()
+	for i, h := range heads {
+		it.Intern(fmt.Sprintf("p%d", i), h, 1)
+	}
+	pr := &profile.Profile{Paths: it}
+	pr.Freq = make([]int64, len(heads))
+	for _, idx := range stream {
+		pr.Stream = append(pr.Stream, path.ID(idx))
+		pr.Freq[idx]++
+	}
+	pr.Flow = int64(len(stream))
+	return pr
+}
+
+func rep(idx, n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = idx
+	}
+	return s
+}
+
+func TestEvaluatePathProfileMatchesPaperFormulas(t *testing.T) {
+	// Three paths: 0 hot (100 execs), 1 hot (60), 2 cold (20).
+	// τ=10: predicted set = {0,1,2}; Hits = (100-10)+(60-10) = 140;
+	// Noise = 20-10 = 10; Profiled = 3*10 = 30.
+	stream := append(append(rep(0, 100), rep(1, 60)...), rep(2, 20)...)
+	pr := mkProfile([]int{1, 2, 3}, stream)
+	hs := &profile.HotSet{IsHot: []bool{true, true, false}, Count: 2, Flow: 160}
+
+	pt := Evaluate(pr, hs, predict.NewPathProfile(10), 10)
+	if pt.Hits != 140 || pt.Noise != 10 || pt.Profiled != 30 {
+		t.Errorf("hits/noise/profiled = %d/%d/%d, want 140/10/30", pt.Hits, pt.Noise, pt.Profiled)
+	}
+	if pt.PredictedHot != 2 || pt.PredictedCold != 1 {
+		t.Errorf("predicted hot/cold = %d/%d, want 2/1", pt.PredictedHot, pt.PredictedCold)
+	}
+	if pt.MOC() != 20 {
+		t.Errorf("MOC = %d, want 20", pt.MOC())
+	}
+	wantHit := 100 * 140.0 / 160.0
+	if got := pt.HitRate(); got != wantHit {
+		t.Errorf("HitRate = %v, want %v", got, wantHit)
+	}
+	wantNoise := 100 * 10.0 / 160.0
+	if got := pt.NoiseRate(); got != wantNoise {
+		t.Errorf("NoiseRate = %v, want %v", got, wantNoise)
+	}
+	if got := pt.ProfiledPct(); got != 100*30.0/180.0 {
+		t.Errorf("ProfiledPct = %v", got)
+	}
+}
+
+// TestPathProfileClosedForm checks the paper's closed form on random
+// streams: under path-profile prediction, for every path p,
+// post-prediction executions = max(0, freq(p) − τ).
+func TestPathProfileClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		nPaths := 2 + rng.Intn(8)
+		heads := make([]int, nPaths)
+		for i := range heads {
+			heads[i] = rng.Intn(4) // heads shared across paths
+		}
+		var stream []int
+		for i := 0; i < 500; i++ {
+			stream = append(stream, rng.Intn(nPaths))
+		}
+		pr := mkProfile(heads, stream)
+		hs := pr.Hot(0.05)
+		tau := int64(1 + rng.Intn(40))
+		pt := Evaluate(pr, hs, predict.NewPathProfile(tau), tau)
+
+		var wantHits, wantNoise, wantProfiled int64
+		for id, f := range pr.Freq {
+			post := f - tau
+			if post < 0 {
+				post = 0
+			}
+			if hs.IsHot[id] {
+				wantHits += post
+			} else {
+				wantNoise += post
+			}
+			wantProfiled += min(f, tau)
+		}
+		if pt.Hits != wantHits || pt.Noise != wantNoise || pt.Profiled != wantProfiled {
+			t.Fatalf("trial %d τ=%d: got %d/%d/%d, want %d/%d/%d",
+				trial, tau, pt.Hits, pt.Noise, pt.Profiled, wantHits, wantNoise, wantProfiled)
+		}
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	heads := []int{0, 0, 1, 1, 2}
+	var stream []int
+	for i := 0; i < 2000; i++ {
+		stream = append(stream, rng.Intn(len(heads)))
+	}
+	pr := mkProfile(heads, stream)
+	hs := pr.Hot(0.001)
+	for _, f := range []Factory{NETFactory(pr), PathProfileFactory(), NETSingleFactory(pr)} {
+		for _, tau := range []int64{1, 5, 50, 5000} {
+			pt := Evaluate(pr, hs, f(tau), tau)
+			if pt.Profiled+pt.Hits+pt.Noise != pr.Flow {
+				t.Errorf("%s τ=%d: profiled+hits+noise = %d, want flow %d",
+					pt.Scheme, tau, pt.Profiled+pt.Hits+pt.Noise, pr.Flow)
+			}
+		}
+	}
+}
+
+func TestNETSelectsDominantTail(t *testing.T) {
+	// One head, dominant path 0 (90%), minor path 1 (10%), interleaved.
+	var stream []int
+	for i := 0; i < 1000; i++ {
+		if i%10 == 9 {
+			stream = append(stream, 1)
+		} else {
+			stream = append(stream, 0)
+		}
+	}
+	pr := mkProfile([]int{5, 5}, stream)
+	hs := &profile.HotSet{IsHot: []bool{true, false}, Count: 1, Flow: 900}
+	pt := Evaluate(pr, hs, predict.NewNET(10, func(id path.ID) int { return pr.Paths.Head(id) }), 10)
+	// NET predicts the tail executing on the 10th head execution — with this
+	// interleaving the dominant path is overwhelmingly likely; here it is
+	// deterministic (position 10 is path 0).
+	if pt.Hits == 0 {
+		t.Fatal("NET failed to capture the dominant tail")
+	}
+	if pt.HitRate() < 95 {
+		t.Errorf("HitRate = %.1f, want >= 95 (dominant path predicted early)", pt.HitRate())
+	}
+}
+
+func TestSweepProfiledFlowMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	heads := make([]int, 20)
+	for i := range heads {
+		heads[i] = rng.Intn(6)
+	}
+	var stream []int
+	for i := 0; i < 5000; i++ {
+		// Zipf-ish skew.
+		idx := rng.Intn(len(heads))
+		if rng.Intn(3) > 0 {
+			idx = idx % 3
+		}
+		stream = append(stream, idx)
+	}
+	pr := mkProfile(heads, stream)
+	hs := pr.Hot(0.001)
+	taus := []int64{1, 10, 100, 1000, 10000}
+	for _, f := range []Factory{NETFactory(pr), PathProfileFactory()} {
+		pts := Sweep(pr, hs, f, taus)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Profiled < pts[i-1].Profiled {
+				t.Errorf("%s: profiled flow decreased from τ=%d (%d) to τ=%d (%d)",
+					pts[i].Scheme, taus[i-1], pts[i-1].Profiled, taus[i], pts[i].Profiled)
+			}
+			if pts[i].Hits > pts[i-1].Hits {
+				t.Errorf("%s: hits increased with longer delay τ=%d", pts[i].Scheme, taus[i])
+			}
+		}
+	}
+}
+
+func TestImmediateIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	heads := make([]int, 10)
+	var stream []int
+	for i := 0; i < 3000; i++ {
+		stream = append(stream, rng.Intn(10))
+	}
+	pr := mkProfile(heads, stream)
+	hs := pr.Hot(0.001)
+	imm := Evaluate(pr, hs, predict.NewImmediate(), 0)
+	net := Evaluate(pr, hs, predict.NewNET(10, func(id path.ID) int { return pr.Paths.Head(id) }), 10)
+	pp := Evaluate(pr, hs, predict.NewPathProfile(10), 10)
+	if net.Hits > imm.Hits || pp.Hits > imm.Hits {
+		t.Error("immediate prediction must upper-bound hits")
+	}
+	if net.Noise > imm.Noise || pp.Noise > imm.Noise {
+		t.Error("immediate prediction must upper-bound noise")
+	}
+}
+
+func TestOracleHasZeroNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	heads := make([]int, 10)
+	var stream []int
+	for i := 0; i < 3000; i++ {
+		stream = append(stream, rng.Intn(10)%4)
+	}
+	pr := mkProfile(heads, stream)
+	hs := pr.Hot(0.001)
+	pt := Evaluate(pr, hs, predict.NewOracle(hs.IsHot), 0)
+	if pt.Noise != 0 {
+		t.Errorf("oracle noise = %d, want 0", pt.Noise)
+	}
+	if pt.Hits != hs.Flow-int64(hs.Count) {
+		t.Errorf("oracle hits = %d, want hot flow minus one first-execution per hot path = %d",
+			pt.Hits, hs.Flow-int64(hs.Count))
+	}
+}
+
+func TestCounterSpaceRatio(t *testing.T) {
+	pr := mkProfile([]int{1, 1, 1, 2}, []int{0, 1, 2, 3})
+	if got := CounterSpaceRatio(pr); got != 0.5 {
+		t.Errorf("CounterSpaceRatio = %v, want 0.5 (2 heads / 4 paths)", got)
+	}
+	empty := mkProfile(nil, nil)
+	if CounterSpaceRatio(empty) != 0 {
+		t.Error("empty profile ratio must be 0")
+	}
+}
+
+func TestDefaultTaus(t *testing.T) {
+	taus := DefaultTaus()
+	if taus[0] != 10 || taus[len(taus)-1] != 1_000_000 {
+		t.Errorf("sweep range = [%d, %d], want [10, 1000000]", taus[0], taus[len(taus)-1])
+	}
+	for i := 1; i < len(taus); i++ {
+		if taus[i] <= taus[i-1] {
+			t.Error("taus must be strictly increasing")
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	pt := Point{Scheme: "net", Tau: 50, Flow: 100, HotFlow: 50, Hits: 25, Noise: 5, Profiled: 70}
+	s := pt.String()
+	for _, want := range []string{"net", "τ=50", "hit=50.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Point.String() = %q missing %q", s, want)
+		}
+	}
+}

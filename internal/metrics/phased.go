@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+)
+
+// This file implements the phase-sensitive extension of the hit/noise
+// metrics sketched in Section 7 of the paper ("we plan to extend our path
+// metrics to model path removal from the prediction set"). Accumulated
+// profiles hide phase behaviour: a path can be hot within one phase yet
+// cold in the accumulated profile, and a formerly hot path contributes
+// phase-induced noise after its phase ends. The windowed evaluation below
+// scores every predicted execution against the hot set of its *window*, and
+// optionally retires predictions that stay unused, modelling cache flushes
+// and path retiring schemes.
+
+// PhasedConfig parameterizes the windowed evaluation.
+type PhasedConfig struct {
+	// Window is the number of path executions per window.
+	Window int
+	// HotFrac is the fractional hot threshold applied within each window
+	// (a path is hot in a window iff its in-window frequency exceeds
+	// HotFrac × Window).
+	HotFrac float64
+	// RetireAfter retires a predicted path after this many consecutive
+	// windows without an execution; 0 disables retiring. A retired path
+	// must re-earn its prediction with τ further executions (they count as
+	// profiled flow), modelling re-selection after a cache flush.
+	RetireAfter int
+}
+
+// PhasedPoint is the outcome of a windowed evaluation.
+type PhasedPoint struct {
+	Scheme  string
+	Tau     int64
+	Windows int
+
+	Flow     int64
+	HotFlow  int64 // sum over windows of per-window hot flow
+	Profiled int64
+	Hits     int64 // predicted executions hot in their own window
+	Noise    int64 // predicted executions cold in their own window
+	Retired  int   // retiring events (a path may retire more than once)
+}
+
+// HitRate returns windowed hits as a percentage of windowed hot flow.
+func (p PhasedPoint) HitRate() float64 { return pct(p.Hits, p.HotFlow) }
+
+// NoiseRate returns windowed noise as a percentage of windowed hot flow.
+func (p PhasedPoint) NoiseRate() float64 { return pct(p.Noise, p.HotFlow) }
+
+// EvaluatePhased replays the stream through pred, scoring each predicted
+// execution against the hot set of the window it occurs in.
+func EvaluatePhased(pr *profile.Profile, cfg PhasedConfig, pred predict.Predictor, tau int64) PhasedPoint {
+	if cfg.Window <= 0 {
+		cfg.Window = 1 << 16
+	}
+	if cfg.HotFrac <= 0 {
+		cfg.HotFrac = 0.001
+	}
+	pt := PhasedPoint{Scheme: pred.Name(), Tau: tau, Flow: pr.Flow}
+
+	stream := pr.Stream
+	n := len(stream)
+	hotThresh := int64(cfg.HotFrac * float64(cfg.Window))
+
+	// Retiring state sits on top of the predictor (the veto models an
+	// external mechanism such as a cache flush; the predictor itself is not
+	// mutated). live tracks predictions currently in force; idle counts
+	// consecutive windows without an execution; comeback counts profiled
+	// re-executions a retired path has accumulated toward re-prediction.
+	live := make(map[path.ID]bool)
+	idle := make(map[path.ID]int)
+	comeback := make(map[path.ID]int64)
+
+	winFreq := make(map[path.ID]int64, 256)
+	seen := make(map[path.ID]bool, 256) // predicted paths executed this window
+	for lo := 0; lo < n; lo += cfg.Window {
+		hi := min(lo+cfg.Window, n)
+		pt.Windows++
+
+		clear(winFreq)
+		for _, id := range stream[lo:hi] {
+			winFreq[id]++
+		}
+		for _, f := range winFreq {
+			if f > hotThresh {
+				pt.HotFlow += f
+			}
+		}
+
+		clear(seen)
+		for _, id := range stream[lo:hi] {
+			if live[id] {
+				seen[id] = true
+				if winFreq[id] > hotThresh {
+					pt.Hits++
+				} else {
+					pt.Noise++
+				}
+				continue
+			}
+			pt.Profiled++
+			if pred.IsPredicted(id) {
+				// Previously retired: re-earn the prediction.
+				comeback[id]++
+				if comeback[id] >= tau {
+					live[id] = true
+					delete(comeback, id)
+					delete(idle, id)
+				}
+				continue
+			}
+			if pred.Observe(id) {
+				live[id] = true
+			}
+		}
+
+		if cfg.RetireAfter > 0 {
+			for id := range live {
+				if seen[id] {
+					idle[id] = 0
+					continue
+				}
+				idle[id]++
+				if idle[id] >= cfg.RetireAfter {
+					delete(live, id)
+					delete(idle, id)
+					pt.Retired++
+				}
+			}
+		}
+	}
+	return pt
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"testing"
+
+	"netpath/internal/path"
+	"netpath/internal/predict"
+)
+
+// phasedStream builds a two-phase stream: phase 1 executes paths {0,1},
+// phase 2 executes paths {2,3}, each path uniformly within its phase.
+func phasedStream(perPhase int) []int {
+	var s []int
+	for i := 0; i < perPhase; i++ {
+		s = append(s, i%2)
+	}
+	for i := 0; i < perPhase; i++ {
+		s = append(s, 2+i%2)
+	}
+	return s
+}
+
+func TestPhasedFlowConservation(t *testing.T) {
+	pr := mkProfile([]int{0, 0, 1, 1}, phasedStream(4000))
+	cfg := PhasedConfig{Window: 500, HotFrac: 0.01}
+	for _, tau := range []int64{5, 50} {
+		pt := EvaluatePhased(pr, cfg, predict.NewPathProfile(tau), tau)
+		if pt.Profiled+pt.Hits+pt.Noise != pr.Flow {
+			t.Errorf("τ=%d: profiled+hits+noise = %d, want %d", tau, pt.Profiled+pt.Hits+pt.Noise, pr.Flow)
+		}
+		if pt.Windows != 16 {
+			t.Errorf("windows = %d, want 16", pt.Windows)
+		}
+	}
+}
+
+func TestPhasedDetectsPhaseInducedNoise(t *testing.T) {
+	// Against the accumulated hot set, phase-1 paths stay "hot" forever; the
+	// windowed metric must not credit hits for them in phase 2 — but since
+	// they stop executing entirely, they contribute neither hits nor noise
+	// there. Add a formerly-hot path that keeps executing rarely in phase 2:
+	// its phase-2 executions are phase-induced noise.
+	var stream []int
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, i%2) // phase 1: paths 0,1 hot
+	}
+	for i := 0; i < 4000; i++ {
+		if i%100 == 0 {
+			stream = append(stream, 0) // path 0 lingers, now cold
+		} else {
+			stream = append(stream, 2+i%2) // phase 2: paths 2,3 hot
+		}
+	}
+	pr := mkProfile([]int{0, 0, 1, 1}, stream)
+	cfg := PhasedConfig{Window: 1000, HotFrac: 0.02}
+	pt := EvaluatePhased(pr, cfg, predict.NewPathProfile(10), 10)
+	if pt.Noise == 0 {
+		t.Error("expected phase-induced noise from the lingering path")
+	}
+	if pt.Hits == 0 {
+		t.Error("expected hits in both phases")
+	}
+}
+
+func TestPhasedRetiringReducesStaleness(t *testing.T) {
+	// A path hot in phase 1 and absent afterwards should retire.
+	var stream []int
+	for i := 0; i < 3000; i++ {
+		stream = append(stream, 0)
+	}
+	for i := 0; i < 6000; i++ {
+		stream = append(stream, 1)
+	}
+	pr := mkProfile([]int{0, 1}, stream)
+	cfg := PhasedConfig{Window: 1000, HotFrac: 0.01, RetireAfter: 2}
+	pt := EvaluatePhased(pr, cfg, predict.NewPathProfile(10), 10)
+	if pt.Retired == 0 {
+		t.Error("expected the phase-1 path to retire")
+	}
+}
+
+func TestPhasedComebackRePredicts(t *testing.T) {
+	// Path 0: hot, disappears long enough to retire, then returns hot. It
+	// must re-earn prediction (τ profiled executions) and then hit again.
+	var stream []int
+	for i := 0; i < 2000; i++ {
+		stream = append(stream, 0)
+	}
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, 1)
+	}
+	for i := 0; i < 2000; i++ {
+		stream = append(stream, 0)
+	}
+	pr := mkProfile([]int{0, 1}, stream)
+	cfg := PhasedConfig{Window: 500, HotFrac: 0.01, RetireAfter: 2}
+	tau := int64(10)
+	pt := EvaluatePhased(pr, cfg, predict.NewPathProfile(tau), tau)
+	if pt.Retired == 0 {
+		t.Fatal("path 0 did not retire during its absence")
+	}
+	// Hits in the comeback phase require re-prediction to have happened:
+	// total hits must exceed what phase 1 alone could deliver (2000 - τ)
+	// plus path 1's hits (4000 - τ).
+	minWithoutComeback := int64(2000-10) + int64(4000-10)
+	if pt.Hits <= minWithoutComeback {
+		t.Errorf("hits = %d, want > %d (comeback must resume hitting)", pt.Hits, minWithoutComeback)
+	}
+}
+
+func TestPhasedDefaultsApplied(t *testing.T) {
+	pr := mkProfile([]int{0}, rep(0, 100))
+	pt := EvaluatePhased(pr, PhasedConfig{}, predict.NewPathProfile(5), 5)
+	if pt.Windows != 1 {
+		t.Errorf("windows = %d, want 1 under default window size", pt.Windows)
+	}
+	if pt.Profiled+pt.Hits+pt.Noise != 100 {
+		t.Error("flow not conserved under defaults")
+	}
+}
+
+func TestPhasedWithNET(t *testing.T) {
+	pr := mkProfile([]int{0, 0, 1, 1}, phasedStream(3000))
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	cfg := PhasedConfig{Window: 500, HotFrac: 0.01}
+	pt := EvaluatePhased(pr, cfg, predict.NewNET(10, head), 10)
+	if pt.Profiled+pt.Hits+pt.Noise != pr.Flow {
+		t.Error("flow not conserved for NET")
+	}
+	if pt.HitRate() < 90 {
+		t.Errorf("NET phased hit rate = %.1f, want >= 90 on a clean two-phase stream", pt.HitRate())
+	}
+}

@@ -1,0 +1,258 @@
+package path
+
+import (
+	"strings"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/vm"
+)
+
+// ev builds a branch event; backward is derived from pc/target like the VM
+// does.
+func ev(pc, target int, taken bool, kind isa.BranchKind) vm.BranchEvent {
+	return vm.BranchEvent{PC: pc, Target: target, Taken: taken, Kind: kind, Backward: taken && target <= pc}
+}
+
+func collect(start int) (*Tracker, *[]Completed) {
+	var out []Completed
+	it := NewInterner()
+	tr := NewTracker(it, start, func(c Completed) { out = append(out, c) })
+	return tr, &out
+}
+
+func TestLoopIterationsAreOnePath(t *testing.T) {
+	tr, out := collect(10)
+	// Loop body: cond not taken at 12, backward jump at 15 -> 10, repeated.
+	for i := 0; i < 5; i++ {
+		tr.OnBranch(ev(12, 13, false, isa.KindCond))
+		tr.OnBranch(ev(15, 10, true, isa.KindJump))
+	}
+	if len(*out) != 5 {
+		t.Fatalf("completed %d paths, want 5", len(*out))
+	}
+	first := (*out)[0]
+	if first.Reason != EndBackward {
+		t.Errorf("reason = %v, want backward", first.Reason)
+	}
+	for _, c := range *out {
+		if c.ID != first.ID {
+			t.Errorf("loop iterations interned as different paths: %v vs %v", c.ID, first.ID)
+		}
+	}
+	info := tr.Interner().Info(first.ID)
+	if info.Start != 10 {
+		t.Errorf("head = %d, want 10", info.Start)
+	}
+	if info.Branches != 2 {
+		t.Errorf("branches = %d, want 2", info.Branches)
+	}
+	if sig := info.Signature(); sig != "10.0" {
+		t.Errorf("signature = %q, want %q", sig, "10.0")
+	}
+}
+
+func TestAlternatingOutcomesAreDistinctPaths(t *testing.T) {
+	tr, out := collect(10)
+	tr.OnBranch(ev(12, 20, true, isa.KindCond))
+	tr.OnBranch(ev(25, 10, true, isa.KindJump))
+	tr.OnBranch(ev(12, 13, false, isa.KindCond))
+	tr.OnBranch(ev(25, 10, true, isa.KindJump))
+	if len(*out) != 2 {
+		t.Fatalf("completed %d paths, want 2", len(*out))
+	}
+	if (*out)[0].ID == (*out)[1].ID {
+		t.Error("taken vs not-taken must intern as distinct paths")
+	}
+	s0 := tr.Interner().Info((*out)[0].ID).Signature()
+	s1 := tr.Interner().Info((*out)[1].ID).Signature()
+	if s0 != "10.1" || s1 != "10.0" {
+		t.Errorf("signatures = %q, %q; want 10.1, 10.0", s0, s1)
+	}
+}
+
+func TestIndirectTargetsDistinguishPaths(t *testing.T) {
+	tr, out := collect(10)
+	tr.OnBranch(ev(12, 30, true, isa.KindIndirect))
+	tr.OnBranch(ev(35, 10, true, isa.KindJump))
+	tr.OnBranch(ev(12, 40, true, isa.KindIndirect))
+	tr.OnBranch(ev(45, 10, true, isa.KindJump))
+	if (*out)[0].ID == (*out)[1].ID {
+		t.Error("different indirect targets must intern as distinct paths")
+	}
+	sig := tr.Interner().Info((*out)[0].ID).Signature()
+	if !strings.Contains(sig, "30") {
+		t.Errorf("signature %q missing indirect target 30", sig)
+	}
+}
+
+func TestMatchedReturnTerminates(t *testing.T) {
+	// With address-ordered function layout a forward call's matching return
+	// is always a backward branch (caller sits below the callee), so
+	// EndBackward subsumes the matched-return rule in practice. The rule
+	// still guards arbitrary layouts; exercise it with a synthetic forward
+	// return while a call is open on the path.
+	tr, out := collect(10)
+	tr.OnBranch(ev(12, 100, true, isa.KindCall)) // forward call on the path
+	tr.OnBranch(ev(105, 106, false, isa.KindCond))
+	tr.OnBranch(ev(108, 110, true, isa.KindReturn)) // forward return, depth > 0
+	if len(*out) != 1 {
+		t.Fatalf("completed %d paths, want 1", len(*out))
+	}
+	if (*out)[0].Reason != EndMatchedReturn {
+		t.Errorf("reason = %v, want matched-return", (*out)[0].Reason)
+	}
+	if tr.CurrentStart() != 110 {
+		t.Errorf("next path starts at %d, want 110 (return target)", tr.CurrentStart())
+	}
+}
+
+func TestBackwardReturnAfterForwardCall(t *testing.T) {
+	// The realistic layout: call forward, return backward to the caller.
+	// The return terminates the path as a backward branch.
+	tr, out := collect(10)
+	tr.OnBranch(ev(12, 100, true, isa.KindCall))
+	tr.OnBranch(ev(108, 13, true, isa.KindReturn))
+	if len(*out) != 1 || (*out)[0].Reason != EndBackward {
+		t.Fatalf("want EndBackward termination, got %+v", *out)
+	}
+	if tr.CurrentStart() != 13 {
+		t.Errorf("next path starts at %d, want 13", tr.CurrentStart())
+	}
+}
+
+func TestUnmatchedForwardReturnExtends(t *testing.T) {
+	// A path that starts inside a callee extends across the return into the
+	// caller (depth 0 at the return).
+	tr, out := collect(100)
+	tr.OnBranch(ev(105, 13, false, isa.KindCond))
+	tr.OnBranch(ev(108, 200, true, isa.KindReturn)) // forward return, no call on path
+	tr.OnBranch(ev(205, 100, true, isa.KindJump))   // backward ends it
+	if len(*out) != 1 {
+		t.Fatalf("completed %d paths, want 1 (return must not terminate)", len(*out))
+	}
+	if got := tr.Interner().Info((*out)[0].ID).Branches; got != 3 {
+		t.Errorf("path branches = %d, want 3 (cond + ret + jmp)", got)
+	}
+}
+
+func TestBackwardReturnTerminates(t *testing.T) {
+	tr, out := collect(100)
+	tr.OnBranch(ev(108, 50, true, isa.KindReturn)) // backward return
+	if len(*out) != 1 || (*out)[0].Reason != EndBackward {
+		t.Fatalf("backward return must terminate with EndBackward, got %+v", *out)
+	}
+}
+
+func TestRecursiveBackwardCallTerminates(t *testing.T) {
+	// A recursive call to a lower address is a backward taken branch: it
+	// terminates the path without unfolding the recursion.
+	tr, out := collect(100)
+	tr.OnBranch(ev(120, 100, true, isa.KindCall))
+	if len(*out) != 1 || (*out)[0].Reason != EndBackward {
+		t.Fatalf("backward call must terminate, got %+v", *out)
+	}
+	if tr.CurrentStart() != 100 {
+		t.Errorf("next start = %d, want 100", tr.CurrentStart())
+	}
+}
+
+func TestCapTerminates(t *testing.T) {
+	tr, out := collect(0)
+	tr.MaxBranches = 8
+	for i := 0; i < 8; i++ {
+		tr.OnBranch(ev(10+i, 11+i, false, isa.KindCond))
+	}
+	if len(*out) != 1 || (*out)[0].Reason != EndCap {
+		t.Fatalf("want 1 cap-terminated path, got %+v", *out)
+	}
+	if got := tr.Interner().Info((*out)[0].ID).Branches; got != 8 {
+		t.Errorf("branches = %d, want 8", got)
+	}
+}
+
+func TestFinishEmitsPartial(t *testing.T) {
+	tr, out := collect(0)
+	tr.OnBranch(ev(5, 6, false, isa.KindCond))
+	tr.Finish()
+	if len(*out) != 1 || (*out)[0].Reason != EndProgram {
+		t.Fatalf("Finish must emit the partial path, got %+v", *out)
+	}
+	// Finish on an empty path emits nothing.
+	tr2, out2 := collect(0)
+	tr2.Finish()
+	if len(*out2) != 0 {
+		t.Errorf("Finish on empty path emitted %+v", *out2)
+	}
+}
+
+func TestRestartDropsPartial(t *testing.T) {
+	tr, out := collect(0)
+	tr.OnBranch(ev(5, 6, false, isa.KindCond))
+	tr.Restart(50)
+	if len(*out) != 0 {
+		t.Fatalf("Restart must not emit, got %+v", *out)
+	}
+	if tr.CurrentStart() != 50 || tr.CurrentBranches() != 0 {
+		t.Error("Restart did not reset tracker state")
+	}
+	tr.OnBranch(ev(55, 50, true, isa.KindJump))
+	if len(*out) != 1 {
+		t.Fatal("tracking did not resume after Restart")
+	}
+	if tr.Interner().Info((*out)[0].ID).Start != 50 {
+		t.Errorf("restarted path head = %d, want 50", tr.Interner().Info((*out)[0].ID).Start)
+	}
+}
+
+func TestSamePathDifferentHeadsDistinct(t *testing.T) {
+	tr, out := collect(10)
+	tr.OnBranch(ev(15, 10, true, isa.KindJump)) // path from 10
+	tr.OnBranch(ev(12, 20, true, isa.KindCond)) // now at 10 again... build path to 20
+	tr.Restart(20)
+	tr.OnBranch(ev(25, 20, true, isa.KindJump)) // path from 20
+	ids := map[ID]bool{}
+	for _, c := range *out {
+		ids[c.ID] = true
+	}
+	if len(ids) < 2 {
+		t.Error("paths with different heads must be distinct")
+	}
+}
+
+func TestInterner(t *testing.T) {
+	it := NewInterner()
+	a := it.Intern("k1", 10, 2)
+	b := it.Intern("k2", 10, 3)
+	c := it.Intern("k1", 10, 2)
+	if a == b {
+		t.Error("distinct keys shared an ID")
+	}
+	if a != c {
+		t.Error("same key interned twice")
+	}
+	if it.NumPaths() != 2 {
+		t.Errorf("NumPaths = %d, want 2", it.NumPaths())
+	}
+	if it.Lookup("k2") != b || it.Lookup("zz") != None {
+		t.Error("Lookup wrong")
+	}
+	if it.Head(a) != 10 {
+		t.Errorf("Head = %d, want 10", it.Head(a))
+	}
+	it.Intern("k3", 20, 1)
+	if it.UniqueHeads() != 2 {
+		t.Errorf("UniqueHeads = %d, want 2", it.UniqueHeads())
+	}
+}
+
+func TestEndReasonString(t *testing.T) {
+	for r := EndBackward; r <= EndProgram; r++ {
+		if s := r.String(); s == "" || strings.HasPrefix(s, "end(") {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+	if !strings.Contains(EndReason(99).String(), "99") {
+		t.Error("unknown reason must render numerically")
+	}
+}

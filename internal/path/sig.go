@@ -1,0 +1,41 @@
+package path
+
+import "encoding/binary"
+
+// SigBuilder incrementally constructs a bit-tracing path signature key:
+// a 4-byte start address, one '0'/'1' byte per conditional branch outcome,
+// and an 'I' + 4-byte target per indirect transfer. The Tracker uses it for
+// executed paths; the boa package uses it to name paths it constructs from
+// edge profiles, so constructed and executed paths share one identity space.
+type SigBuilder struct {
+	key []byte
+}
+
+// Reset begins a new signature for a path starting at start.
+func (s *SigBuilder) Reset(start int) {
+	s.key = s.key[:0]
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(start))
+	s.key = append(s.key, b[:]...)
+}
+
+// CondBit records a conditional branch outcome.
+func (s *SigBuilder) CondBit(taken bool) {
+	if taken {
+		s.key = append(s.key, '1')
+	} else {
+		s.key = append(s.key, '0')
+	}
+}
+
+// Indirect records an indirect transfer target.
+func (s *SigBuilder) Indirect(target int) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(target))
+	s.key = append(s.key, 'I')
+	s.key = append(s.key, b[:]...)
+}
+
+// Key returns the signature key for interning. The returned string is a
+// copy and remains valid after further building.
+func (s *SigBuilder) Key() string { return string(s.key) }

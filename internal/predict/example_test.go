@@ -1,0 +1,54 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"netpath/internal/path"
+	"netpath/internal/predict"
+)
+
+// ExampleNET shows the scheme on a single loop head with a dominant tail:
+// one counter at the head, and after τ=3 executions the next tail (the
+// dominant one, statistically) is selected.
+func ExampleNET() {
+	// Two paths share head address 100: path 0 is dominant.
+	heads := []int{100, 100}
+	net := predict.NewNET(3, func(id path.ID) int { return heads[id] })
+
+	stream := []path.ID{0, 0, 0, 1, 0, 0}
+	for i, id := range stream {
+		if net.IsPredicted(id) {
+			fmt.Printf("execution %d: path %d from cache\n", i, id)
+			continue
+		}
+		if net.Observe(id) {
+			fmt.Printf("execution %d: path %d selected as hot\n", i, id)
+		}
+	}
+	fmt.Printf("counters used: %d\n", net.CounterSpace())
+	// Output:
+	// execution 2: path 0 selected as hot
+	// execution 4: path 0 from cache
+	// execution 5: path 0 from cache
+	// counters used: 1
+}
+
+// ExamplePathProfile contrasts the per-path counting scheme: every distinct
+// path needs its own counter and its own τ executions.
+func ExamplePathProfile() {
+	pp := predict.NewPathProfile(3)
+	stream := []path.ID{0, 1, 0, 1, 0, 1}
+	for i, id := range stream {
+		if pp.IsPredicted(id) {
+			continue
+		}
+		if pp.Observe(id) {
+			fmt.Printf("execution %d: path %d predicted\n", i, id)
+		}
+	}
+	fmt.Printf("counters used: %d\n", pp.CounterSpace())
+	// Output:
+	// execution 4: path 0 predicted
+	// execution 5: path 1 predicted
+	// counters used: 2
+}

@@ -1,0 +1,168 @@
+package predict
+
+import (
+	"testing"
+
+	"netpath/internal/path"
+)
+
+// headTable maps synthetic path IDs to head addresses.
+func headTable(heads []int) HeadOf {
+	return func(id path.ID) int { return heads[id] }
+}
+
+func TestPathProfilePredictsAfterTau(t *testing.T) {
+	p := NewPathProfile(3)
+	id := path.ID(7)
+	for i := 1; i <= 2; i++ {
+		if p.Observe(id) {
+			t.Fatalf("predicted after %d observations, want 3", i)
+		}
+		if p.IsPredicted(id) {
+			t.Fatal("IsPredicted true before prediction")
+		}
+	}
+	if !p.Observe(id) {
+		t.Fatal("not predicted after 3 observations")
+	}
+	if !p.IsPredicted(id) || p.PredictedCount() != 1 {
+		t.Error("prediction not recorded")
+	}
+}
+
+func TestPathProfileCountersPerPath(t *testing.T) {
+	p := NewPathProfile(100)
+	for i := 0; i < 5; i++ {
+		p.Observe(path.ID(i))
+	}
+	if p.CounterSpace() != 5 {
+		t.Errorf("CounterSpace = %d, want 5", p.CounterSpace())
+	}
+	p.Reset()
+	if p.CounterSpace() != 0 || p.PredictedCount() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestNETSharedHeadCounter(t *testing.T) {
+	// Paths 0 and 1 share head 10. With τ=4, alternating executions
+	// 0,1,0,1 predict the path executing on the 4th head execution.
+	n := NewNET(4, headTable([]int{10, 10, 20}))
+	seq := []path.ID{0, 1, 0, 1}
+	var predicted []path.ID
+	for _, id := range seq {
+		if n.Observe(id) {
+			predicted = append(predicted, id)
+		}
+	}
+	if len(predicted) != 1 || predicted[0] != 1 {
+		t.Fatalf("predicted %v, want [1] (tail executing when head count hits 4)", predicted)
+	}
+	// Counter reset: four more unpredicted executions of path 0 select it.
+	for i := 0; i < 3; i++ {
+		if n.Observe(0) {
+			t.Fatalf("path 0 predicted after only %d post-reset executions", i+1)
+		}
+	}
+	if !n.Observe(0) {
+		t.Fatal("path 0 not predicted after counter reset + 4 executions")
+	}
+	if !n.IsPredicted(0) || !n.IsPredicted(1) {
+		t.Error("both tails of head 10 should now be predicted")
+	}
+	if n.IsPredicted(2) {
+		t.Error("path with different head predicted spuriously")
+	}
+}
+
+func TestNETCounterSpacePerHead(t *testing.T) {
+	heads := []int{10, 10, 20, 30, 30}
+	n := NewNET(100, headTable(heads))
+	for i := range heads {
+		n.Observe(path.ID(i))
+	}
+	if n.CounterSpace() != 3 {
+		t.Errorf("CounterSpace = %d, want 3 (distinct heads)", n.CounterSpace())
+	}
+}
+
+func TestNETSingleRetiresHead(t *testing.T) {
+	n := NewNETSingle(2, headTable([]int{10, 10}))
+	n.Observe(0)
+	if !n.Observe(0) {
+		t.Fatal("path 0 not predicted at τ=2")
+	}
+	// Head retired: path 1 can never be predicted.
+	for i := 0; i < 10; i++ {
+		if n.Observe(1) {
+			t.Fatal("net-single predicted a second tail for the same head")
+		}
+	}
+	if n.CounterSpace() != 1 {
+		t.Errorf("CounterSpace = %d, want 1", n.CounterSpace())
+	}
+	if n.Name() != "net-single" {
+		t.Errorf("Name = %q", n.Name())
+	}
+}
+
+func TestNETReset(t *testing.T) {
+	n := NewNET(1, headTable([]int{10}))
+	n.Observe(0)
+	if !n.IsPredicted(0) {
+		t.Fatal("τ=1 must predict on first execution")
+	}
+	n.Reset()
+	if n.IsPredicted(0) || n.CounterSpace() != 0 || n.PredictedCount() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestImmediate(t *testing.T) {
+	p := NewImmediate()
+	if p.IsPredicted(0) {
+		t.Fatal("predicted before first execution")
+	}
+	if !p.Observe(0) || !p.IsPredicted(0) {
+		t.Fatal("immediate must predict on first execution")
+	}
+	if p.CounterSpace() != 0 {
+		t.Errorf("CounterSpace = %d, want 0", p.CounterSpace())
+	}
+	p.Reset()
+	if p.IsPredicted(0) {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle([]bool{true, false})
+	if !o.Observe(0) || o.Observe(1) {
+		t.Fatal("oracle must predict exactly the hot set")
+	}
+	if !o.IsPredicted(0) || o.IsPredicted(1) {
+		t.Error("oracle membership wrong")
+	}
+	if o.Observe(path.ID(99)) { // out of range: cold
+		t.Error("out-of-range path predicted")
+	}
+	o.Reset()
+	if o.PredictedCount() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewPathProfile(1).Name() != "pathprofile" {
+		t.Error("pathprofile name")
+	}
+	if NewNET(1, headTable([]int{0})).Name() != "net" {
+		t.Error("net name")
+	}
+	if NewImmediate().Name() != "immediate" {
+		t.Error("immediate name")
+	}
+	if NewOracle(nil).Name() != "oracle" {
+		t.Error("oracle name")
+	}
+}

@@ -1,0 +1,89 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netpath/internal/path"
+)
+
+// This file implements a JSON export/import of path profiles, the bridge
+// between the online world and offline analysis (spreadsheets, plotting,
+// diffing runs). The export carries the frequency table with decoded
+// signatures; the execution-order stream is deliberately omitted (it is
+// orders of magnitude larger and only the online replay needs it), so a
+// profile read back supports the offline queries (hot sets, top paths,
+// counter-space) but not Evaluate-style replay.
+
+// jsonProfile is the serialized form.
+type jsonProfile struct {
+	Program string     `json:"program"`
+	Flow    int64      `json:"flow"`
+	Steps   int64      `json:"steps"`
+	Paths   []jsonPath `json:"paths"`
+}
+
+type jsonPath struct {
+	// Signature is the human-readable form ("start.history,targets").
+	Signature string `json:"signature"`
+	// Key is the raw interning key, base64-encoded by encoding/json;
+	// it allows exact reconstruction (Signature alone is ambiguous for
+	// malformed histories).
+	Key      []byte `json:"key"`
+	Start    int    `json:"start"`
+	Branches int    `json:"branches"`
+	Freq     int64  `json:"freq"`
+}
+
+// WriteJSON serializes the profile's frequency table.
+func (pr *Profile) WriteJSON(w io.Writer) error {
+	jp := jsonProfile{Flow: pr.Flow, Steps: pr.Steps}
+	if pr.Program != nil {
+		jp.Program = pr.Program.Name
+	}
+	jp.Paths = make([]jsonPath, 0, pr.NumPaths())
+	for _, pc := range pr.TopPaths(0) { // sorted: stable, most frequent first
+		info := pr.Paths.Info(pc.ID)
+		jp.Paths = append(jp.Paths, jsonPath{
+			Signature: info.Signature(),
+			Key:       []byte(info.Key),
+			Start:     info.Start,
+			Branches:  info.Branches,
+			Freq:      pc.Freq,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadJSON reconstructs a profile (without the execution-order stream) from
+// a WriteJSON export.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var jp jsonProfile
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("profile: decoding JSON: %w", err)
+	}
+	pr := &Profile{Paths: path.NewInterner(), Flow: jp.Flow, Steps: jp.Steps}
+	pr.Freq = make([]int64, 0, len(jp.Paths))
+	var sum int64
+	for i, p := range jp.Paths {
+		if len(p.Key) < 4 {
+			return nil, fmt.Errorf("profile: path %d has a malformed key", i)
+		}
+		if p.Freq < 0 {
+			return nil, fmt.Errorf("profile: path %d has negative frequency", i)
+		}
+		id := pr.Paths.Intern(string(p.Key), p.Start, p.Branches)
+		if int(id) != i {
+			return nil, fmt.Errorf("profile: duplicate path key at index %d", i)
+		}
+		pr.Freq = append(pr.Freq, p.Freq)
+		sum += p.Freq
+	}
+	if sum != pr.Flow {
+		return nil, fmt.Errorf("profile: frequencies sum to %d but flow is %d", sum, pr.Flow)
+	}
+	return pr, nil
+}

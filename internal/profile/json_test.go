@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netpath/internal/path"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := biasedLoop(t, 500, []int64{0, 10, 0}, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Flow != pr.Flow || got.Steps != pr.Steps || got.NumPaths() != pr.NumPaths() {
+		t.Fatalf("round-trip mismatch: flow %d/%d paths %d/%d",
+			got.Flow, pr.Flow, got.NumPaths(), pr.NumPaths())
+	}
+	// Frequencies per signature must be preserved (IDs may permute).
+	for id := 0; id < pr.NumPaths(); id++ {
+		info := pr.Paths.Info(path.ID(id))
+		gid := got.Paths.Lookup(info.Key)
+		if gid < 0 {
+			t.Fatalf("signature %q missing after round-trip", info.Signature())
+		}
+		if got.Freq[gid] != pr.Freq[id] {
+			t.Errorf("freq mismatch for %q: %d vs %d", info.Signature(), got.Freq[gid], pr.Freq[id])
+		}
+	}
+	// Offline queries work on the reconstructed profile.
+	hs1, hs2 := pr.Hot(0.001), got.Hot(0.001)
+	if hs1.Count != hs2.Count || hs1.Flow != hs2.Flow {
+		t.Error("hot sets differ after round-trip")
+	}
+	if pr.UniqueHeads() != got.UniqueHeads() {
+		t.Error("head counts differ after round-trip")
+	}
+}
+
+func TestJSONHumanReadable(t *testing.T) {
+	p := biasedLoop(t, 50, []int64{0, 10}, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"program": "biased"`, `"signature"`, `"freq"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"badKey":       `{"flow":0,"paths":[{"key":"YQ==","freq":0}]}`,
+		"negFreq":      `{"flow":-1,"paths":[{"key":"YWFhYWE=","freq":-1}]}`,
+		"flowMismatch": `{"flow":5,"paths":[{"key":"YWFhYWE=","freq":1}]}`,
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+				t.Errorf("ReadJSON(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestReadJSONDuplicateKeys(t *testing.T) {
+	// Two entries with the same key must be rejected.
+	src := `{"flow":2,"paths":[
+		{"key":"YWFhYWE=","freq":1},
+		{"key":"YWFhYWE=","freq":1}]}`
+	if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+		t.Error("duplicate keys must be rejected")
+	}
+}

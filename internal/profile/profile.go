@@ -1,0 +1,140 @@
+// Package profile collects and queries offline ("oracle") path profiles: the
+// complete frequency distribution over the interprocedural forward paths a
+// program executed. The abstract prediction metrics (hit rate, noise) are
+// defined against these profiles, and Table 1 of the paper is computed
+// directly from them.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"netpath/internal/path"
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Profile is a complete path profile of one program run.
+type Profile struct {
+	Program *prog.Program
+	Paths   *path.Interner
+	// Stream is the sequence of completed path executions in program order;
+	// the online predictors are evaluated by replaying it.
+	Stream []path.ID
+	// Freq[id] is the execution frequency of path id.
+	Freq []int64
+	// Flow is the total number of path executions (== len(Stream)).
+	Flow int64
+	// Steps is the number of machine instructions executed.
+	Steps int64
+}
+
+// Collect runs the program to completion (or maxSteps) under a path tracker
+// and returns its full path profile. maxSteps <= 0 means unlimited.
+func Collect(p *prog.Program, maxSteps int64) (*Profile, error) {
+	m := vm.New(p)
+	return CollectMachine(m, maxSteps)
+}
+
+// CollectMachine is Collect on a caller-prepared machine (already reset).
+func CollectMachine(m *vm.Machine, maxSteps int64) (*Profile, error) {
+	pr := &Profile{Program: m.Prog, Paths: path.NewInterner()}
+	tr := path.NewTracker(pr.Paths, m.PC, func(c path.Completed) {
+		pr.Stream = append(pr.Stream, c.ID)
+	})
+	m.SetListener(tr.OnBranch)
+	err := m.Run(maxSteps)
+	if err == vm.ErrStepLimit {
+		err = nil // a truncated run still yields a valid profile
+	}
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	tr.Finish()
+	m.SetListener(nil)
+
+	pr.Freq = make([]int64, pr.Paths.NumPaths())
+	for _, id := range pr.Stream {
+		pr.Freq[id]++
+	}
+	pr.Flow = int64(len(pr.Stream))
+	pr.Steps = m.Steps
+	return pr, nil
+}
+
+// NumPaths returns the number of distinct executed paths.
+func (pr *Profile) NumPaths() int { return pr.Paths.NumPaths() }
+
+// HotSet is the set of hot paths for a given threshold.
+type HotSet struct {
+	// Threshold is the absolute frequency h; a path is hot iff freq > h.
+	Threshold int64
+	// IsHot[id] reports membership.
+	IsHot []bool
+	// Count is the number of hot paths.
+	Count int
+	// Flow is freq(HotPath): the total flow of the hot paths.
+	Flow int64
+}
+
+// Hot computes the HotPath set for a fractional threshold: h = frac * Flow,
+// and a path is hot iff freq(p) > h. The paper uses frac = 0.001 (0.1%).
+func (pr *Profile) Hot(frac float64) *HotSet {
+	h := int64(frac * float64(pr.Flow))
+	hs := &HotSet{Threshold: h, IsHot: make([]bool, len(pr.Freq))}
+	for id, f := range pr.Freq {
+		if f > h {
+			hs.IsHot[id] = true
+			hs.Count++
+			hs.Flow += f
+		}
+	}
+	return hs
+}
+
+// FlowPct returns the percentage of total flow captured by the hot set
+// (the "%Flow" column of Table 1).
+func (hs *HotSet) FlowPct(pr *Profile) float64 {
+	if pr.Flow == 0 {
+		return 0
+	}
+	return 100 * float64(hs.Flow) / float64(pr.Flow)
+}
+
+// PathCount is one row of a sorted path listing.
+type PathCount struct {
+	ID   path.ID
+	Freq int64
+}
+
+// TopPaths returns the n most frequent paths, ties broken by ID for
+// determinism. n <= 0 returns all paths.
+func (pr *Profile) TopPaths(n int) []PathCount {
+	all := make([]PathCount, 0, len(pr.Freq))
+	for id, f := range pr.Freq {
+		all = append(all, PathCount{ID: path.ID(id), Freq: f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Freq != all[j].Freq {
+			return all[i].Freq > all[j].Freq
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// UniqueHeads returns the number of distinct path head addresses (Table 2).
+func (pr *Profile) UniqueHeads() int { return pr.Paths.UniqueHeads() }
+
+// HeadFreq returns total execution frequency per head address: the flow
+// through each potential trace head. NET's counter space is its size.
+func (pr *Profile) HeadFreq() map[int]int64 {
+	hf := make(map[int]int64)
+	for id, f := range pr.Freq {
+		hf[pr.Paths.Head(path.ID(id))] += f
+	}
+	return hf
+}

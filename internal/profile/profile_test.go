@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// biasedLoop builds a loop of n iterations whose body branches on the parity
+// of a data word: Mem[data+i%len] < split takes the "then" arm.
+func biasedLoop(t *testing.T, n int64, data []int64, split int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("biased")
+	b.SetMemSize(16 + len(data))
+	for i, v := range data {
+		b.SetMem(16+i, v)
+	}
+	m := b.Func("main")
+	m.MovI(0, 0) // i
+	m.MovI(5, int64(len(data)))
+	m.Label("loop")
+	m.RemI(1, 0, int64(len(data)))
+	m.AddI(1, 1, 16)
+	m.Load(2, 1, 0) // r2 = data[i % len]
+	m.BrI(isa.Lt, 2, split, "then")
+	m.AddI(3, 3, 1) // else arm
+	m.Jmp("join")
+	m.Label("then")
+	m.AddI(4, 4, 1)
+	m.Label("join")
+	m.AddI(0, 0, 1)
+	m.BrI(isa.Lt, 0, n, "loop")
+	m.Halt()
+	return b.MustBuild()
+}
+
+func TestCollectCountsFlow(t *testing.T) {
+	// Alternating data: exactly two distinct loop paths, 50 iterations each.
+	data := []int64{0, 10}
+	p := biasedLoop(t, 100, data, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if pr.Flow != int64(len(pr.Stream)) {
+		t.Errorf("Flow = %d, len(Stream) = %d", pr.Flow, len(pr.Stream))
+	}
+	var sum int64
+	for _, f := range pr.Freq {
+		sum += f
+	}
+	if sum != pr.Flow {
+		t.Errorf("sum(Freq) = %d != Flow %d", sum, pr.Flow)
+	}
+	// The two loop-body paths each execute ~50 times; everything else is
+	// prologue/epilogue noise with tiny counts.
+	top := pr.TopPaths(2)
+	if len(top) < 2 {
+		t.Fatalf("expected >= 2 paths, got %d", pr.NumPaths())
+	}
+	for _, pc := range top {
+		if pc.Freq < 45 || pc.Freq > 55 {
+			t.Errorf("top path freq = %d, want ~50", pc.Freq)
+		}
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	data := []int64{0, 10, 0, 0} // 75% biased toward "then"
+	p := biasedLoop(t, 1000, data, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	hs := pr.Hot(0.001)
+	if hs.Count == 0 {
+		t.Fatal("no hot paths at 0.1%")
+	}
+	// Hot flow must be consistent with membership.
+	var flow int64
+	var count int
+	for id, hot := range hs.IsHot {
+		if hot {
+			flow += pr.Freq[id]
+			count++
+			if pr.Freq[id] <= hs.Threshold {
+				t.Errorf("path %d hot with freq %d <= threshold %d", id, pr.Freq[id], hs.Threshold)
+			}
+		} else if pr.Freq[id] > hs.Threshold {
+			t.Errorf("path %d cold with freq %d > threshold %d", id, pr.Freq[id], hs.Threshold)
+		}
+	}
+	if flow != hs.Flow || count != hs.Count {
+		t.Errorf("HotSet flow/count = %d/%d, recomputed %d/%d", hs.Flow, hs.Count, flow, count)
+	}
+	pct := hs.FlowPct(pr)
+	if pct <= 90 || pct > 100 {
+		t.Errorf("hot flow pct = %.1f, want >90 (dominant loop paths)", pct)
+	}
+}
+
+func TestTopPathsSorted(t *testing.T) {
+	p := biasedLoop(t, 200, []int64{0, 10, 0}, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	all := pr.TopPaths(0)
+	if len(all) != pr.NumPaths() {
+		t.Errorf("TopPaths(0) = %d paths, want %d", len(all), pr.NumPaths())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Freq < all[i].Freq {
+			t.Fatal("TopPaths not sorted by frequency")
+		}
+		if all[i-1].Freq == all[i].Freq && all[i-1].ID >= all[i].ID {
+			t.Fatal("TopPaths tie-break by ID violated")
+		}
+	}
+}
+
+func TestHeadFreqSumsToFlow(t *testing.T) {
+	p := biasedLoop(t, 300, []int64{0, 10}, 5)
+	pr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	var sum int64
+	for _, f := range pr.HeadFreq() {
+		sum += f
+	}
+	if sum != pr.Flow {
+		t.Errorf("sum(HeadFreq) = %d, want Flow %d", sum, pr.Flow)
+	}
+	if pr.UniqueHeads() > pr.NumPaths() {
+		t.Errorf("heads %d > paths %d", pr.UniqueHeads(), pr.NumPaths())
+	}
+}
+
+func TestCollectStepLimitTruncates(t *testing.T) {
+	p := biasedLoop(t, 1_000_000, []int64{0, 10}, 5)
+	pr, err := Collect(p, 5000)
+	if err != nil {
+		t.Fatalf("Collect with limit: %v", err)
+	}
+	if pr.Steps > 5000 {
+		t.Errorf("Steps = %d, want <= 5000", pr.Steps)
+	}
+	if pr.Flow == 0 {
+		t.Error("truncated run produced no paths")
+	}
+}
+
+func TestDeterministicProfiles(t *testing.T) {
+	p := biasedLoop(t, 500, []int64{0, 10, 0, 10, 10}, 5)
+	pr1, err1 := Collect(p, 0)
+	pr2, err2 := Collect(p, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Collect: %v, %v", err1, err2)
+	}
+	if pr1.Flow != pr2.Flow || pr1.NumPaths() != pr2.NumPaths() {
+		t.Fatal("profiles differ across identical runs")
+	}
+	for i := range pr1.Stream {
+		if pr1.Stream[i] != pr2.Stream[i] {
+			t.Fatalf("stream diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package prog
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+)
+
+// Builder assembles a Program from functions written with symbolic labels.
+// Functions are laid out in definition order; labels are global to the
+// builder, and every function name doubles as the label of its entry.
+//
+// A basic block starts at a function entry, at every label, and after every
+// control instruction. If a block would fall through into a label, the
+// builder inserts an explicit jump so that every block ends with a control
+// instruction (the invariant Program.Validate enforces).
+type Builder struct {
+	name    string
+	funcs   []*FuncBuilder
+	labels  map[string]labelRef
+	mem     []MemInit
+	memLbls []memLabel
+	memSize int
+	entry   string
+	err     error
+}
+
+type labelRef struct {
+	fn  int
+	off int // offset in the function's pre-layout instruction stream
+}
+
+type memLabel struct {
+	addr  int
+	label string
+}
+
+type symInstr struct {
+	in     isa.Instr
+	target string // symbolic branch/call target; resolved at Build
+}
+
+// FuncBuilder assembles one function as a linear instruction stream.
+type FuncBuilder struct {
+	b      *Builder
+	idx    int
+	name   string
+	instrs []symInstr
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]labelRef)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Func starts a new function. The function name becomes the label of its
+// entry and the target name for Call.
+func (b *Builder) Func(name string) *FuncBuilder {
+	f := &FuncBuilder{b: b, idx: len(b.funcs), name: name}
+	b.funcs = append(b.funcs, f)
+	b.defineLabel(name, labelRef{fn: f.idx, off: 0})
+	return f
+}
+
+func (b *Builder) defineLabel(name string, ref labelRef) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = ref
+}
+
+// SetMemSize sets the machine memory size in words.
+func (b *Builder) SetMemSize(n int) { b.memSize = n }
+
+// SetMem sets an initial memory word.
+func (b *Builder) SetMem(addr int, v int64) {
+	b.mem = append(b.mem, MemInit{Addr: addr, Value: v})
+}
+
+// SetMemLabel initializes a memory word with the resolved address of a label
+// (used to build jump tables for indirect branches).
+func (b *Builder) SetMemLabel(addr int, label string) {
+	b.memLbls = append(b.memLbls, memLabel{addr: addr, label: label})
+}
+
+// SetEntry selects the function whose entry is the program entry point.
+// Default: the first function.
+func (b *Builder) SetEntry(funcName string) { b.entry = funcName }
+
+// Label defines a label at the current position, starting a new block.
+func (f *FuncBuilder) Label(name string) {
+	f.b.defineLabel(name, labelRef{fn: f.idx, off: len(f.instrs)})
+}
+
+// Emit appends a raw instruction with no symbolic target.
+func (f *FuncBuilder) Emit(in isa.Instr) {
+	f.instrs = append(f.instrs, symInstr{in: in})
+}
+
+func (f *FuncBuilder) emitSym(in isa.Instr, target string) {
+	f.instrs = append(f.instrs, symInstr{in: in, target: target})
+}
+
+// MovI emits A := imm.
+func (f *FuncBuilder) MovI(a uint8, imm int64) { f.Emit(isa.Instr{Op: isa.MovI, A: a, Imm: imm}) }
+
+// Mov emits A := B.
+func (f *FuncBuilder) Mov(a, b uint8) { f.Emit(isa.Instr{Op: isa.Mov, A: a, B: b}) }
+
+// Op3 emits a three-address ALU instruction A := B op C.
+func (f *FuncBuilder) Op3(op isa.Op, a, b, c uint8) {
+	f.Emit(isa.Instr{Op: op, A: a, B: b, C: c})
+}
+
+// AddI emits A := B + imm.
+func (f *FuncBuilder) AddI(a, b uint8, imm int64) {
+	f.Emit(isa.Instr{Op: isa.AddI, A: a, B: b, Imm: imm})
+}
+
+// MulI emits A := B * imm.
+func (f *FuncBuilder) MulI(a, b uint8, imm int64) {
+	f.Emit(isa.Instr{Op: isa.MulI, A: a, B: b, Imm: imm})
+}
+
+// AndI emits A := B & imm.
+func (f *FuncBuilder) AndI(a, b uint8, imm int64) {
+	f.Emit(isa.Instr{Op: isa.AndI, A: a, B: b, Imm: imm})
+}
+
+// RemI emits A := B % imm.
+func (f *FuncBuilder) RemI(a, b uint8, imm int64) {
+	f.Emit(isa.Instr{Op: isa.RemI, A: a, B: b, Imm: imm})
+}
+
+// Load emits A := Mem[B+off].
+func (f *FuncBuilder) Load(a, b uint8, off int64) {
+	f.Emit(isa.Instr{Op: isa.Load, A: a, B: b, Imm: off})
+}
+
+// Store emits Mem[B+off] := A.
+func (f *FuncBuilder) Store(a, b uint8, off int64) {
+	f.Emit(isa.Instr{Op: isa.Store, A: a, B: b, Imm: off})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (f *FuncBuilder) Jmp(label string) { f.emitSym(isa.Instr{Op: isa.Jmp}, label) }
+
+// Br emits a conditional branch on Cond(A, B) to a label; not-taken falls
+// through to the next instruction.
+func (f *FuncBuilder) Br(c isa.Cond, a, b uint8, label string) {
+	f.emitSym(isa.Instr{Op: isa.Br, Cond: c, A: a, B: b}, label)
+}
+
+// BrI emits a conditional branch on Cond(A, imm) to a label.
+func (f *FuncBuilder) BrI(c isa.Cond, a uint8, imm int64, label string) {
+	f.emitSym(isa.Instr{Op: isa.BrI, Cond: c, A: a, Imm: imm}, label)
+}
+
+// JmpInd emits an indirect jump through register A.
+func (f *FuncBuilder) JmpInd(a uint8) { f.Emit(isa.Instr{Op: isa.JmpInd, A: a}) }
+
+// Call emits a direct call to a function by name.
+func (f *FuncBuilder) Call(fn string) { f.emitSym(isa.Instr{Op: isa.Call}, fn) }
+
+// CallInd emits an indirect call through register A.
+func (f *FuncBuilder) CallInd(a uint8) { f.Emit(isa.Instr{Op: isa.CallInd, A: a}) }
+
+// Ret emits a return.
+func (f *FuncBuilder) Ret() { f.Emit(isa.Instr{Op: isa.Ret}) }
+
+// Halt emits a machine halt.
+func (f *FuncBuilder) Halt() { f.Emit(isa.Instr{Op: isa.Halt}) }
+
+// Nop emits a no-op (useful as straight-line filler).
+func (f *FuncBuilder) Nop() { f.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Build lays out the program, resolves labels, inserts fall-through jumps,
+// computes function and block tables, validates, and freezes the result.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.funcs) == 0 {
+		return nil, fmt.Errorf("builder %q: no functions", b.name)
+	}
+
+	// Per-function block starts in pre-layout offsets.
+	starts := make([]map[int]bool, len(b.funcs))
+	for fi, f := range b.funcs {
+		if len(f.instrs) == 0 {
+			return nil, fmt.Errorf("builder %q: function %q is empty", b.name, f.name)
+		}
+		last := f.instrs[len(f.instrs)-1].in.Op
+		if !last.IsControl() || last.IsConditional() {
+			return nil, fmt.Errorf("builder %q: function %q must end with an unconditional control instruction, got %v", b.name, f.name, last)
+		}
+		s := map[int]bool{0: true}
+		for i, si := range f.instrs {
+			if si.in.Op.IsControl() && i+1 < len(f.instrs) {
+				s[i+1] = true
+			}
+		}
+		starts[fi] = s
+	}
+	for name, ref := range b.labels {
+		if ref.off > len(b.funcs[ref.fn].instrs) {
+			return nil, fmt.Errorf("builder %q: label %q beyond function end", b.name, name)
+		}
+		if ref.off == len(b.funcs[ref.fn].instrs) {
+			return nil, fmt.Errorf("builder %q: label %q at end of function %q (no instruction follows)", b.name, name, b.funcs[ref.fn].name)
+		}
+		starts[ref.fn][ref.off] = true
+	}
+
+	// Lay out with fall-through jump insertion. fillJmp entries carry the
+	// (func, pre-layout offset) their Jmp must resolve to.
+	type pendingJmp struct {
+		addr int // final address of the inserted Jmp
+		fn   int
+		off  int
+	}
+	var (
+		out      []isa.Instr
+		symAt    = map[int]string{} // final address -> symbolic target
+		pend     []pendingJmp
+		newAddr  = make([][]int, len(b.funcs))
+		funcs    = make([]Func, len(b.funcs))
+		funcEnds = make([]int, len(b.funcs))
+	)
+	for fi, f := range b.funcs {
+		funcs[fi] = Func{Name: f.name, Entry: len(out)}
+		newAddr[fi] = make([]int, len(f.instrs))
+		for i, si := range f.instrs {
+			newAddr[fi][i] = len(out)
+			if si.target != "" {
+				symAt[len(out)] = si.target
+			}
+			out = append(out, si.in)
+			if !si.in.Op.IsControl() && i+1 < len(f.instrs) && starts[fi][i+1] {
+				pend = append(pend, pendingJmp{addr: len(out), fn: fi, off: i + 1})
+				out = append(out, isa.Instr{Op: isa.Jmp})
+			}
+		}
+		funcEnds[fi] = len(out)
+		funcs[fi].End = len(out)
+	}
+
+	// Resolve labels to final addresses.
+	resolve := func(label string) (int, error) {
+		ref, ok := b.labels[label]
+		if !ok {
+			return 0, fmt.Errorf("builder %q: undefined label %q", b.name, label)
+		}
+		return newAddr[ref.fn][ref.off], nil
+	}
+	for addr, label := range symAt {
+		t, err := resolve(label)
+		if err != nil {
+			return nil, err
+		}
+		out[addr].Target = int32(t)
+	}
+	for _, pj := range pend {
+		out[pj.addr].Target = int32(newAddr[pj.fn][pj.off])
+	}
+
+	// Compute blocks from the final layout.
+	isStart := make([]bool, len(out)+1)
+	for fi := range b.funcs {
+		isStart[funcs[fi].Entry] = true
+		for off, on := range starts[fi] {
+			if on {
+				isStart[newAddr[fi][off]] = true
+			}
+		}
+	}
+	for a, in := range out {
+		if in.Op.IsControl() && a+1 < len(out) {
+			isStart[a+1] = true
+		}
+	}
+	var blocks []Block
+	fi := 0
+	for a := 0; a < len(out); {
+		for fi+1 < len(funcs) && a >= funcs[fi+1].Entry {
+			fi++
+		}
+		end := a + 1
+		for end < len(out) && !isStart[end] && end < funcEnds[fi] {
+			end++
+		}
+		blocks = append(blocks, Block{Start: a, End: end, Func: fi})
+		a = end
+	}
+
+	p := &Program{
+		Name:    b.name,
+		Instrs:  out,
+		Funcs:   funcs,
+		Blocks:  blocks,
+		MemSize: b.memSize,
+		InitMem: append([]MemInit(nil), b.mem...),
+	}
+	for _, ml := range b.memLbls {
+		t, err := resolve(ml.label)
+		if err != nil {
+			return nil, err
+		}
+		p.InitMem = append(p.InitMem, MemInit{Addr: ml.addr, Value: int64(t)})
+	}
+	entry := b.entry
+	if entry == "" {
+		entry = b.funcs[0].name
+	}
+	e, err := resolve(entry)
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = e
+
+	p.Freeze()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

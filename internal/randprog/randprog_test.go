@@ -1,0 +1,111 @@
+package randprog
+
+import (
+	"testing"
+
+	"netpath/internal/profile"
+	"netpath/internal/vm"
+)
+
+const numSeeds = 60
+
+func TestGeneratedProgramsValidateAndHalt(t *testing.T) {
+	for seed := int64(0); seed < numSeeds; seed++ {
+		p, err := Generate(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Generate: %v", seed, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: Validate: %v", seed, err)
+		}
+		m := vm.New(p)
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if !m.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p1 := MustGenerate(seed, Options{})
+		p2 := MustGenerate(seed, Options{})
+		if p1.Len() != p2.Len() {
+			t.Fatalf("seed %d: sizes differ", seed)
+		}
+		for i := range p1.Instrs {
+			if p1.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("seed %d: instruction %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsVary(t *testing.T) {
+	sizes := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		sizes[MustGenerate(seed, Options{}).Len()] = true
+	}
+	if len(sizes) < 10 {
+		t.Errorf("only %d distinct sizes across 20 seeds; generator too uniform", len(sizes))
+	}
+}
+
+func TestGeneratedProgramsProducePaths(t *testing.T) {
+	var withLoops int
+	for seed := int64(0); seed < 20; seed++ {
+		p := MustGenerate(seed, Options{})
+		pr, err := profile.Collect(p, 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pr.Flow > 1 {
+			withLoops++
+		}
+		var sum int64
+		for _, f := range pr.Freq {
+			sum += f
+		}
+		if sum != pr.Flow {
+			t.Fatalf("seed %d: flow not conserved", seed)
+		}
+	}
+	if withLoops < 15 {
+		t.Errorf("only %d/20 programs produced multiple paths", withLoops)
+	}
+}
+
+func TestOptionsRespected(t *testing.T) {
+	if _, err := Generate(1, Options{MaxFuncs: 10, MaxDepth: 5}); err == nil {
+		// Only fails when the draw exceeds the register window; try many
+		// seeds to ensure the guard is reachable.
+		hit := false
+		for seed := int64(0); seed < 50; seed++ {
+			if _, err := Generate(seed, Options{MaxFuncs: 10, MaxDepth: 5}); err != nil {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Skip("register-window guard not exercised by these seeds")
+		}
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate must panic when Generate fails")
+		}
+	}()
+	// Force the register-window error deterministically.
+	for seed := int64(0); seed < 1000; seed++ {
+		if _, err := Generate(seed, Options{MaxFuncs: 30, MaxDepth: 3}); err != nil {
+			MustGenerate(seed, Options{MaxFuncs: 30, MaxDepth: 3})
+			return
+		}
+	}
+	t.Skip("no failing seed found")
+}

@@ -1,0 +1,62 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Name", "Value")
+	tb.Row("a", 1)
+	tb.Row("longer", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4\n%s", len(lines), out)
+	}
+	// All lines same width family: header, separator, rows.
+	if !strings.Contains(lines[0], "Name") || !strings.Contains(lines[0], "Value") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "123456") {
+		t.Errorf("row wrong: %q", lines[3])
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := New("x")
+	tb.Row(3.14159)
+	if !strings.Contains(tb.String(), "3.1") {
+		t.Errorf("float not formatted: %s", tb.String())
+	}
+}
+
+func TestPctAndSignedPct(t *testing.T) {
+	if Pct(12.34) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(12.34))
+	}
+	if SignedPct(5.0) != "+5.0%" {
+		t.Errorf("SignedPct = %q", SignedPct(5.0))
+	}
+	if SignedPct(-5.0) != "-5.0%" {
+		t.Errorf("SignedPct = %q", SignedPct(-5.0))
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1000, "1,000"}, {1234567, "1,234,567"},
+		{-1234, "-1,234"},
+	}
+	for _, c := range cases {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

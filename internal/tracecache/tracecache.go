@@ -1,0 +1,221 @@
+// Package tracecache implements a Rotenberg/Bennett/Smith-style hardware
+// trace cache simulator (related work, Section 7): a fill unit snoops the
+// retiring instruction stream and assembles traces of consecutive basic
+// blocks (bounded in instructions and branches); fetches that hit a cached
+// trace are supplied from it until actual execution diverges from the
+// recorded outcomes.
+//
+// The paper positions trace caches as fetch-bandwidth hardware that is
+// "generally not accessible by user software"; this simulator makes the
+// comparison concrete by reporting how much of the instruction stream a
+// hardware trace cache supplies versus how much of it NET's
+// software-selected fragments execute (see the hotpath hardware report).
+package tracecache
+
+import (
+	"fmt"
+
+	"netpath/internal/prog"
+	"netpath/internal/vm"
+)
+
+// Config bounds the simulated trace cache.
+type Config struct {
+	// MaxInstrs bounds a trace line's instruction count (fetch width x
+	// pipeline depth in real designs; default 16).
+	MaxInstrs int
+	// MaxBranches bounds the branches embedded in one line (default 3).
+	MaxBranches int
+	// Lines is the cache capacity in trace lines (default 512); eviction is
+	// FIFO, standing in for a real design's index conflicts.
+	Lines int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInstrs <= 0 {
+		c.MaxInstrs = 16
+	}
+	if c.MaxBranches <= 0 {
+		c.MaxBranches = 3
+	}
+	if c.Lines <= 0 {
+		c.Lines = 512
+	}
+	return c
+}
+
+// segment is one straight-line piece of a trace: instructions
+// [From, To] followed by a transfer to Next.
+type segment struct {
+	From, To, Next int
+}
+
+type line struct {
+	start    int
+	segments []segment
+	instrs   int
+}
+
+// Stats reports a simulation.
+type Stats struct {
+	// Fetches counts trace-cache lookups (one per segment start executed
+	// outside an active trace); Hits the lookups that found a line.
+	Fetches int64
+	Hits    int64
+	// InstrsTotal is the number of instructions executed; InstrsSupplied
+	// the instructions delivered from cached traces before divergence.
+	InstrsTotal    int64
+	InstrsSupplied int64
+	// Lines counts distinct lines ever installed; Evictions FIFO evictions.
+	LinesBuilt int64
+	Evictions  int64
+}
+
+// HitRate returns the per-fetch hit rate in percent.
+func (s Stats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Fetches)
+}
+
+// SuppliedPct returns the fraction of all instructions supplied from the
+// trace cache, in percent — the analogue of the mini-Dynamo's cached
+// fraction.
+func (s Stats) SuppliedPct() float64 {
+	if s.InstrsTotal == 0 {
+		return 0
+	}
+	return 100 * float64(s.InstrsSupplied) / float64(s.InstrsTotal)
+}
+
+// String renders a summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("trace cache: %.1f%% fetch hit rate, %.1f%% instructions supplied (%d lines, %d evictions)",
+		s.HitRate(), s.SuppliedPct(), s.LinesBuilt, s.Evictions)
+}
+
+// Simulator consumes the branch event stream of one run.
+type Simulator struct {
+	cfg   Config
+	stats Stats
+
+	lines map[int]*line
+	fifo  []int
+
+	// Fill unit state.
+	filling  *line
+	fillFrom int
+
+	// Consumption state: the active line and position.
+	active *line
+	pos    int
+
+	curAddr int
+}
+
+// New creates a simulator for a program starting at its entry.
+func New(p *prog.Program, cfg Config) *Simulator {
+	return &Simulator{
+		cfg:     cfg.withDefaults(),
+		lines:   make(map[int]*line),
+		curAddr: p.Entry,
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+func (s *Simulator) install(l *line) {
+	if len(l.segments) == 0 {
+		return
+	}
+	if _, exists := s.lines[l.start]; !exists {
+		if len(s.fifo) >= s.cfg.Lines {
+			victim := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			delete(s.lines, victim)
+			s.stats.Evictions++
+		}
+		s.fifo = append(s.fifo, l.start)
+		s.stats.LinesBuilt++
+	}
+	s.lines[l.start] = l
+}
+
+// beginFetch is called whenever execution starts a new straight-line
+// segment outside an active trace: it both looks up the cache and starts
+// the fill unit.
+func (s *Simulator) beginFetch(addr int) {
+	s.stats.Fetches++
+	if l, ok := s.lines[addr]; ok {
+		s.stats.Hits++
+		s.active = l
+		s.pos = 0
+		return
+	}
+	s.filling = &line{start: addr}
+	s.fillFrom = addr
+}
+
+// OnBranch consumes one executed control transfer.
+func (s *Simulator) OnBranch(ev vm.BranchEvent) {
+	segLen := int64(ev.PC - s.curAddr + 1)
+	s.stats.InstrsTotal += segLen
+
+	if s.active != nil {
+		seg := s.active.segments[s.pos]
+		if seg.From == s.curAddr && seg.To == ev.PC && seg.Next == ev.Target {
+			// The trace supplied this segment correctly.
+			s.stats.InstrsSupplied += segLen
+			s.pos++
+			if s.pos == len(s.active.segments) {
+				s.active = nil
+				s.beginFetch(ev.Target)
+			}
+			s.curAddr = ev.Target
+			return
+		}
+		// Divergence: the rest of the supplied trace is squashed and the
+		// fetch unit redirects to the branch's actual target.
+		s.active = nil
+		s.beginFetch(ev.Target)
+		s.curAddr = ev.Target
+		return
+	}
+
+	if s.filling != nil {
+		s.filling.segments = append(s.filling.segments, segment{From: s.curAddr, To: ev.PC, Next: ev.Target})
+		s.filling.instrs += int(segLen)
+		if len(s.filling.segments) >= s.cfg.MaxBranches || s.filling.instrs >= s.cfg.MaxInstrs {
+			s.install(s.filling)
+			s.filling = nil
+			s.beginFetch(ev.Target)
+			s.curAddr = ev.Target
+			return
+		}
+	}
+	s.curAddr = ev.Target
+}
+
+// Finish flushes the fill unit after the program halts.
+func (s *Simulator) Finish() {
+	if s.filling != nil {
+		s.install(s.filling)
+		s.filling = nil
+	}
+	s.active = nil
+}
+
+// Measure runs the program through a fresh simulator.
+func Measure(p *prog.Program, cfg Config, maxSteps int64) (Stats, error) {
+	sim := New(p, cfg)
+	m := vm.New(p)
+	sim.beginFetch(p.Entry)
+	m.SetListener(sim.OnBranch)
+	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
+		return sim.Stats(), err
+	}
+	sim.Finish()
+	return sim.Stats(), nil
+}

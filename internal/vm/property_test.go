@@ -1,0 +1,141 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// TestALUSemanticsMatchGo checks, for random operand values, that every
+// three-address ALU opcode computes exactly the corresponding Go expression
+// when executed by the machine.
+func TestALUSemanticsMatchGo(t *testing.T) {
+	ops := []struct {
+		op   isa.Op
+		eval func(b, c int64) int64
+	}{
+		{isa.Add, func(b, c int64) int64 { return b + c }},
+		{isa.Sub, func(b, c int64) int64 { return b - c }},
+		{isa.Mul, func(b, c int64) int64 { return b * c }},
+		{isa.Div, func(b, c int64) int64 {
+			if c == 0 {
+				return 0
+			}
+			return b / c
+		}},
+		{isa.Rem, func(b, c int64) int64 {
+			if c == 0 {
+				return 0
+			}
+			return b % c
+		}},
+		{isa.And, func(b, c int64) int64 { return b & c }},
+		{isa.Or, func(b, c int64) int64 { return b | c }},
+		{isa.Xor, func(b, c int64) int64 { return b ^ c }},
+		{isa.Shl, func(b, c int64) int64 { return b << (uint(c) & 63) }},
+		{isa.Shr, func(b, c int64) int64 { return b >> (uint(c) & 63) }},
+	}
+	for _, tc := range ops {
+		tc := tc
+		f := func(b, c int64) bool {
+			bld := prog.NewBuilder("alu")
+			bld.SetMemSize(1)
+			fn := bld.Func("main")
+			fn.Emit(isa.Instr{Op: tc.op, A: 3, B: 1, C: 2})
+			fn.Halt()
+			p, err := bld.Build()
+			if err != nil {
+				return false
+			}
+			m := New(p)
+			m.Reg[1], m.Reg[2] = b, c
+			if err := m.Run(0); err != nil {
+				return false
+			}
+			return m.Reg[3] == tc.eval(b, c)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", tc.op, err)
+		}
+	}
+}
+
+// TestImmSemanticsMatchGo is the immediate-form analogue.
+func TestImmSemanticsMatchGo(t *testing.T) {
+	ops := []struct {
+		op   isa.Op
+		eval func(b, imm int64) int64
+	}{
+		{isa.AddI, func(b, imm int64) int64 { return b + imm }},
+		{isa.MulI, func(b, imm int64) int64 { return b * imm }},
+		{isa.AndI, func(b, imm int64) int64 { return b & imm }},
+		{isa.RemI, func(b, imm int64) int64 {
+			if imm == 0 {
+				return 0
+			}
+			return b % imm
+		}},
+	}
+	for _, tc := range ops {
+		tc := tc
+		f := func(b, imm int64) bool {
+			bld := prog.NewBuilder("imm")
+			bld.SetMemSize(1)
+			fn := bld.Func("main")
+			fn.Emit(isa.Instr{Op: tc.op, A: 3, B: 1, Imm: imm})
+			fn.Halt()
+			p, err := bld.Build()
+			if err != nil {
+				return false
+			}
+			m := New(p)
+			m.Reg[1] = b
+			if err := m.Run(0); err != nil {
+				return false
+			}
+			return m.Reg[3] == tc.eval(b, imm)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", tc.op, err)
+		}
+	}
+}
+
+// TestBranchSemanticsMatchCond checks that Br's taken/not-taken decision
+// agrees with Cond.Eval for random operands and all conditions.
+func TestBranchSemanticsMatchCond(t *testing.T) {
+	for c := isa.Eq; c <= isa.Ge; c++ {
+		c := c
+		f := func(a, b int64) bool {
+			bld := prog.NewBuilder("br")
+			bld.SetMemSize(1)
+			fn := bld.Func("main")
+			fn.Br(c, 1, 2, "taken")
+			fn.MovI(5, 100) // not-taken arm
+			fn.Jmp("done")
+			fn.Label("taken")
+			fn.MovI(5, 200)
+			fn.Label("done")
+			fn.Halt()
+			p, err := bld.Build()
+			if err != nil {
+				return false
+			}
+			m := New(p)
+			m.Reg[1], m.Reg[2] = a, b
+			if err := m.Run(0); err != nil {
+				return false
+			}
+			want := int64(100)
+			if c.Eval(a, b) {
+				want = 200
+			}
+			return m.Reg[5] == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("cond %v: %v", c, err)
+		}
+	}
+}

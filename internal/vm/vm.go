@@ -1,0 +1,263 @@
+// Package vm implements the interpreter for the toy machine. The machine
+// executes a prog.Program one instruction at a time and reports every
+// dynamic control transfer to an optional listener; the profiling and
+// prediction layers are built entirely on that branch event stream.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// BranchEvent describes one executed control transfer.
+type BranchEvent struct {
+	PC       int            // address of the control instruction
+	Target   int            // address execution continues at
+	Taken    bool           // false only for not-taken conditional branches
+	Kind     isa.BranchKind // classification of the transfer
+	Backward bool           // taken and Target <= PC (delimits forward paths)
+}
+
+// Listener receives branch events. Implementations must not modify the
+// machine.
+type Listener func(BranchEvent)
+
+// Limits and failure modes.
+var (
+	// ErrStepLimit is returned by Run when the step budget is exhausted
+	// before the program halts.
+	ErrStepLimit = errors.New("vm: step limit exceeded")
+	// ErrHalted is returned by Step on a halted machine.
+	ErrHalted = errors.New("vm: machine is halted")
+)
+
+// MaxCallDepth bounds the return stack to catch runaway recursion in
+// malformed workloads.
+const MaxCallDepth = 1 << 16
+
+// Machine is the interpreter state.
+type Machine struct {
+	Prog   *prog.Program
+	Reg    [isa.NumRegs]int64
+	Mem    []int64
+	PC     int
+	Halted bool
+	// Steps counts executed instructions (including Halt).
+	Steps int64
+
+	stack    []int64
+	listener Listener
+}
+
+// New creates a machine for p with memory initialized from p.InitMem and the
+// program counter at p.Entry.
+func New(p *prog.Program) *Machine {
+	m := &Machine{Prog: p}
+	m.Reset()
+	return m
+}
+
+// Reset restores the machine to its initial state (registers zero, memory
+// re-initialized, PC at entry).
+func (m *Machine) Reset() {
+	m.Reg = [isa.NumRegs]int64{}
+	m.Mem = make([]int64, m.Prog.MemSize)
+	for _, mi := range m.Prog.InitMem {
+		m.Mem[mi.Addr] = mi.Value
+	}
+	m.PC = m.Prog.Entry
+	m.Halted = false
+	m.Steps = 0
+	m.stack = m.stack[:0]
+}
+
+// SetListener installs the branch event listener (nil disables events).
+func (m *Machine) SetListener(l Listener) { m.listener = l }
+
+// CallDepth returns the current return-stack depth.
+func (m *Machine) CallDepth() int { return len(m.stack) }
+
+// InstrAt returns the instruction at addr; it panics on out-of-range
+// addresses (callers hold a validated program).
+func (m *Machine) InstrAt(addr int) isa.Instr { return m.Prog.Instrs[addr] }
+
+func (m *Machine) branch(pc, target int, taken bool, kind isa.BranchKind) {
+	if m.listener != nil {
+		m.listener(BranchEvent{
+			PC:       pc,
+			Target:   target,
+			Taken:    taken,
+			Kind:     kind,
+			Backward: taken && target <= pc,
+		})
+	}
+}
+
+func (m *Machine) memAddr(base int64, off int64) (int, error) {
+	a := base + off
+	if a < 0 || a >= int64(len(m.Mem)) {
+		return 0, fmt.Errorf("vm: memory access %d out of range [0,%d) at pc %d", a, len(m.Mem), m.PC)
+	}
+	return int(a), nil
+}
+
+// Step executes one instruction. It returns ErrHalted on a halted machine
+// and an execution fault (bad memory access, bad indirect target, return
+// underflow, call overflow) as a non-nil error; faults halt the machine.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return ErrHalted
+	}
+	pc := m.PC
+	in := &m.Prog.Instrs[pc]
+	m.Steps++
+	next := pc + 1
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.MovI:
+		m.Reg[in.A] = in.Imm
+	case isa.Mov:
+		m.Reg[in.A] = m.Reg[in.B]
+	case isa.Add:
+		m.Reg[in.A] = m.Reg[in.B] + m.Reg[in.C]
+	case isa.Sub:
+		m.Reg[in.A] = m.Reg[in.B] - m.Reg[in.C]
+	case isa.Mul:
+		m.Reg[in.A] = m.Reg[in.B] * m.Reg[in.C]
+	case isa.Div:
+		if m.Reg[in.C] == 0 {
+			m.Reg[in.A] = 0
+		} else {
+			m.Reg[in.A] = m.Reg[in.B] / m.Reg[in.C]
+		}
+	case isa.Rem:
+		if m.Reg[in.C] == 0 {
+			m.Reg[in.A] = 0
+		} else {
+			m.Reg[in.A] = m.Reg[in.B] % m.Reg[in.C]
+		}
+	case isa.And:
+		m.Reg[in.A] = m.Reg[in.B] & m.Reg[in.C]
+	case isa.Or:
+		m.Reg[in.A] = m.Reg[in.B] | m.Reg[in.C]
+	case isa.Xor:
+		m.Reg[in.A] = m.Reg[in.B] ^ m.Reg[in.C]
+	case isa.Shl:
+		m.Reg[in.A] = m.Reg[in.B] << (uint(m.Reg[in.C]) & 63)
+	case isa.Shr:
+		m.Reg[in.A] = m.Reg[in.B] >> (uint(m.Reg[in.C]) & 63)
+	case isa.AddI:
+		m.Reg[in.A] = m.Reg[in.B] + in.Imm
+	case isa.MulI:
+		m.Reg[in.A] = m.Reg[in.B] * in.Imm
+	case isa.AndI:
+		m.Reg[in.A] = m.Reg[in.B] & in.Imm
+	case isa.RemI:
+		if in.Imm == 0 {
+			m.Reg[in.A] = 0
+		} else {
+			m.Reg[in.A] = m.Reg[in.B] % in.Imm
+		}
+	case isa.Load:
+		a, err := m.memAddr(m.Reg[in.B], in.Imm)
+		if err != nil {
+			m.Halted = true
+			return err
+		}
+		m.Reg[in.A] = m.Mem[a]
+	case isa.Store:
+		a, err := m.memAddr(m.Reg[in.B], in.Imm)
+		if err != nil {
+			m.Halted = true
+			return err
+		}
+		m.Mem[a] = m.Reg[in.A]
+
+	case isa.Jmp:
+		next = int(in.Target)
+		m.branch(pc, next, true, isa.KindJump)
+	case isa.Br:
+		if in.Cond.Eval(m.Reg[in.A], m.Reg[in.B]) {
+			next = int(in.Target)
+			m.branch(pc, next, true, isa.KindCond)
+		} else {
+			m.branch(pc, next, false, isa.KindCond)
+		}
+	case isa.BrI:
+		if in.Cond.Eval(m.Reg[in.A], in.Imm) {
+			next = int(in.Target)
+			m.branch(pc, next, true, isa.KindCond)
+		} else {
+			m.branch(pc, next, false, isa.KindCond)
+		}
+	case isa.JmpInd:
+		t := int(m.Reg[in.A])
+		if !m.Prog.IsBlockStart(t) {
+			m.Halted = true
+			return fmt.Errorf("vm: indirect jump to %d (not a block start) at pc %d", t, pc)
+		}
+		next = t
+		m.branch(pc, next, true, isa.KindIndirect)
+	case isa.Call:
+		if len(m.stack) >= MaxCallDepth {
+			m.Halted = true
+			return fmt.Errorf("vm: call stack overflow at pc %d", pc)
+		}
+		m.stack = append(m.stack, int64(pc+1))
+		next = int(in.Target)
+		m.branch(pc, next, true, isa.KindCall)
+	case isa.CallInd:
+		t := int(m.Reg[in.A])
+		fi := m.Prog.FuncOf(t)
+		if fi < 0 || m.Prog.Funcs[fi].Entry != t {
+			m.Halted = true
+			return fmt.Errorf("vm: indirect call to %d (not a function entry) at pc %d", t, pc)
+		}
+		if len(m.stack) >= MaxCallDepth {
+			m.Halted = true
+			return fmt.Errorf("vm: call stack overflow at pc %d", pc)
+		}
+		m.stack = append(m.stack, int64(pc+1))
+		next = t
+		m.branch(pc, next, true, isa.KindCallInd)
+	case isa.Ret:
+		if len(m.stack) == 0 {
+			m.Halted = true
+			return fmt.Errorf("vm: return with empty call stack at pc %d", pc)
+		}
+		next = int(m.stack[len(m.stack)-1])
+		m.stack = m.stack[:len(m.stack)-1]
+		m.branch(pc, next, true, isa.KindReturn)
+	case isa.Halt:
+		m.Halted = true
+		return nil
+	default:
+		m.Halted = true
+		return fmt.Errorf("vm: unknown opcode %v at pc %d", in.Op, pc)
+	}
+
+	if next < 0 || next >= len(m.Prog.Instrs) {
+		m.Halted = true
+		return fmt.Errorf("vm: control transfer to %d out of range at pc %d", next, pc)
+	}
+	m.PC = next
+	return nil
+}
+
+// Run executes until the program halts or maxSteps instructions have been
+// executed (ErrStepLimit). maxSteps <= 0 means no limit.
+func (m *Machine) Run(maxSteps int64) error {
+	for !m.Halted {
+		if maxSteps > 0 && m.Steps >= maxSteps {
+			return ErrStepLimit
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+func buildCounting(t *testing.T, n int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("count")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.MovI(0, 0)
+	m.Label("loop")
+	m.AddI(0, 0, 1)
+	m.BrI(isa.Lt, 0, n, "loop")
+	m.Store(0, 1, 0) // Mem[0] = r0 (r1 is zero)
+	m.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestCountingLoop(t *testing.T) {
+	p := buildCounting(t, 10)
+	m := New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Mem[0] != 10 {
+		t.Errorf("Mem[0] = %d, want 10", m.Mem[0])
+	}
+	if !m.Halted {
+		t.Error("machine not halted")
+	}
+}
+
+func TestBranchEvents(t *testing.T) {
+	p := buildCounting(t, 3)
+	m := New(p)
+	var evs []BranchEvent
+	m.SetListener(func(e BranchEvent) { evs = append(evs, e) })
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The loop branch executes 3 times: taken, taken, not-taken. (A
+	// builder-inserted fall-through jump also fires once; ignore it.)
+	var taken, notTaken, backward int
+	for _, e := range evs {
+		if e.Kind != isa.KindCond {
+			continue
+		}
+		if e.Taken {
+			taken++
+		} else {
+			notTaken++
+		}
+		if e.Backward {
+			backward++
+			if !e.Taken || e.Target > e.PC {
+				t.Errorf("backward event inconsistent: %+v", e)
+			}
+		}
+	}
+	if taken != 2 || notTaken != 1 || backward != 2 {
+		t.Errorf("taken=%d notTaken=%d backward=%d, want 2/1/2", taken, notTaken, backward)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	b := prog.NewBuilder("alu")
+	b.SetMemSize(32)
+	f := b.Func("main")
+	f.MovI(1, 20)
+	f.MovI(2, 6)
+	ops := []struct {
+		op   isa.Op
+		want int64
+	}{
+		{isa.Add, 26}, {isa.Sub, 14}, {isa.Mul, 120}, {isa.Div, 3}, {isa.Rem, 2},
+		{isa.And, 4}, {isa.Or, 22}, {isa.Xor, 18},
+	}
+	for i, c := range ops {
+		f.Op3(c.op, uint8(3+i), 1, 2)
+		f.Store(uint8(3+i), 0, int64(i))
+	}
+	// Shifts: 20 << 2, 20 >> 2.
+	f.MovI(2, 2)
+	f.Op3(isa.Shl, 11, 1, 2)
+	f.Store(11, 0, 8)
+	f.Op3(isa.Shr, 12, 1, 2)
+	f.Store(12, 0, 9)
+	// Immediates.
+	f.AddI(13, 1, -5)
+	f.Store(13, 0, 10)
+	f.MulI(14, 1, 3)
+	f.Store(14, 0, 11)
+	f.AndI(15, 1, 7)
+	f.Store(15, 0, 12)
+	f.RemI(16, 1, 7)
+	f.Store(16, 0, 13)
+	f.Mov(17, 1)
+	f.Store(17, 0, 14)
+	f.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, c := range ops {
+		if m.Mem[i] != c.want {
+			t.Errorf("%v: got %d, want %d", c.op, m.Mem[i], c.want)
+		}
+	}
+	wantRest := map[int]int64{8: 80, 9: 5, 10: 15, 11: 60, 12: 4, 13: 6, 14: 20}
+	for a, w := range wantRest {
+		if m.Mem[a] != w {
+			t.Errorf("Mem[%d] = %d, want %d", a, m.Mem[a], w)
+		}
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	b := prog.NewBuilder("divz")
+	b.SetMemSize(4)
+	f := b.Func("main")
+	f.MovI(1, 9)
+	f.MovI(2, 0)
+	f.Op3(isa.Div, 3, 1, 2)
+	f.Store(3, 0, 0)
+	f.Op3(isa.Rem, 4, 1, 2)
+	f.Store(4, 0, 1)
+	f.RemI(5, 1, 0)
+	f.Store(5, 0, 2)
+	f.Halt()
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Mem[0] != 0 || m.Mem[1] != 0 || m.Mem[2] != 0 {
+		t.Errorf("div/rem by zero = %d,%d,%d, want 0,0,0", m.Mem[0], m.Mem[1], m.Mem[2])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := prog.NewBuilder("call")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.MovI(0, 5)
+	m.Call("double")
+	m.Store(0, 1, 0)
+	m.Halt()
+	f := b.Func("double")
+	f.AddI(0, 0, 0)
+	f.Op3(isa.Add, 0, 0, 0)
+	f.Ret()
+	vm := New(b.MustBuild())
+	var kinds []isa.BranchKind
+	vm.SetListener(func(e BranchEvent) { kinds = append(kinds, e.Kind) })
+	if err := vm.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vm.Mem[0] != 10 {
+		t.Errorf("Mem[0] = %d, want 10", vm.Mem[0])
+	}
+	var call, ret bool
+	for _, k := range kinds {
+		if k == isa.KindCall {
+			call = true
+		}
+		if k == isa.KindReturn {
+			ret = true
+		}
+	}
+	if !call || !ret {
+		t.Errorf("missing call/ret events: %v", kinds)
+	}
+	if vm.CallDepth() != 0 {
+		t.Errorf("call depth = %d after return", vm.CallDepth())
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	b := prog.NewBuilder("ind")
+	b.SetMemSize(8)
+	m := b.Func("main")
+	m.Load(1, 0, 4) // r1 = jump table entry (r0 = 0)
+	m.JmpInd(1)
+	m.Label("a")
+	m.MovI(2, 100)
+	m.Jmp("done")
+	m.Label("b")
+	m.MovI(2, 200)
+	m.Jmp("done")
+	m.Label("done")
+	m.Store(2, 0, 0)
+	m.Halt()
+	b.SetMemLabel(4, "b")
+	vm := New(b.MustBuild())
+	var ind int
+	vm.SetListener(func(e BranchEvent) {
+		if e.Kind == isa.KindIndirect {
+			ind++
+		}
+	})
+	if err := vm.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vm.Mem[0] != 200 {
+		t.Errorf("Mem[0] = %d, want 200 (jump to b)", vm.Mem[0])
+	}
+	if ind != 1 {
+		t.Errorf("indirect events = %d, want 1", ind)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	b := prog.NewBuilder("icall")
+	b.SetMemSize(8)
+	m := b.Func("main")
+	m.Load(1, 0, 4)
+	m.CallInd(1)
+	m.Store(2, 0, 0)
+	m.Halt()
+	g := b.Func("g")
+	g.MovI(2, 42)
+	g.Ret()
+	b.SetMemLabel(4, "g")
+	vm := New(b.MustBuild())
+	if err := vm.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vm.Mem[0] != 42 {
+		t.Errorf("Mem[0] = %d, want 42", vm.Mem[0])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	t.Run("badIndirect", func(t *testing.T) {
+		b := prog.NewBuilder("f")
+		b.SetMemSize(4)
+		m := b.Func("main")
+		m.MovI(1, 1) // address 1 is mid-block
+		m.JmpInd(1)
+		m.Halt()
+		vm := New(b.MustBuild())
+		if err := vm.Run(0); err == nil {
+			t.Error("want fault for indirect jump mid-block")
+		}
+		if !vm.Halted {
+			t.Error("fault must halt the machine")
+		}
+	})
+	t.Run("badIndirectCall", func(t *testing.T) {
+		b := prog.NewBuilder("f")
+		b.SetMemSize(4)
+		m := b.Func("main")
+		m.MovI(1, 999)
+		m.CallInd(1)
+		m.Halt()
+		if err := New(b.MustBuild()).Run(0); err == nil {
+			t.Error("want fault for indirect call to bad entry")
+		}
+	})
+	t.Run("retUnderflow", func(t *testing.T) {
+		b := prog.NewBuilder("f")
+		b.SetMemSize(4)
+		m := b.Func("main")
+		m.Ret()
+		if err := New(b.MustBuild()).Run(0); err == nil {
+			t.Error("want fault for return underflow")
+		}
+	})
+	t.Run("memOutOfRange", func(t *testing.T) {
+		b := prog.NewBuilder("f")
+		b.SetMemSize(4)
+		m := b.Func("main")
+		m.MovI(1, 100)
+		m.Load(2, 1, 0)
+		m.Halt()
+		if err := New(b.MustBuild()).Run(0); err == nil {
+			t.Error("want fault for out-of-range load")
+		}
+	})
+	t.Run("stackOverflow", func(t *testing.T) {
+		b := prog.NewBuilder("f")
+		b.SetMemSize(4)
+		m := b.Func("main")
+		m.Call("rec")
+		m.Halt()
+		r := b.Func("rec")
+		r.Call("rec")
+		r.Ret()
+		if err := New(b.MustBuild()).Run(0); err == nil {
+			t.Error("want fault for infinite recursion")
+		}
+	})
+}
+
+func TestStepLimit(t *testing.T) {
+	b := prog.NewBuilder("inf")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.Label("top")
+	m.Jmp("top")
+	vm := New(b.MustBuild())
+	err := vm.Run(100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("Run = %v, want ErrStepLimit", err)
+	}
+	if vm.Steps != 100 {
+		t.Errorf("Steps = %d, want 100", vm.Steps)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	b := prog.NewBuilder("h")
+	b.SetMemSize(4)
+	m := b.Func("main")
+	m.Halt()
+	vm := New(b.MustBuild())
+	if err := vm.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := vm.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after halt = %v, want ErrHalted", err)
+	}
+}
+
+func TestResetDeterminism(t *testing.T) {
+	p := buildCounting(t, 50)
+	m := New(p)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	steps1, mem1 := m.Steps, m.Mem[0]
+	m.Reset()
+	if m.Steps != 0 || m.Halted || m.PC != p.Entry {
+		t.Fatal("Reset did not restore initial state")
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("Run after reset: %v", err)
+	}
+	if m.Steps != steps1 || m.Mem[0] != mem1 {
+		t.Errorf("non-deterministic re-run: steps %d vs %d, mem %d vs %d", m.Steps, steps1, m.Mem[0], mem1)
+	}
+}

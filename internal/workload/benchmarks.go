@@ -1,0 +1,512 @@
+package workload
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// Benchmark is one synthetic workload.
+type Benchmark struct {
+	Name string
+	// Mimics documents which structural property of the SpecInt95/deltablue
+	// original the generator reproduces (the substitution record DESIGN.md
+	// requires).
+	Mimics string
+	// Build generates the program. scale multiplies driver iteration counts
+	// (1.0 reproduces the reported experiments; smaller values keep unit
+	// tests and benchmarks fast).
+	Build func(scale float64) (*prog.Program, error)
+}
+
+// All returns the benchmark set in the paper's Table 1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name:   "compress",
+			Mimics: "tiny code footprint, a handful of extremely dominant loop paths, highest flow (paper: 230 paths, 99.6% hot flow)",
+			Build:  buildCompress,
+		},
+		{
+			Name:   "gcc",
+			Mimics: "many flat branchy passes; tens of thousands of paths with weak dominance (paper: 36,738 paths, 47.5% hot flow)",
+			Build:  buildGCC,
+		},
+		{
+			Name:   "go",
+			Mimics: "branchy evaluation with moderate dominance (paper: 29,629 paths, 55.5% hot flow)",
+			Build:  buildGo,
+		},
+		{
+			Name:   "ijpeg",
+			Mimics: "nested pixel kernels: heavily dominant inner paths with a very long tail of rare variants (paper: 62,125 paths, 93.3% hot flow)",
+			Build:  buildIJpeg,
+		},
+		{
+			Name:   "li",
+			Mimics: "recursive interpreter: recursion-heavy control flow, strong dominance, highest flow per instruction (paper: 1,391 paths, 93.8% hot flow)",
+			Build:  buildLi,
+		},
+		{
+			Name:   "m88ksim",
+			Mimics: "fetch-decode-execute dispatch loop over a Zipf opcode mix (paper: 1,426 paths, 92.5% hot flow)",
+			Build:  buildM88ksim,
+		},
+		{
+			Name:   "perl",
+			Mimics: "large bytecode dispatch with deeper handlers and recursive eval (paper: 2,776 paths, 88.5% hot flow)",
+			Build:  buildPerl,
+		},
+		{
+			Name:   "vortex",
+			Mimics: "object store: many small methods reached through indirect call tables, phased query mix (paper: 5,825 paths, 85.8% hot flow)",
+			Build:  buildVortex,
+		},
+		{
+			Name:   "deltablue",
+			Mimics: "incremental constraint solver: alternating plan/execute phases over a small code base (paper: 505 paths, 93.9% hot flow)",
+			Build:  buildDeltablue,
+		},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in Table 1 order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// --- compress -------------------------------------------------------------
+
+func buildCompress(scale float64) (*prog.Program, error) {
+	g := newGen("compress", 1)
+	m := g.b.Func("main")
+	// Rarely executed setup/error code: contributes heads, not flow.
+	g.coldRegion(m, 100)
+	// Table refill: a short, branchy, low-flow phase (cold path tail).
+	g.loop(m, 120, func() {
+		for i := 0; i < 6; i++ {
+			g.diamondF(m, g.biasIn(4500, 6500))
+		}
+	})
+	// Compression loop: byte-wise hashing with heavily biased hit/miss
+	// branches and a short probe loop.
+	g.loop(m, scaleN(230_000, scale), func() {
+		g.diamondF(m, 9800)
+		g.diamondF(m, 9600)
+		g.loop(m, 6, func() {
+			g.diamondF(m, 9400)
+		})
+	})
+	// Output/encoding phase: a small skewed switch.
+	g.loop(m, scaleN(40_000, scale), func() {
+		g.switchTable(m, []int{20, 4, 2, 1}, func(i int) {
+			g.filler(m, 1+i)
+			if i >= 2 {
+				g.diamondF(m, 9000)
+			}
+		})
+	})
+	m.Halt()
+	return g.build()
+}
+
+// --- gcc ------------------------------------------------------------------
+
+func buildGCC(scale float64) (*prog.Program, error) {
+	g := newGen("gcc", 2)
+	const (
+		coldPasses   = 16
+		hotPasses    = 16
+		coldBranches = 11
+		hotBranches  = 8
+		passIters    = 80
+		rounds       = 350
+	)
+	var names []string
+	for i := 0; i < coldPasses; i++ {
+		name := fmt.Sprintf("cold_pass_%d", i)
+		names = append(names, name)
+		biases := make([]int, coldBranches)
+		for j := range biases {
+			biases[j] = g.biasIn(3500, 6500)
+		}
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.loop(f, passIters, func() {
+				for _, bp := range biases {
+					g.diamondF(f, bp)
+				}
+			})
+			f.Ret()
+		})
+	}
+	for i := 0; i < hotPasses; i++ {
+		name := fmt.Sprintf("hot_pass_%d", i)
+		names = append(names, name)
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.loop(f, passIters, func() {
+				for j := 0; j < hotBranches; j++ {
+					g.diamondF(f, 9700)
+				}
+			})
+			f.Ret()
+		})
+	}
+	m := g.b.Func("driver")
+	g.coldRegion(m, 2500)
+	g.loop(m, scaleN(rounds, scale), func() {
+		for _, n := range names {
+			m.Call(n)
+		}
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- go -------------------------------------------------------------------
+
+func buildGo(scale float64) (*prog.Program, error) {
+	g := newGen("go", 3)
+	const (
+		evalFns  = 18
+		branches = 10
+		rounds   = 300
+	)
+	var names []string
+	for i := 0; i < evalFns; i++ {
+		name := fmt.Sprintf("eval_%d", i)
+		names = append(names, name)
+		// Half the evaluators are "tactical" (dominant patterns, long
+		// inner loops), half are "reading" (flat search, short loops).
+		hot := i%2 == 0
+		iters := int64(40)
+		if hot {
+			iters = 100
+		}
+		biases := make([]int, branches)
+		for j := range biases {
+			if hot {
+				biases[j] = g.biasIn(9600, 9900)
+			} else {
+				biases[j] = g.biasIn(4000, 7000)
+			}
+		}
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.loop(f, iters, func() {
+				for _, bp := range biases {
+					g.diamondF(f, bp)
+				}
+				g.switchTable(f, zipfWeights(4), func(c int) { g.filler(f, 1+c) })
+			})
+			f.Ret()
+		})
+	}
+	m := g.b.Func("driver")
+	g.coldRegion(m, 700)
+	g.loop(m, scaleN(rounds, scale), func() {
+		for _, n := range names {
+			m.Call(n)
+		}
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- ijpeg ----------------------------------------------------------------
+
+func buildIJpeg(scale float64) (*prog.Program, error) {
+	g := newGen("ijpeg", 4)
+	const (
+		hotKernels  = 8
+		coldKernels = 4
+		rounds      = 250
+	)
+	var names []string
+	// Hot pixel kernels: nearly deterministic inner loops carrying almost
+	// all flow.
+	for i := 0; i < hotKernels; i++ {
+		name := fmt.Sprintf("kernel_%d", i)
+		names = append(names, name)
+		// 13 branches: an odd per-iteration data stride is coprime with the
+		// data-region size, so successive iterations see fresh data windows
+		// instead of cycling through a small alignment class.
+		biases := make([]int, 13)
+		for j := range biases {
+			biases[j] = g.biasIn(9880, 9950)
+		}
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.loop(f, 6, func() {
+				g.loop(f, 16, func() {
+					for _, bp := range biases {
+						g.diamondF(f, bp)
+					}
+				})
+			})
+			f.Ret()
+		})
+	}
+	// Entropy-coding kernels: flat 16-branch bodies whose iterations are
+	// nearly all distinct paths — the enormous cold tail of the original.
+	for i := 0; i < coldKernels; i++ {
+		name := fmt.Sprintf("entropy_%d", i)
+		names = append(names, name)
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.loop(f, 16, func() {
+				// 15 branches: odd stride, coprime with the data period (see
+				// the hot kernels above) so nearly every iteration realizes
+				// a fresh path.
+				for j := 0; j < 15; j++ {
+					g.diamondF(f, g.biasIn(4500, 6000))
+				}
+			})
+			f.Ret()
+		})
+	}
+	m := g.b.Func("driver")
+	g.coldRegion(m, 150)
+	g.loop(m, scaleN(rounds, scale), func() {
+		// One extra data fetch makes the per-round data-cursor stride odd
+		// (coprime with the data-region size), so every round starts the
+		// kernels at a fresh window and the entropy kernels realize their
+		// full path diversity.
+		g.fresh(m)
+		for _, n := range names {
+			m.Call(n)
+		}
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- li -------------------------------------------------------------------
+
+func buildLi(scale float64) (*prog.Program, error) {
+	g := newGen("li", 5)
+	// eval: a recursive interpreter over a small operator alphabet. The
+	// recursive call is backward (the callee entry precedes the call), so
+	// each recursion level is its own forward path — the paper's
+	// "recursive loops without unfolding".
+	g.fn("eval", 1, func(ev *prog.FuncBuilder) {
+		base := g.label("base")
+		ev.BrI(isa.Le, regDepth, 0, base)
+		ev.AddI(regDepth, regDepth, -1)
+		g.switchTable(ev, zipfWeights(16), func(c int) {
+			g.filler(ev, 1+c%3)
+			if c < 6 {
+				g.diamondF(ev, g.biasIn(9000, 9600))
+			}
+			if c >= 12 {
+				g.diamondF(ev, g.biasIn(6000, 8500))
+			}
+		})
+		ev.Call("eval")
+		g.filler(ev, 2)
+		g.diamondF(ev, 9300)
+		ev.Ret()
+		ev.Label(base)
+		g.filler(ev, 1)
+		ev.Ret()
+	})
+
+	m := g.b.Func("driver")
+	g.coldRegion(m, 350)
+	g.loop(m, scaleN(130_000, scale), func() {
+		g.fresh(m)
+		m.AndI(regDepth, regVal, 15)
+		m.Call("eval")
+		g.diamondF(m, 9500)
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- m88ksim --------------------------------------------------------------
+
+func buildM88ksim(scale float64) (*prog.Program, error) {
+	g := newGen("m88ksim", 6)
+	const ops = 24
+	m := g.b.Func("main")
+	g.coldRegion(m, 450)
+	g.loop(m, scaleN(300_000, scale), func() {
+		// Fetch/decode.
+		g.diamondF(m, 9700) // cache hit
+		// Execute: Zipf opcode dispatch; common ops also select an
+		// addressing mode (a second-level switch).
+		g.switchTable(m, zipfWeights(ops), func(c int) {
+			g.filler(m, 1+c%4)
+			switch {
+			case c < 4:
+				g.switchTable(m, []int{6, 3, 2, 1}, func(am int) {
+					g.filler(m, 1+am)
+				})
+				g.diamondF(m, 9000)
+			case c < 12:
+				g.diamondF(m, g.biasIn(7500, 9500))
+				g.diamondF(m, g.biasIn(7500, 9500))
+			default:
+				g.diamondF(m, g.biasIn(5000, 9000))
+				g.diamondF(m, g.biasIn(5000, 9000))
+			}
+		})
+		// Writeback/interrupt check.
+		g.diamondF(m, 9900)
+	})
+	m.Halt()
+	return g.build()
+}
+
+// --- perl -----------------------------------------------------------------
+
+func buildPerl(scale float64) (*prog.Program, error) {
+	g := newGen("perl", 7)
+	const ops = 40
+	// interp's dispatch loop runs at depth 1 (called from the driver loop).
+	// The recursive eval case re-enters interp, which truncates the outer
+	// dispatch loop's remaining iterations (global registers, no
+	// callee-save) — a quirk, but a deterministic and terminating one that
+	// adds realistic path variety around recursion.
+	g.fn("interp", 1, func(in *prog.FuncBuilder) {
+		lRet := g.label("iret")
+		in.BrI(isa.Le, regDepth, 0, lRet)
+		in.AddI(regDepth, regDepth, -1)
+		g.loop(in, 12, func() {
+			g.diamondF(in, 9600) // operand fetch fast path
+			g.switchTable(in, zipfWeights(ops), func(c int) {
+				g.filler(in, 1+c%5)
+				switch {
+				case c == 3:
+					// Nested eval: backward recursive call.
+					in.Call("interp")
+				case c < 10:
+					g.switchTable(in, []int{4, 2, 1}, func(am int) {
+						g.filler(in, 1+am)
+					})
+					g.diamondF(in, g.biasIn(8000, 9500))
+				case c < 25:
+					g.diamondF(in, g.biasIn(6000, 9000))
+					g.diamondF(in, g.biasIn(6000, 9000))
+				default:
+					g.diamondF(in, g.biasIn(4000, 8000))
+					g.diamondF(in, g.biasIn(4000, 8000))
+				}
+			})
+		})
+		in.Label(lRet)
+		in.Ret()
+	})
+
+	m := g.b.Func("driver")
+	g.coldRegion(m, 800)
+	g.loop(m, scaleN(30_000, scale), func() {
+		g.fresh(m)
+		m.AndI(regDepth, regVal, 3)
+		m.AddI(regDepth, regDepth, 1)
+		m.Call("interp")
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- vortex ---------------------------------------------------------------
+
+func buildVortex(scale float64) (*prog.Program, error) {
+	g := newGen("vortex", 8)
+	const methods = 40
+	var names []string
+	for i := 0; i < methods; i++ {
+		name := fmt.Sprintf("method_%d", i)
+		names = append(names, name)
+		iters := int64(2 + i%4)
+		g.fn(name, 1, func(f *prog.FuncBuilder) {
+			g.diamondF(f, g.biasIn(9000, 9700))
+			g.loop(f, iters, func() {
+				g.diamondF(f, g.biasIn(9000, 9600))
+				g.switchTable(f, []int{20, 3, 1, 1}, func(c int) { g.filler(f, 1+c%3) })
+			})
+			g.switchTable(f, []int{12, 3, 2, 1, 1}, func(c int) { g.filler(f, 1+c) })
+			f.Ret()
+		})
+	}
+	m := g.b.Func("driver")
+	g.coldRegion(m, 2000)
+	// Three query phases with different method mixes.
+	for phase := 0; phase < 3; phase++ {
+		w := make([]int, methods)
+		for i := range w {
+			w[i] = 1
+		}
+		// Each phase favours a different method cluster.
+		for i := phase * 13; i < phase*13+13 && i < methods; i++ {
+			w[i] = 30
+		}
+		g.loop(m, scaleN(55_000, scale), func() {
+			g.callTable(m, w, names)
+			g.diamondF(m, 9500)
+		})
+	}
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}
+
+// --- deltablue ------------------------------------------------------------
+
+func buildDeltablue(scale float64) (*prog.Program, error) {
+	g := newGen("deltablue", 9)
+	g.fn("plan", 1, func(plan *prog.FuncBuilder) {
+		g.loop(plan, 20, func() {
+			g.diamondF(plan, g.biasIn(7500, 9000))
+			g.diamondF(plan, g.biasIn(7500, 9000))
+			g.switchTable(plan, []int{8, 4, 2, 1}, func(c int) { g.filler(plan, 1+c) })
+		})
+		plan.Ret()
+	})
+	g.fn("execute", 1, func(exec *prog.FuncBuilder) {
+		g.loop(exec, 60, func() {
+			g.diamondF(exec, 9700)
+			g.diamondF(exec, 9500)
+		})
+		exec.Ret()
+	})
+	// Constraint-graph rebuild: rare, branchy (cold tail).
+	g.fn("rebuild", 1, func(rb *prog.FuncBuilder) {
+		g.loop(rb, 8, func() {
+			for i := 0; i < 5; i++ {
+				g.diamondF(rb, g.biasIn(4000, 7000))
+			}
+		})
+		rb.Ret()
+	})
+
+	m := g.b.Func("driver")
+	g.coldRegion(m, 120)
+	g.loop(m, scaleN(7_000, scale), func() {
+		m.Call("plan")
+		m.Call("execute")
+		g.diamond(m, 200, func() { m.Call("rebuild") }, func() { g.filler(m, 1) })
+		g.diamondF(m, 9000)
+	})
+	m.Halt()
+	g.b.SetEntry("driver")
+	return g.build()
+}

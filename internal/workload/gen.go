@@ -1,0 +1,311 @@
+// Package workload generates the nine deterministic synthetic benchmarks
+// the experiments run on. The paper evaluated SpecInt95 plus deltablue; the
+// binaries (and a PA-RISC to run them) are unavailable, so each benchmark
+// here is a synthetic program engineered to mimic the *shape* that drives
+// hot path prediction in its namesake: the order of magnitude of the
+// dynamic path count, the dominance of the hot path set (the %Flow column
+// of Table 1), and the control-flow style (tight biased loops, flat
+// branchy passes, interpreter dispatch, recursion, phases).
+//
+// All randomness is compile-time: a seeded generator lays out code and
+// fills a data region that branch decisions load from, so every run of a
+// generated program is bit-identical.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// Register conventions for generated code. Generated programs use a global
+// register file (the toy ISA has no callee-save), so the roles below are
+// disjoint by construction.
+const (
+	regCursor = 31 // data-stream cursor
+	regVal    = 29 // most recent data value
+	regIdx    = 27 // table index scratch
+	regTgt    = 26 // indirect target scratch
+	regDepth  = 25 // recursion depth
+	// Loop induction variables: regLoop0-regLoop0-maxLoopDepth+1.
+	regLoop0     = 24
+	maxLoopDepth = 8
+	// Accumulators r0..r15 for filler arithmetic.
+	numAccum = 16
+)
+
+// dataLen is the data-region size in words (power of two; the cursor wraps
+// with a mask). dataMax is the exclusive upper bound of data values; biases
+// are expressed in the same units (basis points of dataMax).
+const (
+	dataLen = 16384
+	dataMax = 10000
+)
+
+// gen wraps a program builder with seeded randomness, label generation,
+// memory allocation, and the control-flow combinators the benchmarks are
+// assembled from.
+type gen struct {
+	b      *prog.Builder
+	r      *rand.Rand
+	nlabel int
+	memTop int
+	depth  int
+}
+
+func newGen(name string, seed int64) *gen {
+	g := &gen{b: prog.NewBuilder(name), r: rand.New(rand.NewSource(seed)), memTop: dataLen}
+	for i := 0; i < dataLen; i++ {
+		g.b.SetMem(i, int64(g.r.Intn(dataMax)))
+	}
+	return g
+}
+
+func (g *gen) label(prefix string) string {
+	g.nlabel++
+	return fmt.Sprintf("%s_%d", prefix, g.nlabel)
+}
+
+// alloc reserves n memory words and returns the base address.
+func (g *gen) alloc(n int) int {
+	base := g.memTop
+	g.memTop += n
+	return base
+}
+
+// build finalizes the program.
+func (g *gen) build() (*prog.Program, error) {
+	g.b.SetMemSize(g.memTop)
+	return g.b.Build()
+}
+
+// fresh advances the data cursor and loads the next data value into regVal.
+func (g *gen) fresh(f *prog.FuncBuilder) {
+	f.AddI(regCursor, regCursor, 1)
+	f.AndI(regCursor, regCursor, dataLen-1)
+	f.Load(regVal, regCursor, 0)
+}
+
+// filler emits n data-flow instructions over the accumulator registers;
+// the sequence is deterministic in the generator's RNG state.
+func (g *gen) filler(f *prog.FuncBuilder, n int) {
+	for i := 0; i < n; i++ {
+		a := uint8(g.r.Intn(numAccum))
+		b := uint8(g.r.Intn(numAccum))
+		c := uint8(g.r.Intn(numAccum))
+		switch g.r.Intn(4) {
+		case 0:
+			f.Op3(isa.Add, a, b, c)
+		case 1:
+			f.Op3(isa.Xor, a, b, c)
+		case 2:
+			f.AddI(a, b, int64(g.r.Intn(64)))
+		case 3:
+			f.Op3(isa.Sub, a, b, c)
+		}
+	}
+}
+
+// fn generates a function whose loops start at induction-register depth
+// base. The toy ISA has a global register file with no callee-save, so a
+// function called from inside a caller's loop at depth d must generate its
+// own loops at base >= d, or it would clobber the caller's induction
+// register (and with it the caller's trip count).
+func (g *gen) fn(name string, base int, body func(f *prog.FuncBuilder)) {
+	f := g.b.Func(name)
+	save := g.depth
+	g.depth = base
+	body(f)
+	g.depth = save
+}
+
+// loop emits a counted loop executing body n times. Loops nest up to
+// maxLoopDepth deep, each level using its own induction register.
+func (g *gen) loop(f *prog.FuncBuilder, n int64, body func()) {
+	if g.depth >= maxLoopDepth {
+		panic("workload: loop nesting too deep")
+	}
+	reg := uint8(regLoop0 - g.depth)
+	g.depth++
+	top := g.label("loop")
+	f.MovI(reg, 0)
+	f.Label(top)
+	body()
+	f.AddI(reg, reg, 1)
+	f.BrI(isa.Lt, reg, n, top)
+	g.depth--
+}
+
+// loopGeom emits a data-driven loop that continues with probability
+// contBp/10000 per iteration (geometric trip count, at least one).
+func (g *gen) loopGeom(f *prog.FuncBuilder, contBp int, body func()) {
+	top := g.label("gloop")
+	f.Label(top)
+	body()
+	g.fresh(f)
+	f.BrI(isa.Lt, regVal, int64(contBp), top)
+}
+
+// diamond emits an if/else on a fresh data value: the then-arm executes
+// with probability biasBp/10000.
+func (g *gen) diamond(f *prog.FuncBuilder, biasBp int, then, els func()) {
+	g.fresh(f)
+	lThen := g.label("then")
+	lJoin := g.label("join")
+	f.BrI(isa.Lt, regVal, int64(biasBp), lThen)
+	if els != nil {
+		els()
+	}
+	f.Jmp(lJoin)
+	f.Label(lThen)
+	if then != nil {
+		then()
+	}
+	f.Label(lJoin)
+}
+
+// diamondF is diamond with small filler arms — the common case.
+func (g *gen) diamondF(f *prog.FuncBuilder, biasBp int) {
+	g.diamond(f, biasBp,
+		func() { g.filler(f, 1+g.r.Intn(2)) },
+		func() { g.filler(f, 1+g.r.Intn(2)) })
+}
+
+// switchTable emits a weighted indirect switch. weights are relative case
+// weights; a 64-slot jump table maps data bits to cases proportionally.
+// Each case body runs and control rejoins after the switch.
+func (g *gen) switchTable(f *prog.FuncBuilder, weights []int, caseBody func(i int)) {
+	k := len(weights)
+	if k < 2 {
+		panic("workload: switch needs >= 2 cases")
+	}
+	tbl := g.alloc(64)
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = g.label("case")
+	}
+	for slot, ci := range spreadWeights(weights, 64) {
+		g.b.SetMemLabel(tbl+slot, labels[ci])
+	}
+	lJoin := g.label("sjoin")
+	g.fresh(f)
+	f.AndI(regIdx, regVal, 63)
+	f.AddI(regIdx, regIdx, int64(tbl))
+	f.Load(regTgt, regIdx, 0)
+	f.JmpInd(regTgt)
+	for i, lbl := range labels {
+		f.Label(lbl)
+		caseBody(i)
+		f.Jmp(lJoin)
+	}
+	f.Label(lJoin)
+}
+
+// callTable emits a weighted indirect call through a function table.
+func (g *gen) callTable(f *prog.FuncBuilder, weights []int, fnNames []string) {
+	if len(weights) != len(fnNames) {
+		panic("workload: callTable weight/name mismatch")
+	}
+	tbl := g.alloc(64)
+	for slot, ci := range spreadWeights(weights, 64) {
+		g.b.SetMemLabel(tbl+slot, fnNames[ci])
+	}
+	g.fresh(f)
+	f.AndI(regIdx, regVal, 63)
+	f.AddI(regIdx, regIdx, int64(tbl))
+	f.Load(regTgt, regIdx, 0)
+	f.CallInd(regTgt)
+}
+
+// spreadWeights maps case indices onto slots proportionally to weight,
+// guaranteeing every case at least one slot. Zero and negative weights are
+// clamped to 1. len(weights) must not exceed slots.
+func spreadWeights(weights []int, slots int) []int {
+	k := len(weights)
+	if k > slots {
+		panic("workload: more switch cases than table slots")
+	}
+	w := make([]int, k)
+	total := 0
+	for i, v := range weights {
+		if v <= 0 {
+			v = 1
+		}
+		w[i] = v
+		total += v
+	}
+	// One guaranteed slot per case, the rest proportional.
+	counts := make([]int, k)
+	spare := slots - k
+	used := 0
+	for i := range counts {
+		counts[i] = 1 + w[i]*spare/total
+		used += counts[i]
+	}
+	// Distribute rounding leftovers to the heaviest cases first.
+	for i := 0; used < slots; i = (i + 1) % k {
+		counts[i]++
+		used++
+	}
+	out := make([]int, 0, slots)
+	for i, n := range counts {
+		for j := 0; j < n && len(out) < slots; j++ {
+			out = append(out, i)
+		}
+	}
+	return out[:slots]
+}
+
+// zipfWeights returns k weights following a Zipf-like 1/(i+1) profile
+// scaled to integers — the classic interpreter-dispatch skew.
+func zipfWeights(k int) []int {
+	w := make([]int, k)
+	for i := range w {
+		w[i] = 2 * k / (i + 1)
+		if w[i] == 0 {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// uniformWeights returns k equal weights.
+func uniformWeights(k int) []int {
+	w := make([]int, k)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// coldRegion emits nLoops tiny loops, each running only a handful of
+// iterations. Real programs carry large amounts of rarely executed looping
+// code (initialization, error paths, cold features); these loops contribute
+// path heads and cold paths without meaningful flow, which Table 2 and
+// Figure 4 (counter-space comparison) depend on.
+func (g *gen) coldRegion(f *prog.FuncBuilder, nLoops int) {
+	for i := 0; i < nLoops; i++ {
+		g.loop(f, int64(2+g.r.Intn(3)), func() {
+			g.diamondF(f, g.biasIn(3000, 7000))
+		})
+	}
+}
+
+// biasIn returns a random bias in [lo, hi] basis points.
+func (g *gen) biasIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// scaleN scales an iteration count, keeping at least 1.
+func scaleN(n int64, scale float64) int64 {
+	s := int64(float64(n) * scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

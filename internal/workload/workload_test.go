@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+
+	"netpath/internal/profile"
+	"netpath/internal/vm"
+)
+
+// testScale keeps unit-test runs fast while preserving program structure.
+const testScale = 0.02
+
+func TestAllBenchmarksBuildAndValidate(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := b.Build(testScale)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if b.Mimics == "" {
+				t.Error("missing Mimics documentation")
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksRunToCompletion(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := b.Build(testScale)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			m := vm.New(p)
+			if err := m.Run(200_000_000); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !m.Halted {
+				t.Error("program did not halt")
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p1, err1 := b.Build(testScale)
+			p2, err2 := b.Build(testScale)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("Build: %v, %v", err1, err2)
+			}
+			if p1.Len() != p2.Len() {
+				t.Fatalf("program sizes differ: %d vs %d", p1.Len(), p2.Len())
+			}
+			for i := range p1.Instrs {
+				if p1.Instrs[i] != p2.Instrs[i] {
+					t.Fatalf("instruction %d differs", i)
+				}
+			}
+			pr1, err := profile.Collect(p1, 0)
+			if err != nil {
+				t.Fatalf("Collect: %v", err)
+			}
+			pr2, err := profile.Collect(p2, 0)
+			if err != nil {
+				t.Fatalf("Collect: %v", err)
+			}
+			if pr1.Flow != pr2.Flow || pr1.NumPaths() != pr2.NumPaths() {
+				t.Error("profiles differ across identical builds")
+			}
+		})
+	}
+}
+
+func TestScaleChangesFlowNotStructure(t *testing.T) {
+	small, err := ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := small.Build(0.01)
+	p2, _ := small.Build(0.02)
+	if p1.Len() != p2.Len() {
+		t.Errorf("scale must not change code size: %d vs %d", p1.Len(), p2.Len())
+	}
+	pr1, err := profile.Collect(p1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := profile.Collect(p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Flow <= pr1.Flow {
+		t.Errorf("larger scale must increase flow: %d vs %d", pr1.Flow, pr2.Flow)
+	}
+}
+
+func TestShapeProperties(t *testing.T) {
+	// The properties the experiments depend on, at reduced scale. Path
+	// counts shrink with scale (fewer iterations realize fewer rare
+	// variants), so the assertions use conservative scale-adjusted bounds.
+	cases := []struct {
+		name       string
+		minPaths   int
+		maxPaths   int
+		minHotFlow float64
+		maxHotFlow float64
+	}{
+		{"compress", 50, 2_000, 98, 100},
+		{"gcc", 2_000, 80_000, 20, 65},
+		{"go", 1_000, 60_000, 35, 80},
+		{"ijpeg", 500, 80_000, 70, 99},
+		{"li", 100, 5_000, 90, 100},
+		{"m88ksim", 200, 5_000, 85, 100},
+		{"perl", 300, 10_000, 75, 97},
+		{"vortex", 500, 20_000, 55, 95},
+		{"deltablue", 80, 2_000, 90, 100},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			b, err := ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := b.Build(0.05)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			pr, err := profile.Collect(p, 0)
+			if err != nil {
+				t.Fatalf("Collect: %v", err)
+			}
+			if pr.NumPaths() < c.minPaths || pr.NumPaths() > c.maxPaths {
+				t.Errorf("paths = %d, want in [%d, %d]", pr.NumPaths(), c.minPaths, c.maxPaths)
+			}
+			hs := pr.Hot(0.001)
+			pct := hs.FlowPct(pr)
+			if pct < c.minHotFlow || pct > c.maxHotFlow {
+				t.Errorf("hot flow = %.1f%%, want in [%.0f, %.0f]", pct, c.minHotFlow, c.maxHotFlow)
+			}
+			if pr.UniqueHeads() >= pr.NumPaths() {
+				t.Errorf("heads %d must be < paths %d (NET space advantage)", pr.UniqueHeads(), pr.NumPaths())
+			}
+		})
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+	names := Names()
+	if len(names) != 9 || names[0] != "compress" || names[8] != "deltablue" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestSpreadWeights(t *testing.T) {
+	s := spreadWeights([]int{3, 1}, 8)
+	if len(s) != 8 {
+		t.Fatalf("len = %d, want 8", len(s))
+	}
+	n0 := 0
+	for _, c := range s {
+		if c == 0 {
+			n0++
+		}
+	}
+	if n0 != 6 {
+		t.Errorf("case 0 slots = %d, want 6 (3:1 over 8)", n0)
+	}
+	// Every case gets at least one slot even with tiny weights.
+	s2 := spreadWeights([]int{100, 1, 1}, 16)
+	seen := map[int]bool{}
+	for _, c := range s2 {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("cases represented = %d, want 3", len(seen))
+	}
+	// Zero/negative weights are clamped to 1.
+	s3 := spreadWeights([]int{0, -5, 2}, 8)
+	seen3 := map[int]bool{}
+	for _, c := range s3 {
+		seen3[c] = true
+	}
+	if len(seen3) != 3 {
+		t.Errorf("cases with clamped weights = %d, want 3", len(seen3))
+	}
+}
+
+func TestZipfAndUniformWeights(t *testing.T) {
+	z := zipfWeights(10)
+	for i := 1; i < len(z); i++ {
+		if z[i] > z[i-1] {
+			t.Error("zipf weights must be non-increasing")
+		}
+		if z[i] <= 0 {
+			t.Error("zipf weights must be positive")
+		}
+	}
+	u := uniformWeights(5)
+	for _, w := range u {
+		if w != 1 {
+			t.Error("uniform weights must be 1")
+		}
+	}
+}
