@@ -117,6 +117,18 @@ func BenchmarkPhases(b *testing.B) {
 	}
 }
 
+// BenchmarkChaos runs the fault-injection sweep (NET under escalating soft
+// fault rates; the robustness experiment).
+func BenchmarkChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.ChaosReport(benchScale, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
 // --- Component microbenchmarks ---------------------------------------------
 
 func compressProgram(b *testing.B) *profile.Profile {

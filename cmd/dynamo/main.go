@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-v] [benchmark ...]
+//	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-maxsteps n] [-v] [benchmark ...]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"netpath/internal/dynamo"
+	"netpath/internal/vm"
 	"netpath/internal/workload"
 )
 
@@ -24,6 +26,7 @@ func main() {
 	schemeFlag := flag.String("scheme", "net", "prediction scheme: net or pathprofile")
 	tau := flag.Int64("tau", 50, "prediction delay")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	maxSteps := flag.Int64("maxsteps", 500_000_000, "abort after this many machine steps (<=0 = unlimited)")
 	verbose := flag.Bool("v", false, "print the full cycle breakdown")
 	noopt := flag.Bool("noopt", false, "disable the trace optimizer (ablation)")
 	nolink := flag.Bool("nolink", false, "disable fragment linking (ablation)")
@@ -56,9 +59,15 @@ func main() {
 		cfg := dynamo.DefaultConfig(scheme, *tau)
 		cfg.DisableOptimizer = *noopt
 		cfg.DisableLinking = *nolink
+		if *maxSteps > 0 {
+			cfg.MaxSteps = *maxSteps
+		}
 		start := time.Now()
 		sys := dynamo.New(p, cfg)
 		res, err := sys.Run()
+		if errors.Is(err, vm.ErrStepLimit) {
+			log.Fatalf("%s: %v — the program did not halt within -maxsteps=%d; raise the limit or pass -maxsteps=0", name, err, *maxSteps)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	hotpath [-scale f] [-tau n] table1|table2|fig2|fig3|fig4|fig5|phases|all
+//	hotpath [-scale f] [-tau n] table1|table2|fig2|fig3|fig4|fig5|phases|chaos|all
 //
 // Tables 1-2 and Figures 2-4 use the abstract metrics (Section 5); Figure 5
 // runs the mini-Dynamo concrete evaluation (Section 6); phases runs the
-// windowed-metrics extension (Sections 6.1/7).
+// windowed-metrics extension (Sections 6.1/7); chaos sweeps the mini-Dynamo
+// under escalating fault injection (robustness evaluation; not part of
+// "all", which regenerates exactly the paper's tables and figures).
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 
 	cmds := flag.Args()
 	if len(cmds) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] table1|table2|fig2|fig3|fig4|fig5|phases|boa|ablation|hardware|all")
+		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] table1|table2|fig2|fig3|fig4|fig5|phases|boa|ablation|hardware|chaos|all")
 		os.Exit(2)
 	}
 
@@ -110,6 +112,12 @@ func main() {
 			fmt.Println(experiments.AblationReport(bps, *tau))
 		case "hardware":
 			out, err := experiments.HardwareReport(*scale, *tau)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		case "chaos":
+			out, err := experiments.ChaosReport(*scale, *tau)
 			if err != nil {
 				log.Fatal(err)
 			}

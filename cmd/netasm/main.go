@@ -43,7 +43,7 @@ loop:
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netasm: ")
-	steps := flag.Int64("steps", 100_000_000, "step limit for run/profile")
+	steps := flag.Int64("maxsteps", 500_000_000, "step limit for run/profile (<=0 = unlimited)")
 	scale := flag.Float64("scale", 0.05, "workload scale for dump")
 	top := flag.Int("top", 5, "top paths to print for profile")
 	flag.Parse()
@@ -99,7 +99,7 @@ func run(p *prog.Program, steps int64) {
 	m := vm.New(p)
 	err := m.Run(steps)
 	if err == vm.ErrStepLimit {
-		fmt.Printf("stopped at the %d-step limit\n", steps)
+		log.Fatalf("%v — the program did not halt within -maxsteps=%d; raise the limit or pass -maxsteps=0", err, steps)
 	} else if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,43 @@
+package asm
+
+import (
+	"testing"
+
+	"netpath/internal/workload"
+)
+
+// FuzzParse feeds arbitrary source text to the assembler. The parser must
+// never panic: it either rejects the input with an error or produces a
+// program on which Format∘Parse is the identity — formatting the parsed
+// program and parsing it again reproduces the same canonical text.
+func FuzzParse(f *testing.F) {
+	f.Add("func main:\n    halt\n")
+	f.Add(".mem 8\nfunc main:\n    movi r1, 3\nloop:\n    addi r1, r1, -1\n    bri.gt r1, 0, loop\n    store [r0+0], r1\n    halt\n")
+	f.Add("func f:\n    call g\n    halt\nfunc g:\n    ret\n")
+	f.Add(".mem 16\n.init 3 = 7\n.initlabel 4 = main\nfunc main:\n    movi r5, 4\n    load r6, [r5+0]\n    jmpind r6\n")
+	f.Add("; comment only\n")
+	f.Add(".mem -1\nfunc main:\n    halt\n")
+	f.Add("func main:\n    br.xx r1, r2, main\n")
+	if b, err := workload.ByName("go"); err == nil {
+		if p, err := b.Build(0.01); err == nil {
+			f.Add(Format(p))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		text := Format(p)
+		// Reparse under the same name: Format embeds the program name in its
+		// header comment, so identity only holds name-for-name.
+		p2, err := Parse("fuzz", text)
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\n--- formatted ---\n%s", err, text)
+		}
+		if text2 := Format(p2); text2 != text {
+			t.Fatalf("Format∘Parse is not a fixed point\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+		}
+	})
+}

@@ -32,6 +32,9 @@ type Fragment struct {
 	Enters      int64
 	Completions int64
 	EarlyExits  int64
+	// Aborts counts injected execution faults in this fragment; reaching
+	// Config.DemoteAfterAborts demotes it back to interpretation.
+	Aborts int64
 }
 
 // Len returns the trace length in instructions.

@@ -1,0 +1,222 @@
+package dynamo
+
+import (
+	"strings"
+	"testing"
+
+	"netpath/internal/chaos"
+	"netpath/internal/randprog"
+	"netpath/internal/vm"
+)
+
+// softRates injects every non-trap fault kind densely enough that short
+// random programs hit all of them: aborted recordings, aborted fragment
+// executions, corrupted counters, and forced selection spikes.
+var softRates = chaos.Rates{
+	RecordAbortPerM: 50_000,
+	FragAbortPerM:   30_000,
+	CorruptPerM:     20_000,
+	SpikePerM:       10_000,
+	SpikeLen:        8,
+	CorruptMag:      1000,
+}
+
+// TestChaosSemanticEquivalence is the core robustness property: soft faults
+// (recording aborts, fragment aborts, counter corruption, selection spikes)
+// perturb only the optimizer's bookkeeping, so a chaos-ridden mini-Dynamo
+// run must finish cleanly with exactly the machine state plain
+// interpretation produces — same step count, same registers, same memory.
+func TestChaosSemanticEquivalence(t *testing.T) {
+	var aborts, fragAborts, corruptions, forced int64
+	for seed := int64(1); seed <= 12; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+
+		ref := vm.New(p)
+		if err := ref.Run(0); err != nil {
+			t.Fatalf("seed %d: plain run: %v", seed, err)
+		}
+
+		for _, scheme := range []Scheme{SchemeNET, SchemePathProfile} {
+			cfg := DefaultConfig(scheme, 5)
+			cfg.Chaos = chaos.NewRandom(seed, softRates)
+			sys := New(p, cfg)
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatalf("seed %d %v: Run under soft chaos: %v", seed, scheme, err)
+			}
+			if res.Steps != ref.Steps {
+				t.Errorf("seed %d %v: steps %d, plain VM %d", seed, scheme, res.Steps, ref.Steps)
+			}
+			m := sys.Machine()
+			if m.Reg != ref.Reg {
+				t.Errorf("seed %d %v: final registers diverge from plain VM", seed, scheme)
+			}
+			for a := range ref.Mem {
+				if m.Mem[a] != ref.Mem[a] {
+					t.Errorf("seed %d %v: Mem[%d] = %d, plain VM %d", seed, scheme, a, m.Mem[a], ref.Mem[a])
+					break
+				}
+			}
+			aborts += res.RecordAborts
+			fragAborts += res.FragAborts
+			corruptions += res.Corruptions
+			forced += res.ForcedSelections
+		}
+	}
+	// The property is vacuous if no faults actually fired.
+	if aborts == 0 || fragAborts == 0 || corruptions == 0 || forced == 0 {
+		t.Errorf("chaos under-exercised: recordAborts=%d fragAborts=%d corruptions=%d forced=%d (all must be > 0)",
+			aborts, fragAborts, corruptions, forced)
+	}
+}
+
+// TestChaosTrapEquivalence checks hard faults: an injected machine trap ends
+// a Dynamo run with the same fault, at the same step, with the same machine
+// state as the plain VM under the identical schedule — and never a panic.
+func TestChaosTrapEquivalence(t *testing.T) {
+	rates := chaos.Rates{TrapPerM: 2_000}
+	for seed := int64(1); seed <= 8; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+
+		ref := vm.New(p)
+		ref.SetFaultHook(chaos.NewRandom(seed, rates).VMFault)
+		refErr := ref.Run(0)
+
+		for _, scheme := range []Scheme{SchemeNET, SchemePathProfile} {
+			cfg := DefaultConfig(scheme, 5)
+			cfg.Chaos = chaos.NewRandom(seed, rates)
+			sys := New(p, cfg)
+			res, err := sys.Run()
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("seed %d %v: dynamo err %v, plain VM err %v", seed, scheme, err, refErr)
+			}
+			if refErr != nil {
+				if !strings.Contains(err.Error(), refErr.Error()) {
+					t.Errorf("seed %d %v: fault %q, plain VM %q", seed, scheme, err, refErr)
+				}
+				if res.VMFault != refErr.Error() {
+					t.Errorf("seed %d %v: Result.VMFault = %q, want %q", seed, scheme, res.VMFault, refErr.Error())
+				}
+			}
+			m := sys.Machine()
+			if m.Steps != ref.Steps {
+				t.Errorf("seed %d %v: steps %d, plain VM %d", seed, scheme, m.Steps, ref.Steps)
+			}
+			if m.Reg != ref.Reg {
+				t.Errorf("seed %d %v: final registers diverge from plain VM", seed, scheme)
+			}
+		}
+	}
+}
+
+// TestFragmentDemotion drives a fragment's abort count past the demotion
+// threshold and checks it is evicted back to interpretation.
+func TestFragmentDemotion(t *testing.T) {
+	// Seed 2 gives a long run with real fragment residency; the dense rate
+	// (mean gap 2 steps) aborts nearly every fragment entry.
+	p := randprog.MustGenerate(2, randprog.Options{})
+	cfg := DefaultConfig(SchemeNET, 5)
+	cfg.DemoteAfterAborts = 2
+	cfg.Chaos = chaos.NewRandom(9, chaos.Rates{FragAbortPerM: 500_000})
+	res, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FragAborts == 0 {
+		t.Fatal("no fragment aborts fired; injector rate too low for this program")
+	}
+	if res.Demotions == 0 {
+		t.Errorf("FragAborts = %d with DemoteAfterAborts = 2, but no demotions", res.FragAborts)
+	}
+}
+
+// TestGovernorTrips starves the head and path tables so CLOCK eviction
+// thrashes, and checks the resource governor bails out to native execution.
+func TestGovernorTrips(t *testing.T) {
+	// Seed 2 yields a long-enough run (~9k steps, ~20 path windows) for
+	// the tiny tables below to thrash.
+	p := randprog.MustGenerate(2, randprog.Options{})
+	cfg := DefaultConfig(SchemeNET, 10)
+	cfg.MaxHeadCounters = 2
+	cfg.MaxPaths = 4
+	cfg.FlushWindow = 20
+	cfg.GovernorEvictLimit = 2
+	cfg.BailoutAfter = -1 // isolate the governor from the paper's bail-out
+	res, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.HeadEvictions+res.PathEvictions == 0 {
+		t.Fatal("tiny tables produced no evictions; test program too small")
+	}
+	if !res.BailedOut || res.BailReason != "evict-thrash" {
+		t.Errorf("BailedOut = %v, BailReason = %q; want governor trip (evict-thrash)", res.BailedOut, res.BailReason)
+	}
+}
+
+func TestHeadTable(t *testing.T) {
+	ht := newHeadTable(2)
+	ht.add(10, 1)
+	ht.add(20, 1)
+	if ht.len() != 2 {
+		t.Fatalf("len = %d, want 2", ht.len())
+	}
+	ht.add(30, 1) // forces a CLOCK eviction
+	if ht.len() != 2 {
+		t.Errorf("len after eviction = %d, want 2 (capacity held)", ht.len())
+	}
+	if ht.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", ht.evictions)
+	}
+	// Counters saturate, never wrap, and never go negative.
+	if v := ht.add(30, headCounterMax*2); v != headCounterMax {
+		t.Errorf("saturating add = %d, want %d", v, headCounterMax)
+	}
+	if v := ht.add(30, -headCounterMax*3); v != 0 {
+		t.Errorf("negative add = %d, want 0", v)
+	}
+	ht.zero(30)
+	if v := ht.add(30, 1); v != 1 {
+		t.Errorf("counter after zero = %d, want 1", v)
+	}
+}
+
+func TestBlacklistBackoff(t *testing.T) {
+	b := newBlacklist(2, 3)
+	if !b.allow(5) {
+		t.Fatal("unknown head must be allowed")
+	}
+	b.abort(5)
+	// First abort: backoff<<0 = 2 suppressed selections, then a retry.
+	for i := 0; i < 2; i++ {
+		if b.allow(5) {
+			t.Fatalf("selection %d allowed during backoff", i)
+		}
+	}
+	if !b.allow(5) {
+		t.Fatal("head not allowed after backoff drained")
+	}
+	b.abort(5)
+	// Second abort: backoff<<1 = 4 suppressed selections.
+	for i := 0; i < 4; i++ {
+		if b.allow(5) {
+			t.Fatalf("selection %d allowed during doubled backoff", i)
+		}
+	}
+	if !b.allow(5) {
+		t.Fatal("head not allowed after doubled backoff drained")
+	}
+	b.abort(5)
+	// Third abort reaches maxAborts: permanently blacklisted.
+	for i := 0; i < 100; i++ {
+		if b.allow(5) {
+			t.Fatal("permanently blacklisted head was allowed")
+		}
+	}
+	if b.permanent() != 1 {
+		t.Errorf("permanent = %d, want 1", b.permanent())
+	}
+	if b.skips != 2+4+100 {
+		t.Errorf("skips = %d, want %d", b.skips, 2+4+100)
+	}
+}

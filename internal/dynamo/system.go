@@ -1,6 +1,7 @@
 package dynamo
 
 import (
+	"errors"
 	"fmt"
 
 	"netpath/internal/isa"
@@ -63,7 +64,8 @@ type Config struct {
 	BailoutMinCached  float64
 	BailoutFragBudget int
 
-	// MaxSteps bounds the run (0 = unlimited).
+	// MaxSteps bounds the run (0 = unlimited); exceeding it ends the run
+	// with an error wrapping vm.ErrStepLimit.
 	MaxSteps int64
 
 	// DisableOptimizer turns off trace optimization (ablation).
@@ -71,6 +73,35 @@ type Config struct {
 	// DisableLinking makes every fragment transition go through the
 	// interpreter exit path (ablation).
 	DisableLinking bool
+
+	// Chaos is an optional fault injector (see internal/chaos). Soft faults
+	// (recording/fragment aborts, counter corruption, selection spikes)
+	// never change what the program computes — only how Dynamo executes it.
+	Chaos Injector
+
+	// MaxHeadCounters caps the NET head-counter table; the least recently
+	// hit head is CLOCK-evicted when it fills (0 = default, <0 = unbounded).
+	MaxHeadCounters int
+	// MaxPaths caps the path interner the same way (0 = default,
+	// <0 = unbounded).
+	MaxPaths int
+
+	// BlacklistBackoff is the base backoff after a recording abort: the
+	// head's next BlacklistBackoff·2^(aborts-1) selections are suppressed
+	// before recording is retried (0 = default).
+	BlacklistBackoff int64
+	// BlacklistMaxAborts permanently demotes a head to interpretation after
+	// that many recording aborts (0 = default, <0 = never).
+	BlacklistMaxAborts int
+	// DemoteAfterAborts evicts a fragment back to interpretation after that
+	// many aborted executions (0 = default, <0 = never).
+	DemoteAfterAborts int
+	// GovernorEvictLimit trips the resource governor — a generalized
+	// bail-out to native execution — when the two bounded tables evict more
+	// than this many entries within one FlushWindow of path events
+	// (0 = default, <0 = disabled). Eviction thrash means the working set
+	// no longer fits the tables, so profiling is wasted work.
+	GovernorEvictLimit int
 }
 
 // DefaultConfig returns the configuration used for Figure 5.
@@ -86,6 +117,13 @@ func DefaultConfig(scheme Scheme, tau int64) Config {
 		BailoutAfter:      60_000,
 		BailoutMinCached:  0.80,
 		BailoutFragBudget: 200,
+
+		MaxHeadCounters:    1 << 16,
+		MaxPaths:           1 << 18,
+		BlacklistBackoff:   2,
+		BlacklistMaxAborts: 5,
+		DemoteAfterAborts:  3,
+		GovernorEvictLimit: 4096,
 	}
 }
 
@@ -124,6 +162,21 @@ type Result struct {
 
 	BailedOut bool
 	BailStep  int64
+	// BailReason names the heuristic that gave up ("" if none):
+	// "low-reuse", "path-budget", or "evict-thrash" (resource governor).
+	BailReason string
+
+	// Robustness counters (all zero without fault injection).
+	RecordAborts     int64  // trace recordings / path captures aborted
+	FragAborts       int64  // fragment executions aborted
+	Demotions        int    // fragments demoted back to interpretation
+	BlacklistSkips   int64  // selections suppressed by head backoff
+	BlacklistedHeads int    // heads permanently demoted to interpretation
+	HeadEvictions    int64  // head-counter CLOCK evictions
+	PathEvictions    int64  // path-interner slot recyclings
+	Corruptions      int64  // injected counter corruptions absorbed
+	ForcedSelections int64  // injected spike selections honored
+	VMFault          string // machine fault that ended the run ("" = clean)
 }
 
 // Speedup returns the speedup over native execution as a fraction
@@ -191,9 +244,15 @@ type System struct {
 	capBuf   []TraceStep
 
 	// Selector state.
-	headCounts map[int]int64 // NET
-	pathCounts []int64       // PathProfile, by path ID
+	heads      *headTable // NET head counters (bounded, CLOCK-evicted)
+	pathCounts []int64    // PathProfile, by path ID
 	armed      map[path.ID]bool
+
+	// Degradation state.
+	inj         Injector // cfg.Chaos (nil = no injection)
+	black       *blacklist
+	capAborted  bool  // PP: the capture in flight was aborted by a fault
+	evictsAtWin int64 // table evictions seen at the last governor window
 
 	// Cache.
 	cache map[int]*Fragment
@@ -226,15 +285,45 @@ func New(p *prog.Program, cfg Config) *System {
 	if cfg.MaxTraceBranches <= 0 {
 		cfg.MaxTraceBranches = path.DefaultMaxBranches
 	}
+	if cfg.MaxHeadCounters == 0 {
+		cfg.MaxHeadCounters = 1 << 16
+	}
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 1 << 18
+	}
+	if cfg.BlacklistBackoff <= 0 {
+		cfg.BlacklistBackoff = 2
+	}
+	if cfg.BlacklistMaxAborts == 0 {
+		cfg.BlacklistMaxAborts = 5
+	}
+	if cfg.DemoteAfterAborts == 0 {
+		cfg.DemoteAfterAborts = 3
+	}
+	if cfg.GovernorEvictLimit == 0 {
+		cfg.GovernorEvictLimit = 4096
+	}
 	s := &System{
 		cfg:        cfg,
 		m:          vm.New(p),
-		headCounts: make(map[int]int64),
+		heads:      newHeadTable(cfg.MaxHeadCounters),
 		armed:      make(map[path.ID]bool),
 		cache:      make(map[int]*Fragment),
 		everCached: make(map[int]bool),
 		opt:        NewOptimizer(),
 		interner:   path.NewInterner(),
+		inj:        cfg.Chaos,
+		black:      newBlacklist(cfg.BlacklistBackoff, cfg.BlacklistMaxAborts),
+	}
+	if cfg.MaxPaths > 0 {
+		// A recycled path slot belongs to a new path: forget the old
+		// path's count and arming so they are not inherited.
+		s.interner.SetCapacity(cfg.MaxPaths, func(id path.ID) {
+			if int(id) < len(s.pathCounts) {
+				s.pathCounts[id] = 0
+			}
+			delete(s.armed, id)
+		})
 	}
 	if cfg.DisableOptimizer {
 		s.opt = &Optimizer{} // all passes off
@@ -246,6 +335,9 @@ func New(p *prog.Program, cfg Config) *System {
 	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
 	s.tracker.MaxBranches = cfg.MaxTraceBranches
 	s.m.SetListener(s.onBranch)
+	if h, ok := cfg.Chaos.(interface{ VMFault(*vm.Machine) error }); ok {
+		s.m.SetFaultHook(h.VMFault)
+	}
 	return s
 }
 
@@ -276,12 +368,18 @@ func (s *System) onBranch(ev vm.BranchEvent) {
 	}
 }
 
-// Run executes the program under Dynamo and returns the result.
+// Run executes the program under Dynamo and returns the result. A machine
+// fault (including injected traps) or the step limit ends the run with a
+// non-nil error, but the Result is fully accounted either way and the
+// machine state is exactly what plain interpretation of the same program
+// (under the same fault schedule) would have produced: Dynamo never
+// diverges semantically and never panics.
 func (s *System) Run() (Result, error) {
 	s.atPathStart(s.m.PC)
 	for !s.m.Halted {
 		if s.cfg.MaxSteps > 0 && s.m.Steps >= s.cfg.MaxSteps {
-			break
+			s.finish()
+			return s.res, fmt.Errorf("dynamo: %w after %d steps", vm.ErrStepLimit, s.m.Steps)
 		}
 		var err error
 		if s.mode == modeFragment {
@@ -290,16 +388,30 @@ func (s *System) Run() (Result, error) {
 			err = s.stepInterp()
 		}
 		if err != nil {
+			var f *vm.Fault
+			if errors.As(err, &f) {
+				s.res.VMFault = f.Msg
+			}
+			s.finish()
 			return s.res, fmt.Errorf("dynamo: %w", err)
 		}
 	}
+	s.finish()
+	return s.res, nil
+}
+
+// finish folds the cycle accounting into the result.
+func (s *System) finish() {
 	s.res.Steps = s.m.Steps
 	c := s.cfg.Costs
 	s.res.NativeCycles = float64(s.res.Steps)*c.NativeInstr + float64(s.res.Redirects)*c.TakenPenalty
 	s.res.Cycles = s.res.InterpCycles + s.res.FragCycles + s.res.ProfileCycles +
 		s.res.BuildCycles + s.res.TransCycles +
 		float64(s.res.NativeInstrs)*c.NativeInstr + s.nativeRedirectCycles
-	return s.res, nil
+	s.res.HeadEvictions = s.heads.evictions
+	s.res.PathEvictions = s.interner.Evictions()
+	s.res.BlacklistSkips = s.black.skips
+	s.res.BlacklistedHeads = s.black.permanent()
 }
 
 func (s *System) stepInterp() error {
@@ -346,6 +458,30 @@ func (s *System) stepInterp() error {
 		s.capBuf = append(s.capBuf, TraceStep{PC: pc, In: in, Next: next})
 	}
 
+	// Injected faults land at their machine step and damage only what is in
+	// flight then: a recording abort with no recording under way hits
+	// nothing, and a fragment abort while interpreting hits nothing. Both
+	// streams are polled every step so events never pile up and ambush the
+	// next recording.
+	if s.inj != nil {
+		abort := s.inj.AbortRecording(s.m.Steps)
+		s.inj.AbortFragment(s.m.Steps) // no fragment in flight; discard
+		if abort {
+			switch {
+			case s.recording:
+				s.recording = false
+				s.recBuf = s.recBuf[:0]
+				s.res.RecordAborts++
+				s.black.abort(s.recStart)
+			case s.cfg.Scheme == SchemePathProfile && !s.skipping && !s.capAborted:
+				s.capAborted = true
+				s.capBuf = s.capBuf[:0]
+				s.res.RecordAborts++
+				s.black.abort(s.capStart)
+			}
+		}
+	}
+
 	if s.skipEnd >= 0 {
 		// A backward branch ended an unprofilable suffix: resume profiling.
 		target := s.skipEnd
@@ -363,8 +499,14 @@ func (s *System) stepInterp() error {
 
 		if s.cfg.Scheme == SchemePathProfile {
 			s.res.ProfileCycles += c.PathTableUpdate
+			if s.inj != nil {
+				if d, ok := s.inj.CorruptCounter(s.m.Steps); ok {
+					s.corruptPathCount(id, d)
+					s.res.Corruptions++
+				}
+			}
 			s.pathCount(id)
-			if s.armed[id] && s.cache[s.capStart] == nil {
+			if s.armed[id] && s.cache[s.capStart] == nil && !s.capAborted && s.black.allow(s.capStart) {
 				delete(s.armed, id)
 				// Retroactive recording charge for the captured trace.
 				s.res.BuildCycles += c.RecordInstr * float64(len(s.capBuf))
@@ -386,8 +528,30 @@ func (s *System) pathCount(id path.ID) {
 	for int(id) >= len(s.pathCounts) {
 		s.pathCounts = append(s.pathCounts, 0)
 	}
-	s.pathCounts[id]++
+	if s.pathCounts[id] < headCounterMax {
+		s.pathCounts[id]++
+	}
 	if s.pathCounts[id] == s.cfg.Tau {
+		s.armed[id] = true
+	}
+}
+
+// corruptPathCount absorbs an injected corruption of path id's counter:
+// the value saturates rather than wrapping, and a count pushed past τ arms
+// the path (prediction noise the system must tolerate, never a crash).
+func (s *System) corruptPathCount(id path.ID, delta int64) {
+	for int(id) >= len(s.pathCounts) {
+		s.pathCounts = append(s.pathCounts, 0)
+	}
+	v := s.pathCounts[id] + delta
+	if v < 0 {
+		v = 0
+	}
+	if v > headCounterMax {
+		v = headCounterMax
+	}
+	s.pathCounts[id] = v
+	if v >= s.cfg.Tau {
 		s.armed[id] = true
 	}
 }
@@ -410,16 +574,29 @@ func (s *System) atPathStart(addr int) {
 	switch s.cfg.Scheme {
 	case SchemeNET:
 		s.res.ProfileCycles += c.HeadCounter
-		s.headCounts[addr]++
-		if s.headCounts[addr] >= s.cfg.Tau && !s.recording {
-			s.headCounts[addr] = 0
-			s.recording = true
-			s.recStart = addr
-			s.recBuf = s.recBuf[:0]
+		if s.inj != nil {
+			if d, ok := s.inj.CorruptCounter(s.m.Steps); ok {
+				s.heads.add(addr, d)
+				s.res.Corruptions++
+			}
+		}
+		n := s.heads.add(addr, 1)
+		force := s.inj != nil && s.inj.SpikeSelect(s.m.Steps)
+		if (n >= s.cfg.Tau || force) && !s.recording {
+			s.heads.zero(addr)
+			if s.black.allow(addr) {
+				s.recording = true
+				s.recStart = addr
+				s.recBuf = s.recBuf[:0]
+				if force && n < s.cfg.Tau {
+					s.res.ForcedSelections++
+				}
+			}
 		}
 	case SchemePathProfile:
 		s.capStart = addr
 		s.capBuf = s.capBuf[:0]
+		s.capAborted = false
 	}
 }
 
@@ -475,20 +652,38 @@ func (s *System) onPathEvent() {
 				s.prevCreations = s.prevCreations[1:]
 			}
 			s.windowCreations = 0
+
+			// Resource governor: heavy CLOCK eviction in the bounded
+			// head/path tables means the working set no longer fits and
+			// profiling effort is being wasted on churn — a generalized
+			// bail-out condition.
+			if s.cfg.GovernorEvictLimit > 0 && !s.res.BailedOut {
+				ev := s.heads.evictions + s.interner.Evictions()
+				if ev-s.evictsAtWin > int64(s.cfg.GovernorEvictLimit) {
+					s.bail("evict-thrash")
+				}
+				s.evictsAtWin = ev
+			}
 		}
 	}
 	if s.cfg.BailoutAfter > 0 && !s.res.BailedOut && s.res.PathEvents%s.cfg.BailoutAfter == 0 {
 		lowReuse := s.res.CachedFraction() < s.cfg.BailoutMinCached
 		tooManyPaths := s.cfg.BailoutFragBudget > 0 && s.res.Fragments > s.cfg.BailoutFragBudget
-		if lowReuse || tooManyPaths {
-			s.bail()
+		switch {
+		case lowReuse:
+			s.bail("low-reuse")
+		case tooManyPaths:
+			s.bail("path-budget")
 		}
 	}
 }
 
-func (s *System) bail() {
+// bail gives up on dynamic optimization: the rest of the program runs
+// native (Section 6's bail-out, generalized to resource exhaustion).
+func (s *System) bail(reason string) {
 	s.res.BailedOut = true
 	s.res.BailStep = s.m.Steps
+	s.res.BailReason = reason
 	s.mode = modeNative
 	s.cache = make(map[int]*Fragment)
 	s.recording = false
@@ -497,6 +692,42 @@ func (s *System) bail() {
 
 func (s *System) stepFragment() error {
 	c := &s.cfg.Costs
+
+	// Injected fragment fault: fall back to the interpreter at the current
+	// PC (the machine state is untouched, so execution stays semantically
+	// identical); a fragment that keeps faulting is demoted — evicted from
+	// the cache and its head blacklisted — back to interpretation. The
+	// recording stream is drained too (no recording is in flight while a
+	// fragment runs) so events land at their step, not at the next recording.
+	if s.inj != nil {
+		s.inj.AbortRecording(s.m.Steps) // no recording in flight; discard
+	}
+	if s.inj != nil && s.inj.AbortFragment(s.m.Steps) {
+		s.res.FragAborts++
+		s.frag.Aborts++
+		head := s.frag.Start
+		if s.cfg.DemoteAfterAborts > 0 && s.frag.Aborts >= int64(s.cfg.DemoteAfterAborts) {
+			if s.cache[head] == s.frag {
+				delete(s.cache, head)
+			}
+			s.res.Demotions++
+			s.black.abort(head)
+		}
+		s.res.TransCycles += c.FragExit
+		s.res.FragExits++
+		s.mode = modeInterp
+		s.tracker.Restart(s.m.PC)
+		if s.cfg.Scheme == SchemeNET || s.fpos == 0 {
+			// The abort point is a (potential) trace head: NET treats any
+			// exit as one, and at fpos 0 it is the fragment's own head.
+			s.atPathStart(s.m.PC)
+		} else {
+			// PathProfile: a mid-path suffix is not a profilable unit.
+			s.skipping = true
+		}
+		return nil
+	}
+
 	st := &s.frag.Steps[s.fpos]
 	if err := s.m.Step(); err != nil {
 		return err

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosReport smoke-tests the sweep at a tiny scale: every cell runs to
+// completion and the heaviest rate actually injects faults.
+func TestChaosReport(t *testing.T) {
+	results, err := RunChaos(0.01, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean, heavy int64
+	heaviest := ChaosMultipliers[len(ChaosMultipliers)-1]
+	for _, r := range results {
+		injected := r.Result.RecordAborts + r.Result.FragAborts + r.Result.Corruptions + r.Result.ForcedSelections
+		switch r.Mult {
+		case 0:
+			clean += injected
+		case heaviest:
+			heavy += injected
+		}
+		if r.Result.VMFault != "" {
+			t.Errorf("%s ×%g: unexpected machine fault %q (sweep is soft-fault only)", r.Bench, r.Mult, r.Result.VMFault)
+		}
+	}
+	if clean != 0 {
+		t.Errorf("×0 runs recorded %d injected faults, want 0", clean)
+	}
+	if heavy == 0 {
+		t.Errorf("×%g runs recorded no injected faults; rates too low to test anything", heaviest)
+	}
+
+	out, err := ChaosReport(0.01, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Chaos:", "×0", "×100", "Degradation accounting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -50,7 +50,10 @@ type Profiler struct {
 
 const hashBase = 1099511628211 // FNV prime as polynomial base
 
-// New creates a k-bounded profiler. k must be positive.
+// New creates a k-bounded profiler. k must be positive: the window length
+// is a compile-time property of the caller's profiling scheme, never
+// runtime input, so a non-positive k is programmer error and panics rather
+// than returning an error every caller would have to ignore.
 func New(k int, lazyMode bool) *Profiler {
 	if k <= 0 {
 		panic("kpath: k must be positive")

@@ -101,25 +101,80 @@ func (in Info) Signature() string {
 	return s
 }
 
-// Interner assigns dense IDs to path signatures.
+// Interner assigns dense IDs to path signatures. By default the table grows
+// without bound (offline profiling wants every path); SetCapacity bounds it
+// for online use, recycling the least-recently-hit slot (CLOCK) when full so
+// memory stays bounded on pathological workloads.
 type Interner struct {
 	ids   map[string]ID
 	infos []Info
+
+	// Bounded mode (SetCapacity): CLOCK slot recycling.
+	max       int
+	ref       []bool
+	hand      int
+	evictions int64
+	onEvict   func(ID)
 }
 
-// NewInterner returns an empty interner.
+// NewInterner returns an empty, unbounded interner.
 func NewInterner() *Interner {
 	return &Interner{ids: make(map[string]ID)}
 }
 
+// SetCapacity bounds the interner to max distinct signatures. Once full,
+// interning a new signature recycles an existing slot chosen by the CLOCK
+// rule (slots hit since the hand last passed are spared once): the old
+// signature is forgotten and its dense ID is reassigned to the new path.
+// onEvict (optional) is called with the recycled ID before it is reassigned
+// so callers can reset per-ID state. max <= 0 restores unbounded growth.
+func (it *Interner) SetCapacity(max int, onEvict func(ID)) {
+	it.max = max
+	it.onEvict = onEvict
+	if max > 0 && it.ref == nil {
+		it.ref = make([]bool, len(it.infos))
+	}
+}
+
+// Evictions returns the number of slots recycled so far (bounded mode).
+func (it *Interner) Evictions() int64 { return it.evictions }
+
 // Intern returns the ID for the signature key, creating it if new.
 func (it *Interner) Intern(key string, start, branches int) ID {
 	if id, ok := it.ids[key]; ok {
+		if it.max > 0 {
+			it.ref[id] = true
+		}
 		return id
+	}
+	if it.max > 0 && len(it.infos) >= it.max {
+		return it.recycle(key, start, branches)
 	}
 	id := ID(len(it.infos))
 	it.ids[key] = id
 	it.infos = append(it.infos, Info{Start: start, Branches: branches, Key: key})
+	if it.max > 0 {
+		it.ref = append(it.ref, true)
+	}
+	return id
+}
+
+// recycle reassigns a CLOCK-chosen slot to a new signature.
+func (it *Interner) recycle(key string, start, branches int) ID {
+	for it.ref[it.hand] {
+		it.ref[it.hand] = false
+		it.hand = (it.hand + 1) % len(it.infos)
+	}
+	id := ID(it.hand)
+	it.hand = (it.hand + 1) % len(it.infos)
+	it.evictions++
+	if it.onEvict != nil {
+		it.onEvict(id)
+	}
+	delete(it.ids, it.infos[id].Key)
+	it.ids[key] = id
+	it.infos[id] = Info{Start: start, Branches: branches, Key: key}
+	it.ref[id] = true
 	return id
 }
 

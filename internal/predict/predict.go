@@ -58,6 +58,9 @@ func (s *predictedSet) IsPredicted(id path.ID) bool {
 func (s *predictedSet) PredictedCount() int { return s.count }
 
 func (s *predictedSet) add(id path.ID) {
+	if id < 0 {
+		return
+	}
 	for int(id) >= len(s.set) {
 		s.set = append(s.set, false)
 	}
@@ -74,12 +77,17 @@ func (s *predictedSet) reset() {
 
 // counterTable is a growable dense counter array with allocation tracking
 // (a counter stays "allocated" even when its value returns to zero, as NET's
-// reset-on-selection requires).
+// reset-on-selection requires). Counters saturate at counterMax so a
+// corrupted or adversarial stream can never wrap a counter negative.
 type counterTable struct {
 	vals      []int64
 	allocated []bool
 	space     int
 }
+
+// counterMax is the counter saturation point: far above any meaningful τ,
+// far below overflow.
+const counterMax = int64(1) << 50
 
 func (c *counterTable) grow(i int) {
 	for i >= len(c.vals) {
@@ -88,18 +96,28 @@ func (c *counterTable) grow(i int) {
 	}
 }
 
-// incr allocates (if needed) and increments counter i, returning the new value.
+// incr allocates (if needed) and increments counter i, returning the new
+// value. Negative indices (corrupted path IDs) are ignored and report 0.
 func (c *counterTable) incr(i int) int64 {
+	if i < 0 {
+		return 0
+	}
 	c.grow(i)
 	if !c.allocated[i] {
 		c.allocated[i] = true
 		c.space++
 	}
-	c.vals[i]++
+	if c.vals[i] < counterMax {
+		c.vals[i]++
+	}
 	return c.vals[i]
 }
 
-func (c *counterTable) zero(i int) { c.vals[i] = 0 }
+func (c *counterTable) zero(i int) {
+	if i >= 0 && i < len(c.vals) {
+		c.vals[i] = 0
+	}
+}
 
 func (c *counterTable) reset() {
 	c.vals = c.vals[:0]
@@ -187,6 +205,10 @@ func (n *NET) Name() string {
 // Observe implements Predictor.
 func (n *NET) Observe(id path.ID) bool {
 	h := n.head(id)
+	if h < 0 {
+		// Unattributable path (corrupted ID or evicted head): not countable.
+		return false
+	}
 	if n.Single && h < len(n.done) && n.done[h] {
 		return false
 	}

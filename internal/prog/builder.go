@@ -332,7 +332,10 @@ func (b *Builder) Build() (*Program, error) {
 	return p, nil
 }
 
-// MustBuild is Build that panics on error; for tests and examples.
+// MustBuild is Build that panics on error. It exists for tests and
+// examples whose programs are literal in the source: a build failure there
+// is programmer error, not a runtime condition. Production callers
+// (workload generators, the assembler) use Build and propagate the error.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {

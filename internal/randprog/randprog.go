@@ -113,7 +113,10 @@ func Generate(seed int64, opts Options) (*prog.Program, error) {
 	return g.b.Build()
 }
 
-// MustGenerate is Generate that panics on error (tests).
+// MustGenerate is Generate that panics on error. It exists for tests whose
+// options are literal in the source (a failure there is programmer error —
+// an options combination that cannot fit the register file); runtime
+// callers use Generate and handle the error.
 func MustGenerate(seed int64, opts Options) *prog.Program {
 	p, err := Generate(seed, opts)
 	if err != nil {

@@ -1,0 +1,236 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// rawProgram builds a single-function, single-block program directly,
+// bypassing prog.Validate, so tests can reach fault paths the builder would
+// reject at build time (unknown opcodes, out-of-range operands and targets).
+func rawProgram(instrs []isa.Instr, memSize int) *prog.Program {
+	p := &prog.Program{
+		Name:    "raw",
+		Instrs:  instrs,
+		Funcs:   []prog.Func{{Name: "main", Entry: 0, End: len(instrs)}},
+		Blocks:  []prog.Block{{Start: 0, End: len(instrs), Func: 0}},
+		MemSize: memSize,
+	}
+	p.Freeze()
+	return p
+}
+
+// TestFaultPaths drives every fault kind Step can raise and checks the full
+// fault contract: a non-nil *Fault of the right kind, a message naming the
+// faulting PC, a halted machine, and ErrHalted from then on.
+func TestFaultPaths(t *testing.T) {
+	tests := []struct {
+		name     string
+		prog     *prog.Program
+		wantKind FaultKind
+		wantPC   int
+	}{
+		{
+			name: "load out of range",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: 100},
+				{Op: isa.Load, A: 2, B: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultMemOOB,
+			wantPC:   1,
+		},
+		{
+			name: "load negative address",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: -7},
+				{Op: isa.Load, A: 2, B: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultMemOOB,
+			wantPC:   1,
+		},
+		{
+			name: "store out of range",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: 4},
+				{Op: isa.Store, A: 2, B: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultMemOOB,
+			wantPC:   1,
+		},
+		{
+			name: "indirect jump mid-block",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: 1}, // address 1 is not a block start
+				{Op: isa.JmpInd, A: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultBadIndirect,
+			wantPC:   1,
+		},
+		{
+			name: "indirect jump outside program",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: 999},
+				{Op: isa.JmpInd, A: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultBadIndirect,
+			wantPC:   1,
+		},
+		{
+			name: "indirect call to non-entry",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: 1}, // mid-function, not an entry
+				{Op: isa.CallInd, A: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultBadCallTarget,
+			wantPC:   1,
+		},
+		{
+			name: "indirect call outside program",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.MovI, A: 1, Imm: -3},
+				{Op: isa.CallInd, A: 1},
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultBadCallTarget,
+			wantPC:   1,
+		},
+		{
+			name: "return with empty stack",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Ret},
+			}, 4),
+			wantKind: FaultReturnUnderflow,
+			wantPC:   0,
+		},
+		{
+			name: "call stack overflow",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Call, Target: 0}, // unbounded self-recursion
+				{Op: isa.Halt},
+			}, 4),
+			wantKind: FaultStackOverflow,
+			wantPC:   0,
+		},
+		{
+			name: "unknown opcode",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Op(199)},
+			}, 4),
+			wantKind: FaultBadOpcode,
+			wantPC:   0,
+		},
+		{
+			name: "jump target outside program",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Jmp, Target: -5},
+			}, 4),
+			wantKind: FaultBadPC,
+			wantPC:   0,
+		},
+		{
+			name: "fallthrough off program end",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Nop},
+			}, 4),
+			wantKind: FaultBadPC,
+			wantPC:   0,
+		},
+		{
+			name: "register operand out of range",
+			prog: rawProgram([]isa.Instr{
+				{Op: isa.Add, A: 40, B: 1, C: 2},
+			}, 4),
+			wantKind: FaultBadRegister,
+			wantPC:   0,
+		},
+		{
+			name: "entry outside program",
+			prog: func() *prog.Program {
+				p := rawProgram([]isa.Instr{{Op: isa.Halt}}, 4)
+				p.Entry = 99
+				return p
+			}(),
+			wantKind: FaultBadPC,
+			wantPC:   99,
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(tc.prog)
+			err := m.Run(0)
+			if err == nil {
+				t.Fatal("Run succeeded, want fault")
+			}
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("Run error %v (%T) is not a *Fault", err, err)
+			}
+			if f.Kind != tc.wantKind {
+				t.Errorf("fault kind = %v, want %v", f.Kind, tc.wantKind)
+			}
+			if f.PC != tc.wantPC {
+				t.Errorf("fault PC = %d, want %d", f.PC, tc.wantPC)
+			}
+			if want := fmt.Sprintf("pc %d", tc.wantPC); !strings.Contains(err.Error(), want) {
+				t.Errorf("fault message %q does not name the faulting pc (%q)", err, want)
+			}
+			if !m.Halted {
+				t.Error("machine not halted after fault")
+			}
+			// A faulted machine stays halted: every further Step is ErrHalted.
+			for i := 0; i < 3; i++ {
+				if err := m.Step(); !errors.Is(err, ErrHalted) {
+					t.Fatalf("Step %d after fault = %v, want ErrHalted", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultHookSeam(t *testing.T) {
+	p := rawProgram([]isa.Instr{
+		{Op: isa.MovI, A: 1, Imm: 7},
+		{Op: isa.Jmp, Target: 0},
+	}, 4)
+
+	m := New(p)
+	injected := &Fault{Kind: FaultInjected, Msg: "vm: injected trap"}
+	m.SetFaultHook(func(m *Machine) error {
+		if m.Steps == 3 {
+			return injected
+		}
+		return nil
+	})
+	err := m.Run(0)
+	if err != injected {
+		t.Fatalf("Run = %v, want the injected fault", err)
+	}
+	if !m.Halted {
+		t.Error("machine not halted after injected fault")
+	}
+	if m.Steps != 3 {
+		t.Errorf("Steps = %d, want 3 (hook fires before the instruction executes)", m.Steps)
+	}
+	if err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after injected fault = %v, want ErrHalted", err)
+	}
+
+	// A nil hook disables injection; Reset alone does not clear it.
+	m.Reset()
+	m.SetFaultHook(nil)
+	if err := m.Run(10); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("Run with hook removed = %v, want ErrStepLimit", err)
+	}
+}

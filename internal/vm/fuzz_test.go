@@ -1,0 +1,71 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"netpath/internal/isa"
+)
+
+// FuzzStep decodes arbitrary bytes into an instruction stream and executes
+// it. The machine must never panic — every malformed instruction (unknown
+// opcode, out-of-range register, wild branch target, out-of-range memory
+// access) must surface as a halting *Fault, exactly as Step documents.
+func FuzzStep(f *testing.F) {
+	f.Add([]byte{})
+	// movi r1, 100; load r2, [r1+0]  — classic OOB.
+	f.Add([]byte{
+		byte(isa.MovI), 0, 1, 0, 0, 100, 0, 0, 0,
+		byte(isa.Load), 0, 2, 1, 0, 0, 0, 0, 0,
+	})
+	// Self-call until the stack overflows.
+	f.Add([]byte{byte(isa.Call), 0, 0, 0, 0, 0, 0, 0, 0})
+	// Unknown opcode, then garbage.
+	f.Add([]byte{200, 9, 40, 80, 120, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const chunk = 9
+		n := len(data) / chunk
+		if n == 0 {
+			return
+		}
+		if n > 256 {
+			n = 256
+		}
+		instrs := make([]isa.Instr, n)
+		for i := range instrs {
+			b := data[i*chunk : (i+1)*chunk]
+			instrs[i] = isa.Instr{
+				Op:     isa.Op(b[0]),
+				Cond:   isa.Cond(b[1] % 8),
+				A:      b[2],
+				B:      b[3],
+				C:      b[4],
+				Imm:    int64(int16(binary.LittleEndian.Uint16(b[5:7]))),
+				Target: int32(int16(binary.LittleEndian.Uint16(b[7:9]))),
+			}
+		}
+		m := New(rawProgram(instrs, 8))
+		err := m.Run(10_000)
+		switch {
+		case err == nil:
+			if !m.Halted {
+				t.Fatal("Run returned nil on a machine that is not halted")
+			}
+		case errors.Is(err, ErrStepLimit):
+			// Ran out of budget on a loop; fine.
+		default:
+			var fa *Fault
+			if !errors.As(err, &fa) {
+				t.Fatalf("Run error %v (%T) is neither ErrStepLimit nor *Fault", err, err)
+			}
+			if !m.Halted {
+				t.Fatal("machine not halted after fault")
+			}
+			if err := m.Step(); !errors.Is(err, ErrHalted) {
+				t.Fatalf("Step after fault = %v, want ErrHalted", err)
+			}
+		}
+	})
+}

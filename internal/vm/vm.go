@@ -25,6 +25,13 @@ type BranchEvent struct {
 // machine.
 type Listener func(BranchEvent)
 
+// FaultHook is consulted at the top of every Step, before the instruction
+// executes. Returning a non-nil error injects a machine fault at the current
+// PC: the machine halts and Step returns the error. The chaos package uses
+// this seam to force traps at chosen step counts; a hook must be
+// deterministic in the machine state it observes so runs stay replayable.
+type FaultHook func(m *Machine) error
+
 // Limits and failure modes.
 var (
 	// ErrStepLimit is returned by Run when the step budget is exhausted
@@ -33,6 +40,62 @@ var (
 	// ErrHalted is returned by Step on a halted machine.
 	ErrHalted = errors.New("vm: machine is halted")
 )
+
+// FaultKind classifies machine faults.
+type FaultKind uint8
+
+// Machine fault kinds.
+const (
+	// FaultMemOOB: load or store outside [0, MemSize).
+	FaultMemOOB FaultKind = iota
+	// FaultBadIndirect: indirect jump to an address that is not a block start.
+	FaultBadIndirect
+	// FaultBadCallTarget: indirect call to an address that is not a function
+	// entry.
+	FaultBadCallTarget
+	// FaultStackOverflow: call depth exceeded MaxCallDepth.
+	FaultStackOverflow
+	// FaultReturnUnderflow: return with an empty call stack.
+	FaultReturnUnderflow
+	// FaultBadOpcode: undefined opcode.
+	FaultBadOpcode
+	// FaultBadPC: control transfer (or entry) outside the instruction array.
+	FaultBadPC
+	// FaultBadRegister: register operand outside the register file.
+	FaultBadRegister
+	// FaultInjected: fault forced by a FaultHook (chaos testing).
+	FaultInjected
+)
+
+var faultNames = [...]string{
+	"mem-oob", "bad-indirect", "bad-call-target", "stack-overflow",
+	"return-underflow", "bad-opcode", "bad-pc", "bad-register", "injected",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is a machine fault. Step returns a *Fault (wrapped errors.As-compatible)
+// for every execution error other than ErrHalted; the machine is halted when
+// it is returned. The message always names the faulting PC.
+type Fault struct {
+	Kind FaultKind
+	PC   int
+	Msg  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return f.Msg }
+
+func (m *Machine) fault(kind FaultKind, format string, args ...any) error {
+	m.Halted = true
+	return &Fault{Kind: kind, PC: m.PC, Msg: fmt.Sprintf(format, args...)}
+}
 
 // MaxCallDepth bounds the return stack to catch runaway recursion in
 // malformed workloads.
@@ -48,8 +111,9 @@ type Machine struct {
 	// Steps counts executed instructions (including Halt).
 	Steps int64
 
-	stack    []int64
-	listener Listener
+	stack     []int64
+	listener  Listener
+	faultHook FaultHook
 }
 
 // New creates a machine for p with memory initialized from p.InitMem and the
@@ -66,7 +130,12 @@ func (m *Machine) Reset() {
 	m.Reg = [isa.NumRegs]int64{}
 	m.Mem = make([]int64, m.Prog.MemSize)
 	for _, mi := range m.Prog.InitMem {
-		m.Mem[mi.Addr] = mi.Value
+		// Out-of-range initializers are ignored rather than panicking;
+		// Validate rejects them for built programs, but the machine must
+		// also survive hand-assembled (fuzzed) images.
+		if mi.Addr >= 0 && mi.Addr < len(m.Mem) {
+			m.Mem[mi.Addr] = mi.Value
+		}
 	}
 	m.PC = m.Prog.Entry
 	m.Halted = false
@@ -76,6 +145,9 @@ func (m *Machine) Reset() {
 
 // SetListener installs the branch event listener (nil disables events).
 func (m *Machine) SetListener(l Listener) { m.listener = l }
+
+// SetFaultHook installs the fault-injection hook (nil disables injection).
+func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
 
 // CallDepth returns the current return-stack depth.
 func (m *Machine) CallDepth() int { return len(m.stack) }
@@ -99,20 +171,34 @@ func (m *Machine) branch(pc, target int, taken bool, kind isa.BranchKind) {
 func (m *Machine) memAddr(base int64, off int64) (int, error) {
 	a := base + off
 	if a < 0 || a >= int64(len(m.Mem)) {
-		return 0, fmt.Errorf("vm: memory access %d out of range [0,%d) at pc %d", a, len(m.Mem), m.PC)
+		return 0, m.fault(FaultMemOOB, "vm: memory access %d out of range [0,%d) at pc %d", a, len(m.Mem), m.PC)
 	}
 	return int(a), nil
 }
 
 // Step executes one instruction. It returns ErrHalted on a halted machine
 // and an execution fault (bad memory access, bad indirect target, return
-// underflow, call overflow) as a non-nil error; faults halt the machine.
+// underflow, call overflow, bad register operand, bad PC) as a *Fault error;
+// faults halt the machine. Step never panics, even on hand-assembled
+// programs that bypass prog.Validate.
 func (m *Machine) Step() error {
 	if m.Halted {
 		return ErrHalted
 	}
+	if m.faultHook != nil {
+		if err := m.faultHook(m); err != nil {
+			m.Halted = true
+			return err
+		}
+	}
 	pc := m.PC
+	if pc < 0 || pc >= len(m.Prog.Instrs) {
+		return m.fault(FaultBadPC, "vm: pc %d outside program [0,%d)", pc, len(m.Prog.Instrs))
+	}
 	in := &m.Prog.Instrs[pc]
+	if int(in.A|in.B|in.C) >= isa.NumRegs {
+		return m.fault(FaultBadRegister, "vm: register operand out of range in %v at pc %d", in.Op, pc)
+	}
 	m.Steps++
 	next := pc + 1
 
@@ -165,14 +251,12 @@ func (m *Machine) Step() error {
 	case isa.Load:
 		a, err := m.memAddr(m.Reg[in.B], in.Imm)
 		if err != nil {
-			m.Halted = true
 			return err
 		}
 		m.Reg[in.A] = m.Mem[a]
 	case isa.Store:
 		a, err := m.memAddr(m.Reg[in.B], in.Imm)
 		if err != nil {
-			m.Halted = true
 			return err
 		}
 		m.Mem[a] = m.Reg[in.A]
@@ -197,15 +281,13 @@ func (m *Machine) Step() error {
 	case isa.JmpInd:
 		t := int(m.Reg[in.A])
 		if !m.Prog.IsBlockStart(t) {
-			m.Halted = true
-			return fmt.Errorf("vm: indirect jump to %d (not a block start) at pc %d", t, pc)
+			return m.fault(FaultBadIndirect, "vm: indirect jump to %d (not a block start) at pc %d", t, pc)
 		}
 		next = t
 		m.branch(pc, next, true, isa.KindIndirect)
 	case isa.Call:
 		if len(m.stack) >= MaxCallDepth {
-			m.Halted = true
-			return fmt.Errorf("vm: call stack overflow at pc %d", pc)
+			return m.fault(FaultStackOverflow, "vm: call stack overflow at pc %d", pc)
 		}
 		m.stack = append(m.stack, int64(pc+1))
 		next = int(in.Target)
@@ -213,21 +295,18 @@ func (m *Machine) Step() error {
 	case isa.CallInd:
 		t := int(m.Reg[in.A])
 		fi := m.Prog.FuncOf(t)
-		if fi < 0 || m.Prog.Funcs[fi].Entry != t {
-			m.Halted = true
-			return fmt.Errorf("vm: indirect call to %d (not a function entry) at pc %d", t, pc)
+		if fi < 0 || fi >= len(m.Prog.Funcs) || m.Prog.Funcs[fi].Entry != t {
+			return m.fault(FaultBadCallTarget, "vm: indirect call to %d (not a function entry) at pc %d", t, pc)
 		}
 		if len(m.stack) >= MaxCallDepth {
-			m.Halted = true
-			return fmt.Errorf("vm: call stack overflow at pc %d", pc)
+			return m.fault(FaultStackOverflow, "vm: call stack overflow at pc %d", pc)
 		}
 		m.stack = append(m.stack, int64(pc+1))
 		next = t
 		m.branch(pc, next, true, isa.KindCallInd)
 	case isa.Ret:
 		if len(m.stack) == 0 {
-			m.Halted = true
-			return fmt.Errorf("vm: return with empty call stack at pc %d", pc)
+			return m.fault(FaultReturnUnderflow, "vm: return with empty call stack at pc %d", pc)
 		}
 		next = int(m.stack[len(m.stack)-1])
 		m.stack = m.stack[:len(m.stack)-1]
@@ -236,13 +315,11 @@ func (m *Machine) Step() error {
 		m.Halted = true
 		return nil
 	default:
-		m.Halted = true
-		return fmt.Errorf("vm: unknown opcode %v at pc %d", in.Op, pc)
+		return m.fault(FaultBadOpcode, "vm: unknown opcode %v at pc %d", in.Op, pc)
 	}
 
 	if next < 0 || next >= len(m.Prog.Instrs) {
-		m.Halted = true
-		return fmt.Errorf("vm: control transfer to %d out of range at pc %d", next, pc)
+		return m.fault(FaultBadPC, "vm: control transfer to %d out of range at pc %d", next, pc)
 	}
 	m.PC = next
 	return nil

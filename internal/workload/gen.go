@@ -53,6 +53,7 @@ type gen struct {
 	nlabel int
 	memTop int
 	depth  int
+	err    error // first combinator-misuse error; reported by build
 }
 
 func newGen(name string, seed int64) *gen {
@@ -75,8 +76,20 @@ func (g *gen) alloc(n int) int {
 	return base
 }
 
+// fail records the first combinator-misuse error; subsequent emission
+// continues harmlessly (the error surfaces from build, as a returned error
+// rather than a panic, since Benchmark.Build is a public runtime API).
+func (g *gen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf(format, args...)
+	}
+}
+
 // build finalizes the program.
 func (g *gen) build() (*prog.Program, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	g.b.SetMemSize(g.memTop)
 	return g.b.Build()
 }
@@ -125,7 +138,9 @@ func (g *gen) fn(name string, base int, body func(f *prog.FuncBuilder)) {
 // maxLoopDepth deep, each level using its own induction register.
 func (g *gen) loop(f *prog.FuncBuilder, n int64, body func()) {
 	if g.depth >= maxLoopDepth {
-		panic("workload: loop nesting too deep")
+		g.fail("workload: loop nesting deeper than %d", maxLoopDepth)
+		body() // keep emission structurally valid; build reports the error
+		return
 	}
 	reg := uint8(regLoop0 - g.depth)
 	g.depth++
@@ -178,8 +193,9 @@ func (g *gen) diamondF(f *prog.FuncBuilder, biasBp int) {
 // Each case body runs and control rejoins after the switch.
 func (g *gen) switchTable(f *prog.FuncBuilder, weights []int, caseBody func(i int)) {
 	k := len(weights)
-	if k < 2 {
-		panic("workload: switch needs >= 2 cases")
+	if k < 2 || k > 64 {
+		g.fail("workload: switch needs 2..64 cases, got %d", k)
+		return
 	}
 	tbl := g.alloc(64)
 	labels := make([]string, k)
@@ -205,8 +221,9 @@ func (g *gen) switchTable(f *prog.FuncBuilder, weights []int, caseBody func(i in
 
 // callTable emits a weighted indirect call through a function table.
 func (g *gen) callTable(f *prog.FuncBuilder, weights []int, fnNames []string) {
-	if len(weights) != len(fnNames) {
-		panic("workload: callTable weight/name mismatch")
+	if len(weights) != len(fnNames) || len(weights) == 0 || len(weights) > 64 {
+		g.fail("workload: callTable wants 1..64 matching weights and names, got %d/%d", len(weights), len(fnNames))
+		return
 	}
 	tbl := g.alloc(64)
 	for slot, ci := range spreadWeights(weights, 64) {
@@ -221,11 +238,13 @@ func (g *gen) callTable(f *prog.FuncBuilder, weights []int, fnNames []string) {
 
 // spreadWeights maps case indices onto slots proportionally to weight,
 // guaranteeing every case at least one slot. Zero and negative weights are
-// clamped to 1. len(weights) must not exceed slots.
+// clamped to 1; excess cases beyond slots are dropped (callers validate
+// len(weights) <= slots and report the error).
 func spreadWeights(weights []int, slots int) []int {
 	k := len(weights)
 	if k > slots {
-		panic("workload: more switch cases than table slots")
+		weights = weights[:slots]
+		k = slots
 	}
 	w := make([]int, k)
 	total := 0
