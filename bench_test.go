@@ -18,6 +18,7 @@ import (
 	"netpath/internal/experiments"
 	"netpath/internal/kpath"
 	"netpath/internal/metrics"
+	"netpath/internal/par"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
 	"netpath/internal/tracecache"
@@ -44,10 +45,74 @@ func benchProfiles(b *testing.B) []experiments.BenchProfile {
 	return profAll
 }
 
+// --- Pipeline benchmarks (the parallel worker pool) -------------------------
+
+// BenchmarkCollectAll measures the oracle-profile collection fan-out — the
+// expensive pipeline stage — at the configured pool width (GOMAXPROCS).
+// Compare with BenchmarkCollectAllSerial for the multi-core speedup; the
+// determinism tests pin that both produce identical output.
+func BenchmarkCollectAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CollectAll(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectAllSerial is the single-worker reference for
+// BenchmarkCollectAll.
+func BenchmarkCollectAllSerial(b *testing.B) {
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CollectAll(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the flattened (benchmark, scheme, τ) replay
+// grid at the configured pool width.
+func BenchmarkSweepParallel(b *testing.B) {
+	bps := benchProfiles(b)
+	taus := metrics.DefaultTaus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.SweepSchemes(bps, taus)
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker reference for
+// BenchmarkSweepParallel.
+func BenchmarkSweepSerial(b *testing.B) {
+	bps := benchProfiles(b)
+	taus := metrics.DefaultTaus()
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.SweepSchemes(bps, taus)
+	}
+}
+
 // --- One benchmark per table/figure ---------------------------------------
 
-// BenchmarkTable1 regenerates the benchmark-set table (paths, flow, hot set).
+// BenchmarkTable1 regenerates the benchmark-set table end to end: oracle
+// profile collection (fanned out on the worker pool) plus rendering. This is
+// the headline pipeline benchmark — its wall-clock scales with cores.
 func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bps, err := experiments.CollectAll(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.Table1(bps)
+	}
+}
+
+// BenchmarkTable1Render measures only the table rendering over cached
+// profiles (the pre-pool BenchmarkTable1).
+func BenchmarkTable1Render(b *testing.B) {
 	bps := benchProfiles(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

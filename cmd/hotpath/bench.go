@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"netpath/internal/benchjson"
+	"netpath/internal/experiments"
+	"netpath/internal/metrics"
+	"netpath/internal/par"
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+// runBenchSuite measures the experiment pipeline and its hot loops and
+// writes the machine-readable baseline (see internal/benchjson). Pipeline
+// stages are measured twice — worker pool pinned to 1, then the configured
+// width — so the report carries the parallel speedup alongside the
+// per-stage ns/op; the microbenchmarks pin the allocation budget of the
+// profiling chain (intern_hit must stay at 0 allocs/op).
+func runBenchSuite(scale float64, out string) error {
+	rep := benchjson.NewReport(scale, par.Workers())
+
+	// Pipeline stages, serial then parallel.
+	stage := func(name string, f func(b *testing.B)) {
+		old := par.SetWorkers(1)
+		serial := testing.Benchmark(f)
+		par.SetWorkers(old)
+		parallel := testing.Benchmark(f)
+
+		es := benchjson.FromResult(name+"_serial", serial)
+		ep := benchjson.FromResult(name+"_parallel", parallel)
+		if ep.NsPerOp > 0 {
+			ep.Metrics = map[string]float64{"speedup_vs_serial": es.NsPerOp / ep.NsPerOp}
+		}
+		rep.Add(es)
+		rep.Add(ep)
+		fmt.Fprintf(os.Stderr, "bench %-16s serial %12.0f ns/op   parallel %12.0f ns/op  (x%.2f)\n",
+			name, es.NsPerOp, ep.NsPerOp, es.NsPerOp/ep.NsPerOp)
+	}
+
+	stage("collect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CollectAll(scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	bps, err := experiments.CollectAll(scale)
+	if err != nil {
+		return err
+	}
+	taus := metrics.DefaultTaus()
+	stage("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			series := experiments.SweepSchemes(bps, taus)
+			if len(series) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
+	stage("fig5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunFig5(scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Hot-loop microbenchmarks (single benchmark program, no pool).
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		return err
+	}
+	p, err := bm.Build(scale)
+	if err != nil {
+		return err
+	}
+	micro := func(name string, f func(b *testing.B)) {
+		e := benchjson.FromResult(name, testing.Benchmark(f))
+		rep.Add(e)
+		fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	}
+	micro("vm_interp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := vm.New(p)
+			if err := m.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	micro("path_tracking", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := profile.Collect(p, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pr, err := profile.Collect(p, 0)
+	if err != nil {
+		return err
+	}
+	hs := pr.Hot(experiments.HotFrac)
+	micro("net_replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			metrics.Evaluate(pr, hs, predict.NewNET(50, pr.Paths.Head), 50)
+		}
+	})
+	micro("intern_hit", func(b *testing.B) {
+		it := path.NewInterner()
+		var sig path.SigBuilder
+		build := func(bits int) {
+			sig.Reset(7)
+			for j := 0; j < 6; j++ {
+				sig.CondBit(bits&(1<<j) != 0)
+			}
+		}
+		for v := 0; v < 8; v++ {
+			build(v)
+			it.Intern(sig.Key(), 7, 6)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			build(i % 8)
+			it.InternBytes(sig.Bytes(), 7, 6)
+		}
+	})
+
+	if err := benchjson.WriteFile(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark entries to %s\n", len(rep.Entries), out)
+	return nil
+}

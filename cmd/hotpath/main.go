@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	hotpath [-scale f] [-tau n] table1|table2|fig2|fig3|fig4|fig5|phases|chaos|all
+//	hotpath [-scale f] [-tau n] [-parallel n] table1|table2|fig2|fig3|fig4|fig5|phases|chaos|all
 //
 // Tables 1-2 and Figures 2-4 use the abstract metrics (Section 5); Figure 5
 // runs the mini-Dynamo concrete evaluation (Section 6); phases runs the
 // windowed-metrics extension (Sections 6.1/7); chaos sweeps the mini-Dynamo
 // under escalating fault injection (robustness evaluation; not part of
 // "all", which regenerates exactly the paper's tables and figures).
+//
+// The pipeline fans (benchmark, scheme, τ) cells out over a bounded worker
+// pool; -parallel overrides the width (default GOMAXPROCS, 1 = serial —
+// output is byte-identical either way). -cpuprofile/-memprofile/-trace
+// capture pprof/trace data for the run, and -bench-out measures the
+// pipeline and its hot loops into a machine-readable perf baseline
+// (BENCH_hotpath.json).
 package main
 
 import (
@@ -18,10 +25,14 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"netpath/internal/experiments"
 	"netpath/internal/metrics"
+	"netpath/internal/par"
 )
 
 func main() {
@@ -30,12 +41,69 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = reported experiments)")
 	tau := flag.Int64("tau", 50, "prediction delay for the phases/boa/ablation reports")
 	csvDir := flag.String("csv", "", "also write fig2/fig3 sweep and fig5 grid CSVs into this directory")
+	parallel := flag.Int("parallel", 0, "worker pool width for the experiment grid (0 = GOMAXPROCS, 1 = serial)")
+	benchOut := flag.String("bench-out", "", "measure the pipeline + hot loops and write the perf baseline JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
+	par.SetWorkers(*parallel)
+
 	cmds := flag.Args()
-	if len(cmds) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] table1|table2|fig2|fig3|fig4|fig5|phases|boa|ablation|hardware|chaos|all")
+	if len(cmds) == 0 && *benchOut == "" {
+		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] [-parallel n] [-bench-out f.json] table1|table2|fig2|fig3|fig4|fig5|phases|boa|ablation|hardware|chaos|all")
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+
+	if *benchOut != "" {
+		if err := runBenchSuite(*scale, *benchOut); err != nil {
+			log.Fatal(err)
+		}
+		if len(cmds) == 0 {
+			return
+		}
 	}
 
 	needProfiles := false

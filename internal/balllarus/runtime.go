@@ -203,7 +203,7 @@ func Profile(p *prog.Program, optimized bool, maxSteps int64) (*Runtime, error) 
 		return nil, err
 	}
 	m := vm.New(p)
-	m.SetListener(rt.OnBranch)
+	m.SetSink(rt)
 	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
 		return nil, err
 	}

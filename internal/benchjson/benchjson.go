@@ -1,0 +1,129 @@
+// Package benchjson defines the machine-readable performance baseline the
+// repository commits as BENCH_hotpath.json. Every entry is one measured
+// benchmark (ns/op, allocs/op, bytes/op plus free-form metrics such as
+// parallel speedup); the report header pins the environment knobs — scale,
+// GOMAXPROCS, worker count — that a later run must match (or normalize by)
+// for a fair comparison. cmd/hotpath -bench-out writes it; future PRs diff
+// against the committed file to track the perf trajectory.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Schema identifies the report format; bump on incompatible changes.
+const Schema = "netpath-bench/v1"
+
+// Entry is one measured benchmark.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full baseline document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Scale      float64 `json:"scale"`
+	Entries    []Entry `json:"entries"`
+}
+
+// NewReport returns a report header for the current environment.
+func NewReport(scale float64, workers int) *Report {
+	return &Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      scale,
+	}
+}
+
+// FromResult converts a testing.Benchmark result into an entry.
+func FromResult(name string, r testing.BenchmarkResult) Entry {
+	return Entry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// Add appends an entry.
+func (r *Report) Add(e Entry) { r.Entries = append(r.Entries, e) }
+
+// Get returns the entry with the given name, if present.
+func (r *Report) Get(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Sort orders entries by name so the committed file diffs cleanly.
+func (r *Report) Sort() {
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+}
+
+// Write emits the report as indented JSON (stable field order, sorted
+// entries) followed by a newline.
+func Write(w io.Writer, r *Report) error {
+	r.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a report and checks its schema.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// ReadFile reads a report from path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,49 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := NewReport(0.1, 4)
+	r.Add(Entry{Name: "collect_parallel", Iterations: 3, NsPerOp: 1.5e8,
+		Metrics: map[string]float64{"speedup_vs_serial": 2.4}})
+	r.Add(Entry{Name: "intern_hit", Iterations: 1e6, NsPerOp: 33, AllocsPerOp: 0})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Scale != 0.1 || got.Workers != 4 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got.Entries))
+	}
+	// Write sorts by name for stable diffs.
+	if got.Entries[0].Name != "collect_parallel" || got.Entries[1].Name != "intern_hit" {
+		t.Errorf("entries not sorted: %v, %v", got.Entries[0].Name, got.Entries[1].Name)
+	}
+	e, ok := got.Get("collect_parallel")
+	if !ok || e.Metrics["speedup_vs_serial"] != 2.4 {
+		t.Errorf("Get(collect_parallel) = %+v, %v", e, ok)
+	}
+	if _, ok := got.Get("missing"); ok {
+		t.Error("Get(missing) reported present")
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -87,7 +87,7 @@ func (p *Profiler) TotalFlow() int64 {
 func Profile(pr *prog.Program, maxSteps int64) (*Profiler, error) {
 	m := vm.New(pr)
 	p := New(m.PC)
-	m.SetListener(p.OnBranch)
+	m.SetSink(p)
 	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
 		return nil, err
 	}

@@ -328,13 +328,20 @@ func New(p *prog.Program, cfg Config) *System {
 	if cfg.DisableOptimizer {
 		s.opt = &Optimizer{} // all passes off
 	}
+	// The recording and capture buffers are reused across traces ([:0]
+	// truncation); seed them with enough capacity for a full-length trace so
+	// the steady state never grows them.
+	s.recBuf = make([]TraceStep, 0, 4*cfg.MaxTraceBranches)
+	if cfg.Scheme == SchemePathProfile {
+		s.capBuf = make([]TraceStep, 0, 4*cfg.MaxTraceBranches)
+	}
 	s.res.Program = p.Name
 	s.res.Scheme = cfg.Scheme
 	s.res.Tau = cfg.Tau
 	s.skipEnd = -1
 	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
 	s.tracker.MaxBranches = cfg.MaxTraceBranches
-	s.m.SetListener(s.onBranch)
+	s.m.SetSink(s)
 	if h, ok := cfg.Chaos.(interface{ VMFault(*vm.Machine) error }); ok {
 		s.m.SetFaultHook(h.VMFault)
 	}
@@ -349,7 +356,9 @@ func (s *System) onComplete(c path.Completed) {
 	s.completedID = c.ID
 }
 
-func (s *System) onBranch(ev vm.BranchEvent) {
+// OnBranch implements vm.Sink; it is the machine's event callback, not part
+// of the System API.
+func (s *System) OnBranch(ev vm.BranchEvent) {
 	if ev.Target != ev.PC+1 {
 		s.res.Redirects++
 	}

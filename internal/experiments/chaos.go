@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"netpath/internal/chaos"
 	"netpath/internal/dynamo"
+	"netpath/internal/par"
+	"netpath/internal/prog"
 	"netpath/internal/tables"
 	"netpath/internal/workload"
 )
@@ -36,27 +39,33 @@ type ChaosResult struct {
 }
 
 // RunChaos sweeps the NET mini-Dynamo over every benchmark at each fault-rate
-// multiplier.
+// multiplier. Every (benchmark, multiplier) cell builds its own seeded
+// injector — the fault schedule depends only on (chaosSeed, rates), never on
+// scheduling — so the cells run concurrently on the par pool and the result
+// slice keeps the serial nested-loop order.
 func RunChaos(scale float64, tau int64) ([]ChaosResult, error) {
-	var out []ChaosResult
-	for _, b := range workload.All() {
-		p, err := b.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		for _, mult := range ChaosMultipliers {
+	bs := workload.All()
+	progs, err := par.MapErr(context.Background(), len(bs),
+		func(_ context.Context, i int) (*prog.Program, error) {
+			return bs[i].Build(scale)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return par.MapErr(context.Background(), len(bs)*len(ChaosMultipliers),
+		func(_ context.Context, cell int) (ChaosResult, error) {
+			b := bs[cell/len(ChaosMultipliers)]
+			mult := ChaosMultipliers[cell%len(ChaosMultipliers)]
 			cfg := dynamo.DefaultConfig(dynamo.SchemeNET, tau)
 			if mult > 0 {
 				cfg.Chaos = chaos.NewRandom(chaosSeed, chaosBaseRates.Scaled(mult))
 			}
-			res, err := dynamo.New(p, cfg).Run()
+			res, err := dynamo.New(progs[cell/len(ChaosMultipliers)], cfg).Run()
 			if err != nil {
-				return nil, fmt.Errorf("experiments: chaos %s ×%g: %w", b.Name, mult, err)
+				return ChaosResult{}, fmt.Errorf("experiments: chaos %s ×%g: %w", b.Name, mult, err)
 			}
-			out = append(out, ChaosResult{Bench: b.Name, Mult: mult, Result: res})
-		}
-	}
-	return out, nil
+			return ChaosResult{Bench: b.Name, Mult: mult, Result: res}, nil
+		})
 }
 
 // ChaosReport renders the sweep: speedup per fault-rate multiplier, then the

@@ -14,13 +14,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"netpath/internal/dynamo"
 	"netpath/internal/metrics"
+	"netpath/internal/par"
 	"netpath/internal/profile"
+	"netpath/internal/prog"
 	"netpath/internal/tables"
 	"netpath/internal/workload"
 )
@@ -61,21 +64,25 @@ type BenchProfile struct {
 }
 
 // CollectAll runs every benchmark at the given scale and collects oracle
-// profiles. This is the expensive step shared by Tables 1-2 and Figures 2-4.
+// profiles. This is the expensive step shared by Tables 1-2 and Figures 2-4;
+// each benchmark is fully independent (its own VM, tracker and interner), so
+// the runs fan out over the par worker pool. Results keep workload.All()
+// order regardless of scheduling; the first failure cancels the rest.
 func CollectAll(scale float64) ([]BenchProfile, error) {
-	var out []BenchProfile
-	for _, b := range workload.All() {
-		p, err := b.Build(scale)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
-		}
-		pr, err := profile.Collect(p, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
-		}
-		out = append(out, BenchProfile{Name: b.Name, Prof: pr, Hot: pr.Hot(HotFrac)})
-	}
-	return out, nil
+	bs := workload.All()
+	return par.MapErr(context.Background(), len(bs),
+		func(_ context.Context, i int) (BenchProfile, error) {
+			b := bs[i]
+			p, err := b.Build(scale)
+			if err != nil {
+				return BenchProfile{}, fmt.Errorf("experiments: %s: %w", b.Name, err)
+			}
+			pr, err := profile.Collect(p, 0)
+			if err != nil {
+				return BenchProfile{}, fmt.Errorf("experiments: %s: %w", b.Name, err)
+			}
+			return BenchProfile{Name: b.Name, Prof: pr, Hot: pr.Hot(HotFrac)}, nil
+		})
 }
 
 // Table1 renders the benchmark-set table with the paper's values alongside.
@@ -120,21 +127,25 @@ type Series struct {
 }
 
 // SweepSchemes runs the τ sweep for path-profile-based and NET prediction
-// over every benchmark profile.
+// over every benchmark profile. The grid is flattened to individual
+// (benchmark, scheme, τ) cells — each builds a fresh predictor and replays
+// the shared read-only stream — and the cells fan out over the par worker
+// pool, writing into preallocated slots so the output is identical to the
+// serial nested loops.
 func SweepSchemes(bps []BenchProfile, taus []int64) []Series {
-	var out []Series
+	out := make([]Series, 0, 2*len(bps))
+	facs := make([]metrics.Factory, 0, 2*len(bps))
 	for _, bp := range bps {
-		out = append(out, Series{
-			Scheme: "pathprofile",
-			Bench:  bp.Name,
-			Points: metrics.Sweep(bp.Prof, bp.Hot, metrics.PathProfileFactory(), taus),
-		})
-		out = append(out, Series{
-			Scheme: "net",
-			Bench:  bp.Name,
-			Points: metrics.Sweep(bp.Prof, bp.Hot, metrics.NETFactory(bp.Prof), taus),
-		})
+		out = append(out, Series{Scheme: "pathprofile", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
+		facs = append(facs, metrics.PathProfileFactory())
+		out = append(out, Series{Scheme: "net", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
+		facs = append(facs, metrics.NETFactory(bp.Prof))
 	}
+	par.Do(len(out)*len(taus), func(cell int) {
+		si, ti := cell/len(taus), cell%len(taus)
+		bp := bps[si/2]
+		out[si].Points[ti] = metrics.Evaluate(bp.Prof, bp.Hot, facs[si](taus[ti]), taus[ti])
+	})
 	return out
 }
 
@@ -266,32 +277,51 @@ type Fig5Result struct {
 var Fig5Taus = []int64{10, 50, 100}
 
 // RunFig5 executes the full Figure 5 grid: both schemes at delays 10/50/100
-// over every benchmark.
+// over every benchmark. Programs are built once per benchmark (in parallel),
+// then every (benchmark, scheme, τ) cell runs as an independent mini-Dynamo
+// instance on the par pool — each System owns its machine, tracker and cache,
+// and the shared *prog.Program is read-only. The grid map is assembled in
+// benchmark order afterwards, so it is byte-identical to a serial run.
 func RunFig5(scale float64) (map[string][]Fig5Result, error) {
-	out := map[string][]Fig5Result{}
-	for _, b := range workload.All() {
-		p, err := b.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		for _, scheme := range []dynamo.Scheme{dynamo.SchemeNET, dynamo.SchemePathProfile} {
-			for _, tau := range Fig5Taus {
-				cfg := dynamo.DefaultConfig(scheme, tau)
-				if scheme == dynamo.SchemePathProfile {
-					// The bail-out heuristic belongs to the production
-					// system; the paper reports path-profile slowdowns on
-					// every program the NET system processes, so the
-					// comparison scheme runs to completion.
-					cfg.BailoutAfter = 0
-				}
-				res, err := dynamo.New(p, cfg).Run()
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s %v τ=%d: %w", b.Name, scheme, tau, err)
-				}
-				key := fmt.Sprintf("%v%d", scheme, tau)
-				out[key] = append(out[key], Fig5Result{Bench: b.Name, Result: res})
+	bs := workload.All()
+	progs, err := par.MapErr(context.Background(), len(bs),
+		func(_ context.Context, i int) (*prog.Program, error) {
+			return bs[i].Build(scale)
+		})
+	if err != nil {
+		return nil, err
+	}
+	schemes := []dynamo.Scheme{dynamo.SchemeNET, dynamo.SchemePathProfile}
+	cells := len(bs) * len(schemes) * len(Fig5Taus)
+	results, err := par.MapErr(context.Background(), cells,
+		func(_ context.Context, cell int) (dynamo.Result, error) {
+			bi := cell / (len(schemes) * len(Fig5Taus))
+			scheme := schemes[cell/len(Fig5Taus)%len(schemes)]
+			tau := Fig5Taus[cell%len(Fig5Taus)]
+			cfg := dynamo.DefaultConfig(scheme, tau)
+			if scheme == dynamo.SchemePathProfile {
+				// The bail-out heuristic belongs to the production
+				// system; the paper reports path-profile slowdowns on
+				// every program the NET system processes, so the
+				// comparison scheme runs to completion.
+				cfg.BailoutAfter = 0
 			}
-		}
+			res, err := dynamo.New(progs[bi], cfg).Run()
+			if err != nil {
+				return res, fmt.Errorf("experiments: %s %v τ=%d: %w", bs[bi].Name, scheme, tau, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]Fig5Result{}
+	for cell, res := range results {
+		bi := cell / (len(schemes) * len(Fig5Taus))
+		scheme := schemes[cell/len(Fig5Taus)%len(schemes)]
+		tau := Fig5Taus[cell%len(Fig5Taus)]
+		key := fmt.Sprintf("%v%d", scheme, tau)
+		out[key] = append(out[key], Fig5Result{Bench: bs[bi].Name, Result: res})
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"netpath/internal/boa"
 	"netpath/internal/metrics"
+	"netpath/internal/par"
 	"netpath/internal/predict"
 	"netpath/internal/tables"
 	"netpath/internal/workload"
@@ -62,17 +63,24 @@ func BoaReport(bps []BenchProfile, scale float64, tau int64) (string, error) {
 //   - immediate: predicts everything at first execution (upper bound on
 //     both hit rate and noise).
 func AblationReport(bps []BenchProfile, tau int64) string {
+	// Five independent replays per benchmark; rows fan out on the pool.
+	rows := par.Map(len(bps), func(i int) [5]metrics.Point {
+		bp := bps[i]
+		head := bp.Prof.Paths.Head
+		return [5]metrics.Point{
+			metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, head), tau),
+			metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNETSingle(tau, head), tau),
+			metrics.Evaluate(bp.Prof, bp.Hot, predict.NewPathProfile(tau), tau),
+			metrics.Evaluate(bp.Prof, bp.Hot, predict.NewOracle(bp.Hot.IsHot), tau),
+			metrics.Evaluate(bp.Prof, bp.Hot, predict.NewImmediate(), tau),
+		}
+	})
 	t := tables.New("Benchmark",
 		"net hit", "net-single hit", "pathprofile hit", "oracle hit", "immediate hit",
 		"net noise", "net-single noise")
-	for _, bp := range bps {
-		head := bp.Prof.Paths.Head
-		net := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, head), tau)
-		single := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNETSingle(tau, head), tau)
-		pp := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewPathProfile(tau), tau)
-		oracle := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewOracle(bp.Hot.IsHot), tau)
-		imm := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewImmediate(), tau)
-		t.Row(bp.Name,
+	for i, r := range rows {
+		net, single, pp, oracle, imm := r[0], r[1], r[2], r[3], r[4]
+		t.Row(bps[i].Name,
 			tables.Pct(net.HitRate()), tables.Pct(single.HitRate()),
 			tables.Pct(pp.HitRate()), tables.Pct(oracle.HitRate()), tables.Pct(imm.HitRate()),
 			tables.Pct(net.NoiseRate()), tables.Pct(single.NoiseRate()))

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"netpath/internal/branchpred"
 	"netpath/internal/dynamo"
+	"netpath/internal/par"
 	"netpath/internal/tables"
 	"netpath/internal/tracecache"
 	"netpath/internal/workload"
@@ -22,39 +24,51 @@ import (
 // NET gets comparable instruction coverage from software counters at path
 // heads only.
 func HardwareReport(scale float64, tau int64) (string, error) {
+	type row struct {
+		bi, gs, tl branchpred.Result
+		tc         tracecache.Stats
+		dres       dynamo.Result
+	}
+	bs := workload.All()
+	// Five independent simulations per benchmark; fan every row out on the
+	// pool and render in benchmark order afterwards.
+	rows, err := par.MapErr(context.Background(), len(bs),
+		func(_ context.Context, i int) (row, error) {
+			b := bs[i]
+			p, err := b.Build(scale)
+			if err != nil {
+				return row{}, err
+			}
+			var r row
+			if r.bi, err = branchpred.Measure(p, branchpred.NewBimodal(14), 0); err != nil {
+				return row{}, fmt.Errorf("hardware %s: %w", b.Name, err)
+			}
+			if r.gs, err = branchpred.Measure(p, branchpred.NewGShare(14), 0); err != nil {
+				return row{}, err
+			}
+			if r.tl, err = branchpred.Measure(p, branchpred.NewTwoLevel(12), 0); err != nil {
+				return row{}, err
+			}
+			if r.tc, err = tracecache.Measure(p, tracecache.Config{}, 0); err != nil {
+				return row{}, err
+			}
+			cfg := dynamo.DefaultConfig(dynamo.SchemeNET, tau)
+			cfg.BailoutAfter = 0 // coverage comparison needs the full run
+			if r.dres, err = dynamo.New(p, cfg).Run(); err != nil {
+				return row{}, err
+			}
+			return r, nil
+		})
+	if err != nil {
+		return "", err
+	}
 	t := tables.New("Benchmark", "bimodal", "gshare", "two-level",
 		"trace$ supplied", "trace$ hit rate", "NET cached")
-	for _, b := range workload.All() {
-		p, err := b.Build(scale)
-		if err != nil {
-			return "", err
-		}
-		bi, err := branchpred.Measure(p, branchpred.NewBimodal(14), 0)
-		if err != nil {
-			return "", fmt.Errorf("hardware %s: %w", b.Name, err)
-		}
-		gs, err := branchpred.Measure(p, branchpred.NewGShare(14), 0)
-		if err != nil {
-			return "", err
-		}
-		tl, err := branchpred.Measure(p, branchpred.NewTwoLevel(12), 0)
-		if err != nil {
-			return "", err
-		}
-		tc, err := tracecache.Measure(p, tracecache.Config{}, 0)
-		if err != nil {
-			return "", err
-		}
-		cfg := dynamo.DefaultConfig(dynamo.SchemeNET, tau)
-		cfg.BailoutAfter = 0 // coverage comparison needs the full run
-		dres, err := dynamo.New(p, cfg).Run()
-		if err != nil {
-			return "", err
-		}
-		t.Row(b.Name,
-			tables.Pct(bi.Accuracy()), tables.Pct(gs.Accuracy()), tables.Pct(tl.Accuracy()),
-			tables.Pct(tc.SuppliedPct()), tables.Pct(tc.HitRate()),
-			tables.Pct(100*dres.CachedFraction()))
+	for i, r := range rows {
+		t.Row(bs[i].Name,
+			tables.Pct(r.bi.Accuracy()), tables.Pct(r.gs.Accuracy()), tables.Pct(r.tl.Accuracy()),
+			tables.Pct(r.tc.SuppliedPct()), tables.Pct(r.tc.HitRate()),
+			tables.Pct(100*r.dres.CachedFraction()))
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Hardware schemes (related work, §7) vs NET software selection at τ=%d\n", tau)

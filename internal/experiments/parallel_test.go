@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"netpath/internal/metrics"
+	"netpath/internal/par"
+)
+
+// renderAll renders every table/figure the abstract pipeline produces into
+// one string, the golden unit of the determinism comparison.
+func renderAll(bps []BenchProfile, series []Series) string {
+	var b strings.Builder
+	b.WriteString(Table1(bps))
+	b.WriteString(Table2(bps))
+	b.WriteString(Fig2(series))
+	b.WriteString(Fig3(series))
+	b.WriteString(Fig4(bps))
+	b.WriteString(PhasesReport(bps, 20))
+	b.WriteString(AblationReport(bps, 20))
+	return b.String()
+}
+
+// TestParallelOutputIsByteIdentical is the determinism contract of the
+// worker pool: the rendered tables and figures from a run with many workers
+// must be byte-identical to the single-worker (plain loop) reference. This
+// is what lets the parallel pipeline regenerate the paper's numbers — any
+// scheduling leak (result order, shared predictor state, map iteration)
+// shows up as a diff here.
+func TestParallelOutputIsByteIdentical(t *testing.T) {
+	taus := []int64{10, 100, 1000}
+
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	bps, err := CollectAll(expScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(bps, SweepSchemes(bps, taus))
+
+	for _, w := range []int{2, 8} {
+		par.SetWorkers(w)
+		bps, err := CollectAll(expScale)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := renderAll(bps, SweepSchemes(bps, taus))
+		if got != golden {
+			t.Errorf("workers=%d: output differs from serial run\nserial:\n%s\nparallel:\n%s",
+				w, excerptDiff(golden, got), excerptDiff(got, golden))
+		}
+	}
+}
+
+// TestParallelFig5IsByteIdentical covers the Dynamo grid the same way: the
+// fragment-cache simulation is stateful per cell, so identical rendering
+// proves each System really is isolated.
+func TestParallelFig5IsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamo grid is slow")
+	}
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	grid, err := RunFig5(expScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := Fig5(grid)
+
+	par.SetWorkers(8)
+	grid, err = RunFig5(expScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fig5(grid); got != golden {
+		t.Errorf("parallel Fig5 differs from serial:\n%s\nvs\n%s", golden, got)
+	}
+}
+
+// TestParallelChaosIsByteIdentical pins the seeded fault schedules under
+// parallelism: every (benchmark, multiplier) cell owns an injector seeded
+// by (chaosSeed, rates) alone, so concurrent execution must reproduce the
+// serial report byte for byte.
+func TestParallelChaosIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	golden, err := ChaosReport(0.01, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par.SetWorkers(8)
+	got, err := ChaosReport(0.01, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != golden {
+		t.Errorf("parallel chaos report differs from serial:\n%s\nvs\n%s", golden, got)
+	}
+}
+
+// TestParallelSweepMatchesMetricsSweep pins SweepSchemes' flattened cells
+// against direct metrics.Sweep calls — the pre-pool formulation.
+func TestParallelSweepMatchesMetricsSweep(t *testing.T) {
+	bps, err := CollectAll(expScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []int64{10, 1000}
+	series := SweepSchemes(bps, taus)
+	for i, bp := range bps {
+		pp := metrics.Sweep(bp.Prof, bp.Hot, metrics.PathProfileFactory(), taus)
+		net := metrics.Sweep(bp.Prof, bp.Hot, metrics.NETFactory(bp.Prof), taus)
+		for ti := range taus {
+			if series[2*i].Points[ti] != pp[ti] {
+				t.Errorf("%s pathprofile τ=%d: %v != %v", bp.Name, taus[ti], series[2*i].Points[ti], pp[ti])
+			}
+			if series[2*i+1].Points[ti] != net[ti] {
+				t.Errorf("%s net τ=%d: %v != %v", bp.Name, taus[ti], series[2*i+1].Points[ti], net[ti])
+			}
+		}
+	}
+}
+
+// excerptDiff returns the first line where a and b diverge, with context.
+func excerptDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range la {
+		if i >= len(lb) || la[i] != lb[i] {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 3
+			if hi > len(la) {
+				hi = len(la)
+			}
+			return strings.Join(la[lo:hi], "\n")
+		}
+	}
+	return "(prefix identical; lengths differ)"
+}

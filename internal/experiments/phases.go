@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"netpath/internal/metrics"
+	"netpath/internal/par"
 	"netpath/internal/predict"
 	"netpath/internal/tables"
 )
@@ -20,23 +21,33 @@ func PhasesReport(bps []BenchProfile, tau int64) string {
 	fmt.Fprintf(&b, "Phase extension (Sections 6.1 and 7): windowed hit/noise at τ=%d\n", tau)
 	b.WriteString("Windowed rates score each predicted execution against the hot set of its\nown window; 'retired' counts predictions removed after idle windows.\n\n")
 
-	t := tables.New("Benchmark", "accum hit", "accum noise",
-		"windowed hit", "windowed noise", "w/ retiring hit", "w/ retiring noise", "retired")
-	for _, bp := range bps {
-		accum := metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+	type row struct {
+		accum    metrics.Point
+		win, ret metrics.PhasedPoint
+	}
+	// Three independent replays per benchmark; rows fan out on the pool.
+	rows := par.Map(len(bps), func(i int) row {
+		bp := bps[i]
+		var r row
+		r.accum = metrics.Evaluate(bp.Prof, bp.Hot, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
 
 		cfg := metrics.PhasedConfig{Window: 50_000, HotFrac: HotFrac}
-		win := metrics.EvaluatePhased(bp.Prof, cfg, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+		r.win = metrics.EvaluatePhased(bp.Prof, cfg, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
 
 		cfgR := cfg
 		cfgR.RetireAfter = 3
-		ret := metrics.EvaluatePhased(bp.Prof, cfgR, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+		r.ret = metrics.EvaluatePhased(bp.Prof, cfgR, predict.NewNET(tau, bp.Prof.Paths.Head), tau)
+		return r
+	})
 
-		t.Row(bp.Name,
-			tables.Pct(accum.HitRate()), tables.Pct(accum.NoiseRate()),
-			tables.Pct(win.HitRate()), tables.Pct(win.NoiseRate()),
-			tables.Pct(ret.HitRate()), tables.Pct(ret.NoiseRate()),
-			ret.Retired)
+	t := tables.New("Benchmark", "accum hit", "accum noise",
+		"windowed hit", "windowed noise", "w/ retiring hit", "w/ retiring noise", "retired")
+	for i, r := range rows {
+		t.Row(bps[i].Name,
+			tables.Pct(r.accum.HitRate()), tables.Pct(r.accum.NoiseRate()),
+			tables.Pct(r.win.HitRate()), tables.Pct(r.win.NoiseRate()),
+			tables.Pct(r.ret.HitRate()), tables.Pct(r.ret.NoiseRate()),
+			r.ret.Retired)
 	}
 	b.WriteString(t.String())
 	return b.String()

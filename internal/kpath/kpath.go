@@ -151,7 +151,7 @@ func (p *Profiler) CountMultiset() []int64 {
 func Profile(pr *prog.Program, k int, lazyMode bool, maxSteps int64) (*Profiler, error) {
 	m := vm.New(pr)
 	p := New(k, lazyMode)
-	m.SetListener(p.OnBranch)
+	m.SetSink(p)
 	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ package metrics
 import (
 	"fmt"
 
+	"netpath/internal/par"
 	"netpath/internal/path"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
@@ -130,13 +131,14 @@ func PathProfileFactory() Factory {
 	return func(tau int64) predict.Predictor { return predict.NewPathProfile(tau) }
 }
 
-// Sweep evaluates the factory's scheme at every delay in taus.
+// Sweep evaluates the factory's scheme at every delay in taus. Each delay
+// builds a fresh predictor and replays the shared read-only stream, so the
+// points are computed concurrently on the par worker pool; the result keeps
+// taus order and is identical to a serial sweep.
 func Sweep(pr *profile.Profile, hs *profile.HotSet, f Factory, taus []int64) []Point {
-	out := make([]Point, 0, len(taus))
-	for _, tau := range taus {
-		out = append(out, Evaluate(pr, hs, f(tau), tau))
-	}
-	return out
+	return par.Map(len(taus), func(i int) Point {
+		return Evaluate(pr, hs, f(taus[i]), taus[i])
+	})
 }
 
 // CounterSpaceRatio returns NET counter space normalized to path-profile

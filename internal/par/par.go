@@ -1,0 +1,140 @@
+// Package par is the bounded worker pool behind the experiment pipeline.
+//
+// Every cell of the paper's evaluation grid — (benchmark, scheme, τ) — is
+// independent, so the pipeline fans out across cores. The pool is built for
+// reproducibility first: results are written into an index-addressed slice,
+// so output order is identical to a serial run regardless of scheduling, and
+// the configured worker count only changes wall-clock time, never bytes of
+// output. A worker count of 1 degenerates to a plain loop (no goroutines),
+// which the determinism tests use as the golden reference.
+//
+// The pool is deliberately tiny: stdlib only (no errgroup dependency),
+// work-stealing by atomic index, context cancellation on first error.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 means GOMAXPROCS.
+var workers atomic.Int64
+
+// SetWorkers sets the worker count for subsequent Map/Do calls.
+// n <= 0 restores the default (GOMAXPROCS). It returns the previous setting
+// so callers can restore it (the serial/parallel golden tests do).
+func SetWorkers(n int) int {
+	old := int(workers.Load())
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+	return old
+}
+
+// Workers returns the effective worker count for a new pool.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// indexed is the (first-come) error slot shared by a pool's workers. The
+// lowest-index error wins so the reported failure is as close to the serial
+// run's as scheduling allows.
+type indexed struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (e *indexed) record(idx int, err error) {
+	e.mu.Lock()
+	if e.err == nil || idx < e.idx {
+		e.idx, e.err = idx, err
+	}
+	e.mu.Unlock()
+}
+
+// MapErr runs f(ctx, i) for every i in [0, n) on a bounded worker pool and
+// returns the results in index order. The first error cancels ctx for the
+// remaining work and is returned (when several tasks fail concurrently, the
+// lowest-index error is preferred). With one worker it runs f inline in index
+// order, exactly like the pre-pool serial code.
+func MapErr[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := f(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		errs indexed
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := f(ctx, i)
+				if err != nil {
+					errs.record(i, err)
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Map is MapErr for infallible tasks: f(i) for every i in [0, n), results in
+// index order.
+func Map[T any](n int, f func(i int) T) []T {
+	out, _ := MapErr(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return f(i), nil
+	})
+	return out
+}
+
+// Do runs f(i) for every i in [0, n) on the pool, for tasks that write their
+// own results (typically into disjoint slots of a shared slice).
+func Do(n int, f func(i int)) {
+	Map(n, func(i int) struct{} { f(i); return struct{}{} })
+}

@@ -1,0 +1,121 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderIsDeterministic(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		old := SetWorkers(w)
+		got := Map(100, func(i int) int { return i * i })
+		SetWorkers(old)
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrEmpty(t *testing.T) {
+	out, err := MapErr(context.Background(), 0, func(context.Context, int) (int, error) {
+		t.Fatal("f called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want empty", out, err)
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	// Every task fails; the reported error must be a low-index one (with one
+	// worker, exactly index 0 — the serial behaviour).
+	old := SetWorkers(1)
+	defer SetWorkers(old)
+	_, err := MapErr(context.Background(), 10, func(_ context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("task %d", i)
+	})
+	if err == nil || err.Error() != "task 0" {
+		t.Fatalf("serial error = %v, want task 0", err)
+	}
+
+	SetWorkers(4)
+	_, err = MapErr(context.Background(), 10, func(_ context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("task %d", i)
+	})
+	if err == nil {
+		t.Fatal("parallel run reported no error")
+	}
+}
+
+func TestMapErrCancelsOnFirstError(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	_, err := MapErr(context.Background(), 1000, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Errorf("all %d tasks ran despite early error; cancellation is not stopping the pool", n)
+	}
+}
+
+func TestMapErrHonorsCallerCancellation(t *testing.T) {
+	old := SetWorkers(2)
+	defer SetWorkers(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapErr(ctx, 10, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const w = 3
+	old := SetWorkers(w)
+	defer SetWorkers(old)
+	var live, peak atomic.Int64
+	Do(50, func(i int) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		live.Add(-1)
+	})
+	if p := peak.Load(); p > w {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, w)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	old := SetWorkers(0)
+	defer SetWorkers(old)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() after SetWorkers(-5) = %d, want GOMAXPROCS", got)
+	}
+}

@@ -1,0 +1,146 @@
+package path
+
+import (
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/vm"
+)
+
+// buildSig constructs a representative signature into s and returns the key.
+func buildSig(s *SigBuilder, start int, bits uint8) {
+	s.Reset(start)
+	for i := 0; i < 6; i++ {
+		s.CondBit(bits&(1<<i) != 0)
+	}
+	s.Indirect(start + 100)
+}
+
+// TestInternHitZeroAllocs pins the repeated-path fast path: re-interning a
+// signature that is already in the table via the live builder buffer must
+// not allocate. This is the per-completed-path cost of profiling, the
+// paper's "less is more" budget; a regression here (e.g. reintroducing a
+// Key() string copy in Tracker.complete) shows up as a nonzero count.
+func TestInternHitZeroAllocs(t *testing.T) {
+	it := NewInterner()
+	var sig SigBuilder
+	for b := 0; b < 8; b++ {
+		buildSig(&sig, 7, uint8(b))
+		it.Intern(sig.Key(), 7, 7)
+	}
+	b := uint8(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		buildSig(&sig, 7, b%8)
+		if id := it.InternBytes(sig.Bytes(), 7, 7); id < 0 {
+			t.Fatal("lost an interned path")
+		}
+		b++
+	})
+	if allocs != 0 {
+		t.Errorf("InternBytes hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestInternBytesMatchesIntern pins that the two intern entry points share
+// one identity space and that InternBytes copies on first insertion (the
+// caller's buffer may be reused immediately).
+func TestInternBytesMatchesIntern(t *testing.T) {
+	it := NewInterner()
+	var sig SigBuilder
+	buildSig(&sig, 3, 0b101)
+	id := it.InternBytes(sig.Bytes(), 3, 7)
+
+	// Clobber the builder: the interned Info.Key must be unaffected.
+	buildSig(&sig, 9, 0b010)
+	key2 := it.Info(id).Key
+
+	buildSig(&sig, 3, 0b101)
+	if got := it.Intern(sig.Key(), 3, 7); got != id {
+		t.Errorf("Intern after InternBytes = %d, want %d", got, id)
+	}
+	if key2 != sig.Key() {
+		t.Errorf("interned key mutated by builder reuse: %q != %q", key2, sig.Key())
+	}
+	if it.NumPaths() != 1 {
+		t.Errorf("NumPaths = %d, want 1", it.NumPaths())
+	}
+}
+
+// TestSigKeyIsStableCopy pins the Key() contract its doc promises: the
+// returned string is a copy, unaffected by further building.
+func TestSigKeyIsStableCopy(t *testing.T) {
+	var sig SigBuilder
+	buildSig(&sig, 5, 0b110)
+	key := sig.Key()
+	buildSig(&sig, 6, 0b001)
+	buildSig(&sig, 5, 0b110)
+	if key != sig.Key() {
+		t.Fatalf("Key() not reproducible: %q vs %q", key, sig.Key())
+	}
+	sig.Reset(1)
+	sig.CondBit(true)
+	if key == sig.Key() {
+		t.Fatal("Key() aliased the live buffer: changed after Reset")
+	}
+}
+
+// TestTrackerSteadyStateAllocs pins the whole per-path chain — signature
+// build, completion, intern, callback — at zero allocations once the path
+// is known.
+func TestTrackerSteadyStateAllocs(t *testing.T) {
+	it := NewInterner()
+	var done int
+	tr := NewTracker(it, 0, func(Completed) { done++ })
+	loop := []vm.BranchEvent{
+		{PC: 2, Target: 5, Taken: true, Kind: isa.KindCond},
+		{PC: 7, Target: 0, Taken: true, Kind: isa.KindCond, Backward: true},
+	}
+	// Warm: intern the loop body path once.
+	for _, ev := range loop {
+		tr.OnBranch(ev)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, ev := range loop {
+			tr.OnBranch(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state path completion allocates %.1f objects/op, want 0", allocs)
+	}
+	if done < 500 {
+		t.Fatalf("tracker completed %d paths, want >= 500", done)
+	}
+	if it.NumPaths() != 1 {
+		t.Fatalf("NumPaths = %d, want 1 (one repeated loop path)", it.NumPaths())
+	}
+}
+
+// BenchmarkInternHit measures the repeated-path intern fast path; allocs/op
+// must stay 0 (see TestInternHitZeroAllocs for the hard pin).
+func BenchmarkInternHit(b *testing.B) {
+	it := NewInterner()
+	var sig SigBuilder
+	for v := 0; v < 8; v++ {
+		buildSig(&sig, 7, uint8(v))
+		it.Intern(sig.Key(), 7, 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildSig(&sig, 7, uint8(i%8))
+		it.InternBytes(sig.Bytes(), 7, 7)
+	}
+}
+
+// BenchmarkInternMiss measures first-time interning (the copy path).
+func BenchmarkInternMiss(b *testing.B) {
+	it := NewInterner()
+	var sig SigBuilder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig.Reset(i)
+		sig.CondBit(i&1 == 0)
+		it.InternBytes(sig.Bytes(), i, 1)
+	}
+}

@@ -147,6 +147,29 @@ func (it *Interner) Intern(key string, start, branches int) ID {
 		}
 		return id
 	}
+	return it.insert(key, start, branches)
+}
+
+// InternBytes is Intern for a transient byte-slice key — the profiling hot
+// path. The map lookup compiles to an allocation-free probe (the
+// string(key) conversion does not escape), so re-interning an
+// already-known path costs zero allocations; the key is copied into an
+// owned string only the first time a signature is seen. The caller may
+// reuse key's backing array immediately (the Tracker passes its live
+// SigBuilder buffer).
+func (it *Interner) InternBytes(key []byte, start, branches int) ID {
+	if id, ok := it.ids[string(key)]; ok {
+		if it.max > 0 {
+			it.ref[id] = true
+		}
+		return id
+	}
+	return it.insert(string(key), start, branches)
+}
+
+// insert adds a new signature (an owned string) to the table, recycling a
+// slot in bounded mode.
+func (it *Interner) insert(key string, start, branches int) ID {
 	if it.max > 0 && len(it.infos) >= it.max {
 		return it.recycle(key, start, branches)
 	}
@@ -254,7 +277,9 @@ func (t *Tracker) reset(start int) {
 }
 
 func (t *Tracker) complete(reason EndReason, nextStart int) {
-	id := t.interner.Intern(t.sig.Key(), t.start, t.branches)
+	// InternBytes probes with the live signature buffer: completing an
+	// already-known path (the steady state of every loop) allocates nothing.
+	id := t.interner.InternBytes(t.sig.Bytes(), t.start, t.branches)
 	if t.onComplete != nil {
 		t.onComplete(Completed{ID: id, Reason: reason})
 	}

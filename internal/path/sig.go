@@ -37,5 +37,11 @@ func (s *SigBuilder) Indirect(target int) {
 }
 
 // Key returns the signature key for interning. The returned string is a
-// copy and remains valid after further building.
+// copy and remains valid after further building; use Bytes when the caller
+// only needs a transient view (Interner.InternBytes).
 func (s *SigBuilder) Key() string { return string(s.key) }
+
+// Bytes returns the live signature buffer without copying. The slice is
+// only valid until the next Reset, CondBit or Indirect call; callers that
+// need the key beyond that must use Key.
+func (s *SigBuilder) Bytes() []byte { return s.key }

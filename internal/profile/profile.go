@@ -38,11 +38,13 @@ func Collect(p *prog.Program, maxSteps int64) (*Profile, error) {
 
 // CollectMachine is Collect on a caller-prepared machine (already reset).
 func CollectMachine(m *vm.Machine, maxSteps int64) (*Profile, error) {
-	pr := &Profile{Program: m.Prog, Paths: path.NewInterner()}
+	// The stream grows by one ID per completed path; start it with room for a
+	// healthy run so early growth doesn't dominate small collections.
+	pr := &Profile{Program: m.Prog, Paths: path.NewInterner(), Stream: make([]path.ID, 0, 4096)}
 	tr := path.NewTracker(pr.Paths, m.PC, func(c path.Completed) {
 		pr.Stream = append(pr.Stream, c.ID)
 	})
-	m.SetListener(tr.OnBranch)
+	m.SetSink(tr)
 	err := m.Run(maxSteps)
 	if err == vm.ErrStepLimit {
 		err = nil // a truncated run still yields a valid profile
@@ -51,7 +53,7 @@ func CollectMachine(m *vm.Machine, maxSteps int64) (*Profile, error) {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
 	tr.Finish()
-	m.SetListener(nil)
+	m.SetSink(nil)
 
 	pr.Freq = make([]int64, pr.Paths.NumPaths())
 	for _, id := range pr.Stream {

@@ -212,7 +212,7 @@ func Measure(p *prog.Program, cfg Config, maxSteps int64) (Stats, error) {
 	sim := New(p, cfg)
 	m := vm.New(p)
 	sim.beginFetch(p.Entry)
-	m.SetListener(sim.OnBranch)
+	m.SetSink(sim)
 	if err := m.Run(maxSteps); err != nil && err != vm.ErrStepLimit {
 		return sim.Stats(), err
 	}

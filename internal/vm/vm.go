@@ -21,9 +21,23 @@ type BranchEvent struct {
 	Backward bool           // taken and Target <= PC (delimits forward paths)
 }
 
-// Listener receives branch events. Implementations must not modify the
-// machine.
+// Sink receives branch events through a direct interface method — one
+// indirect call per event. The profiling stack (path.Tracker, dynamo.System)
+// implements it on its concrete type, which skips the extra call frame a
+// method-value Listener closure would add on the interpreter's hottest edge.
+// Implementations must not modify the machine.
+type Sink interface {
+	OnBranch(BranchEvent)
+}
+
+// Listener receives branch events as a plain function; it is the convenience
+// form of Sink for ad-hoc callers (tests, one-off measurements).
+// Implementations must not modify the machine.
 type Listener func(BranchEvent)
+
+// OnBranch implements Sink, so a Listener can stand wherever a Sink is
+// expected.
+func (l Listener) OnBranch(ev BranchEvent) { l(ev) }
 
 // FaultHook is consulted at the top of every Step, before the instruction
 // executes. Returning a non-nil error injects a machine fault at the current
@@ -112,7 +126,7 @@ type Machine struct {
 	Steps int64
 
 	stack     []int64
-	listener  Listener
+	sink      Sink
 	faultHook FaultHook
 }
 
@@ -143,8 +157,20 @@ func (m *Machine) Reset() {
 	m.stack = m.stack[:0]
 }
 
-// SetListener installs the branch event listener (nil disables events).
-func (m *Machine) SetListener(l Listener) { m.listener = l }
+// SetSink installs the branch event sink (nil disables events). Prefer this
+// over SetListener on hot paths: the event is delivered by one interface
+// call on the receiver's concrete type.
+func (m *Machine) SetSink(s Sink) { m.sink = s }
+
+// SetListener installs a function-valued branch event listener
+// (nil disables events). Equivalent to SetSink(Listener(l)).
+func (m *Machine) SetListener(l Listener) {
+	if l == nil {
+		m.sink = nil
+		return
+	}
+	m.sink = l
+}
 
 // SetFaultHook installs the fault-injection hook (nil disables injection).
 func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
@@ -157,8 +183,8 @@ func (m *Machine) CallDepth() int { return len(m.stack) }
 func (m *Machine) InstrAt(addr int) isa.Instr { return m.Prog.Instrs[addr] }
 
 func (m *Machine) branch(pc, target int, taken bool, kind isa.BranchKind) {
-	if m.listener != nil {
-		m.listener(BranchEvent{
+	if m.sink != nil {
+		m.sink.OnBranch(BranchEvent{
 			PC:       pc,
 			Target:   target,
 			Taken:    taken,
