@@ -233,6 +233,27 @@ func BenchmarkVMInterp(b *testing.B) {
 	}
 }
 
+// BenchmarkVMInterpLegacy runs the same workload on the legacy switch-based
+// decoder — the reference point for the predecoded engine's speedup.
+func BenchmarkVMInterpLegacy(b *testing.B) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bm.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(p)
+		m.SetEngine(vm.EngineLegacy)
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPathTracking measures the profiled run (VM + tracker + intern).
 func BenchmarkPathTracking(b *testing.B) {
 	bm, err := workload.ByName("compress")

@@ -1,0 +1,102 @@
+// Allocation regression gate against the committed perf baseline.
+//
+// ns/op is too noisy to gate on shared runners, but allocs/op of the
+// profiling chain is deterministic: the gate re-measures the three
+// alloc-sensitive microbenchmarks from cmd/hotpath at the baseline's own
+// scale and fails if any of them allocates more per op than the committed
+// BENCH_hotpath.json records. Timing is never compared.
+package netpath_test
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"netpath/internal/benchjson"
+	"netpath/internal/path"
+	"netpath/internal/profile"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+// majorMinor trims a runtime version like "go1.24.0" to "go1.24"; alloc
+// behavior of maps and the runtime shifts between Go releases, so the gate
+// only compares like with like.
+func majorMinor(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+func TestAllocGate(t *testing.T) {
+	const baseline = "BENCH_hotpath.json"
+	rep, err := benchjson.ReadFile(baseline)
+	if os.IsNotExist(err) {
+		t.Skipf("no %s baseline; run `go run ./cmd/hotpath -bench-out %s`", baseline, baseline)
+	}
+	if err != nil {
+		t.Fatalf("reading %s: %v", baseline, err)
+	}
+	if got, want := majorMinor(runtime.Version()), majorMinor(rep.GoVersion); got != want {
+		t.Skipf("baseline recorded with %s, running %s; alloc counts not comparable", rep.GoVersion, runtime.Version())
+	}
+
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(rep.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, runs int, f func()) {
+		e, ok := rep.Get(name)
+		if !ok {
+			t.Errorf("%s: baseline has no entry", name)
+			return
+		}
+		got := int64(testing.AllocsPerRun(runs, f))
+		if got > e.AllocsPerOp {
+			t.Errorf("%s: %d allocs/op, baseline %d — allocation regression", name, got, e.AllocsPerOp)
+		} else {
+			t.Logf("%s: %d allocs/op (baseline %d)", name, got, e.AllocsPerOp)
+		}
+	}
+
+	check("vm_interp", 3, func() {
+		m := vm.New(p)
+		if err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("path_tracking", 3, func() {
+		if _, err := profile.Collect(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// intern_hit replicates the cmd/hotpath micro: steady-state interner
+	// hits must stay allocation-free.
+	it := path.NewInterner()
+	var sig path.SigBuilder
+	build := func(bits int) {
+		sig.Reset(7)
+		for j := 0; j < 6; j++ {
+			sig.CondBit(bits&(1<<j) != 0)
+		}
+	}
+	for v := 0; v < 8; v++ {
+		build(v)
+		it.Intern(sig.Key(), 7, 6)
+	}
+	i := 0
+	check("intern_hit", 1000, func() {
+		build(i % 8)
+		it.InternBytes(sig.Bytes(), 7, 6)
+		i++
+	})
+}

@@ -21,6 +21,14 @@ type TraceStep struct {
 	Why string
 }
 
+// codeStep is one step of a fragment lowered onto the VM's predecoded
+// engine: the instruction address to execute and the control successor
+// observed at trace-recording time. The execution loop compares the actual
+// next PC against next to detect divergence (an early exit).
+type codeStep struct {
+	pc, next int32
+}
+
 // Fragment is an optimized trace resident in the fragment cache.
 type Fragment struct {
 	// Start is the path head address the fragment is keyed by.
@@ -28,6 +36,14 @@ type Fragment struct {
 	Steps []TraceStep
 	// Eliminated counts optimized-away instructions.
 	Eliminated int
+
+	// code is the compiled step array (built by Optimize): the fragment
+	// lowered to (pc, expected-next) pairs over the predecoded micro-ops.
+	// elimPrefix[i] counts eliminated instructions among Steps[:i], so the
+	// executor settles cycle accounting for any straight run [from,to) with
+	// two prefix-sum lookups instead of a per-step eliminated branch.
+	code       []codeStep
+	elimPrefix []int32
 	// Enters and Completions are runtime statistics.
 	Enters      int64
 	Completions int64
@@ -88,7 +104,26 @@ func (o *Optimizer) Optimize(start int, steps []TraceStep) *Fragment {
 			fr.Eliminated++
 		}
 	}
+	fr.compile()
 	return fr
+}
+
+// compile lowers the optimized trace to the compiled step array the fast
+// fragment executor runs: (pc, expected-next) pairs plus the eliminated-count
+// prefix sums used to settle cycle accounting for whole straight runs.
+func (f *Fragment) compile() {
+	f.code = make([]codeStep, len(f.Steps))
+	f.elimPrefix = make([]int32, len(f.Steps)+1)
+	var elim int32
+	for i := range f.Steps {
+		s := &f.Steps[i]
+		f.elimPrefix[i] = elim
+		if s.Eliminated {
+			elim++
+		}
+		f.code[i] = codeStep{pc: int32(s.PC), next: int32(s.Next)}
+	}
+	f.elimPrefix[len(f.Steps)] = elim
 }
 
 func eliminate(s *TraceStep, why string) {

@@ -392,7 +392,15 @@ func (s *System) Run() (Result, error) {
 		}
 		var err error
 		if s.mode == modeFragment {
-			err = s.stepFragment()
+			// Two-tier dispatch: the fault-free path runs whole fragments
+			// (and linked successors) on the compiled step arrays without
+			// per-instruction injector or hook checks; chaos injection or an
+			// installed fault hook selects the slow per-step stepper.
+			if s.inj == nil && !s.m.HasFaultHook() {
+				err = s.runFragment()
+			} else {
+				err = s.stepFragmentSlow()
+			}
 		} else {
 			err = s.stepInterp()
 		}
@@ -699,7 +707,95 @@ func (s *System) bail(reason string) {
 	s.skipping = false
 }
 
-func (s *System) stepFragment() error {
+// runFragment executes fragments on their compiled step arrays until control
+// leaves the fragment cache (or the machine halts, faults, or hits the step
+// budget). Linked exits transfer directly into the successor fragment's
+// compiled array — the loop keeps going without returning to Run's
+// dispatcher, the software analogue of Dynamo's fragment linking. Only
+// reached when no injector and no fault hook are installed, so the hot loop
+// is: budget compare, ExecAt, successor compare.
+func (s *System) runFragment() error {
+	m := s.m
+	limit := s.cfg.MaxSteps
+	pc := m.PC
+	for {
+		fr := s.frag
+		code := fr.code
+		last := len(code) - 1
+		fpos := s.fpos
+		base := fpos
+		for {
+			if limit > 0 && m.Steps >= limit {
+				// Out of budget before this step executed: sync state and
+				// let Run's loop raise the step-limit error.
+				s.accountFrag(fr, base, fpos)
+				s.fpos = fpos
+				m.PC = pc
+				return nil
+			}
+			npc := m.ExecAt(pc)
+			if npc < 0 {
+				// Halt or fault. SettleExec pins m.PC and delivers the
+				// fault; a halting step is accounted (it executed), a
+				// faulting one is not — matching the per-step stepper,
+				// which returns before accounting on error.
+				err := m.SettleExec(pc, npc)
+				if err == nil {
+					s.accountFrag(fr, base, fpos+1)
+				} else {
+					s.accountFrag(fr, base, fpos)
+				}
+				s.fpos = fpos
+				return err
+			}
+			if fpos == last {
+				// Fragment completed: its end is a path boundary.
+				s.accountFrag(fr, base, last+1)
+				m.PC = npc
+				fr.Completions++
+				s.res.PathEvents++
+				s.onPathEvent()
+				s.leaveFragment(npc, true)
+				break
+			}
+			if npc != int(code[fpos].next) {
+				s.accountFrag(fr, base, fpos+1)
+				m.PC = npc
+				fr.EarlyExits++
+				s.leaveFragment(npc, false)
+				break
+			}
+			fpos++
+			pc = npc
+		}
+		if s.mode != modeFragment {
+			return nil
+		}
+		// Linked transfer: continue in the successor fragment set by
+		// leaveFragment without surfacing to the dispatcher.
+		pc = m.PC
+	}
+}
+
+// accountFrag settles cycle accounting for the straight run Steps[from:to)
+// of fr in one shot: eliminated instructions were skipped at fragment
+// compile time, so their count comes from the prefix sums rather than a
+// per-step branch.
+func (s *System) accountFrag(fr *Fragment, from, to int) {
+	if to <= from {
+		return
+	}
+	n := int64(to - from)
+	elim := int64(fr.elimPrefix[to] - fr.elimPrefix[from])
+	s.res.FragInstrs += n
+	s.res.ElimInstrs += elim
+	s.res.FragCycles += float64(n-elim) * s.cfg.Costs.FragInstr
+}
+
+// stepFragmentSlow is the chaos slow path: one fragment step per call, with
+// injected-fault polling. Installed only when an injector or fault hook is
+// active — the fast loop above carries none of these branches.
+func (s *System) stepFragmentSlow() error {
 	c := &s.cfg.Costs
 
 	// Injected fragment fault: fall back to the interpreter at the current
@@ -708,33 +804,33 @@ func (s *System) stepFragment() error {
 	// the cache and its head blacklisted — back to interpretation. The
 	// recording stream is drained too (no recording is in flight while a
 	// fragment runs) so events land at their step, not at the next recording.
-	if s.inj != nil {
-		s.inj.AbortRecording(s.m.Steps) // no recording in flight; discard
-	}
-	if s.inj != nil && s.inj.AbortFragment(s.m.Steps) {
-		s.res.FragAborts++
-		s.frag.Aborts++
-		head := s.frag.Start
-		if s.cfg.DemoteAfterAborts > 0 && s.frag.Aborts >= int64(s.cfg.DemoteAfterAborts) {
-			if s.cache[head] == s.frag {
-				delete(s.cache, head)
+	if inj := s.inj; inj != nil {
+		inj.AbortRecording(s.m.Steps) // no recording in flight; discard
+		if inj.AbortFragment(s.m.Steps) {
+			s.res.FragAborts++
+			s.frag.Aborts++
+			head := s.frag.Start
+			if s.cfg.DemoteAfterAborts > 0 && s.frag.Aborts >= int64(s.cfg.DemoteAfterAborts) {
+				if s.cache[head] == s.frag {
+					delete(s.cache, head)
+				}
+				s.res.Demotions++
+				s.black.abort(head)
 			}
-			s.res.Demotions++
-			s.black.abort(head)
+			s.res.TransCycles += c.FragExit
+			s.res.FragExits++
+			s.mode = modeInterp
+			s.tracker.Restart(s.m.PC)
+			if s.cfg.Scheme == SchemeNET || s.fpos == 0 {
+				// The abort point is a (potential) trace head: NET treats any
+				// exit as one, and at fpos 0 it is the fragment's own head.
+				s.atPathStart(s.m.PC)
+			} else {
+				// PathProfile: a mid-path suffix is not a profilable unit.
+				s.skipping = true
+			}
+			return nil
 		}
-		s.res.TransCycles += c.FragExit
-		s.res.FragExits++
-		s.mode = modeInterp
-		s.tracker.Restart(s.m.PC)
-		if s.cfg.Scheme == SchemeNET || s.fpos == 0 {
-			// The abort point is a (potential) trace head: NET treats any
-			// exit as one, and at fpos 0 it is the fragment's own head.
-			s.atPathStart(s.m.PC)
-		} else {
-			// PathProfile: a mid-path suffix is not a profilable unit.
-			s.skipping = true
-		}
-		return nil
 	}
 
 	st := &s.frag.Steps[s.fpos]

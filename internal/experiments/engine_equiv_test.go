@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"netpath/internal/profile"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+// TestProfileEngineEquivalence pins the experiment layer's inputs across
+// execution engines: the path profile a workload produces — the stream the
+// whole experiment grid is computed from — must serialize to byte-identical
+// JSON whether the machine runs the predecoded engine or the legacy switch
+// decoder.
+func TestProfileEngineEquivalence(t *testing.T) {
+	for _, name := range []string{"compress", "deltablue"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fast, err := profile.Collect(p, 0)
+		if err != nil {
+			t.Fatalf("%s fast: %v", name, err)
+		}
+
+		lm := vm.New(p)
+		lm.SetEngine(vm.EngineLegacy)
+		legacy, err := profile.CollectMachine(lm, 0)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+
+		var fb, lb bytes.Buffer
+		if err := fast.WriteJSON(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.WriteJSON(&lb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), lb.Bytes()) {
+			t.Errorf("%s: profile JSON differs between engines (fast %d bytes, legacy %d bytes)",
+				name, fb.Len(), lb.Len())
+		}
+	}
+}

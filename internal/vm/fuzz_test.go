@@ -12,6 +12,9 @@ import (
 // it. The machine must never panic — every malformed instruction (unknown
 // opcode, out-of-range register, wild branch target, out-of-range memory
 // access) must surface as a halting *Fault, exactly as Step documents.
+// It is also a differential fuzzer: the same image runs on the legacy
+// switch decoder, which must agree on the final architectural state, the
+// error, and the branch event stream.
 func FuzzStep(f *testing.F) {
 	f.Add([]byte{})
 	// movi r1, 100; load r2, [r1+0]  — classic OOB.
@@ -46,7 +49,10 @@ func FuzzStep(f *testing.F) {
 				Target: int32(int16(binary.LittleEndian.Uint16(b[7:9]))),
 			}
 		}
-		m := New(rawProgram(instrs, 8))
+		p := rawProgram(instrs, 8)
+		m := New(p)
+		fe := &recorder{}
+		m.SetSink(fe)
 		err := m.Run(10_000)
 		switch {
 		case err == nil:
@@ -67,5 +73,18 @@ func FuzzStep(f *testing.F) {
 				t.Fatalf("Step after fault = %v, want ErrHalted", err)
 			}
 		}
+
+		// Differential: the legacy switch decoder over the same image must
+		// end in the same state with the same error and event stream.
+		ref := New(p)
+		ref.SetEngine(EngineLegacy)
+		le := &recorder{}
+		ref.SetSink(le)
+		refErr := ref.Run(10_000)
+		if ok, why := sameStepErr(err, refErr); !ok {
+			t.Fatalf("engines disagree on error (%s): fast=%v legacy=%v", why, err, refErr)
+		}
+		compareState(t, "fuzz", m, ref)
+		compareEvents(t, "fuzz", fe.evs, le.evs)
 	})
 }

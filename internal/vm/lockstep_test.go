@@ -1,0 +1,218 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/randprog"
+)
+
+// recorder collects the branch event stream of one machine.
+type recorder struct{ evs []BranchEvent }
+
+func (r *recorder) OnBranch(ev BranchEvent) { r.evs = append(r.evs, ev) }
+
+// sameStepErr reports whether the two engines returned equivalent errors:
+// both nil, the same sentinel, or faults with identical kind, PC, and
+// message.
+func sameStepErr(a, b error) (bool, string) {
+	switch {
+	case a == nil && b == nil:
+		return true, ""
+	case (a == nil) != (b == nil):
+		return false, "nil-ness differs"
+	case errors.Is(a, ErrHalted) || errors.Is(b, ErrHalted):
+		if errors.Is(a, ErrHalted) && errors.Is(b, ErrHalted) {
+			return true, ""
+		}
+		return false, "ErrHalted mismatch"
+	case errors.Is(a, ErrStepLimit) || errors.Is(b, ErrStepLimit):
+		if errors.Is(a, ErrStepLimit) && errors.Is(b, ErrStepLimit) {
+			return true, ""
+		}
+		return false, "ErrStepLimit mismatch"
+	}
+	var fa, fb *Fault
+	aIsFault, bIsFault := errors.As(a, &fa), errors.As(b, &fb)
+	if !aIsFault || !bIsFault {
+		return false, "fault-ness differs"
+	}
+	if fa.Kind != fb.Kind || fa.PC != fb.PC || fa.Msg != fb.Msg {
+		return false, "fault fields differ"
+	}
+	return true, ""
+}
+
+// compareState checks the complete architectural state of the two machines.
+func compareState(t *testing.T, tag string, fast, legacy *Machine) {
+	t.Helper()
+	compareCore(t, tag, fast, legacy)
+	for a := range legacy.Mem {
+		if fast.Mem[a] != legacy.Mem[a] {
+			t.Fatalf("%s: Mem[%d] fast=%d legacy=%d", tag, a, fast.Mem[a], legacy.Mem[a])
+		}
+	}
+}
+
+// compareCore checks everything except memory — cheap enough to run at
+// every lockstep boundary (memory is checked periodically and at the end;
+// stores are a function of registers, which are compared every step).
+func compareCore(t *testing.T, tag string, fast, legacy *Machine) {
+	t.Helper()
+	if fast.PC != legacy.PC {
+		t.Fatalf("%s: PC fast=%d legacy=%d", tag, fast.PC, legacy.PC)
+	}
+	if fast.Steps != legacy.Steps {
+		t.Fatalf("%s: Steps fast=%d legacy=%d", tag, fast.Steps, legacy.Steps)
+	}
+	if fast.Halted != legacy.Halted {
+		t.Fatalf("%s: Halted fast=%v legacy=%v", tag, fast.Halted, legacy.Halted)
+	}
+	if fast.Reg != legacy.Reg {
+		t.Fatalf("%s: registers diverge", tag)
+	}
+	if fast.CallDepth() != legacy.CallDepth() {
+		t.Fatalf("%s: call depth fast=%d legacy=%d", tag, fast.CallDepth(), legacy.CallDepth())
+	}
+}
+
+// compareEvents checks the two branch event streams are identical.
+func compareEvents(t *testing.T, tag string, fe, le []BranchEvent) {
+	t.Helper()
+	if len(fe) != len(le) {
+		t.Fatalf("%s: event count fast=%d legacy=%d", tag, len(fe), len(le))
+	}
+	for i := range le {
+		if fe[i] != le[i] {
+			t.Fatalf("%s: event %d fast=%+v legacy=%+v", tag, i, fe[i], le[i])
+		}
+	}
+}
+
+// lockstep executes p on the predecoded engine and the legacy switch decoder
+// instruction by instruction, requiring identical registers, memory, PC,
+// step counts, faults, and branch event streams at every step.
+func lockstep(t *testing.T, tag string, p *prog.Program, budget int64) {
+	t.Helper()
+	fast, legacy := New(p), New(p)
+	legacy.SetEngine(EngineLegacy)
+	fe, le := &recorder{}, &recorder{}
+	fast.SetSink(fe)
+	legacy.SetSink(le)
+
+	for step := int64(0); ; step++ {
+		if step > budget {
+			t.Fatalf("%s: no halt within %d steps", tag, budget)
+		}
+		ef, el := fast.Step(), legacy.Step()
+		if ok, why := sameStepErr(ef, el); !ok {
+			t.Fatalf("%s: step %d errors diverge (%s): fast=%v legacy=%v", tag, step, why, ef, el)
+		}
+		compareCore(t, tag, fast, legacy)
+		if len(fe.evs) != len(le.evs) {
+			t.Fatalf("%s: step %d event count fast=%d legacy=%d", tag, step, len(fe.evs), len(le.evs))
+		}
+		if step%1024 == 0 {
+			compareState(t, tag, fast, legacy)
+		}
+		if fast.Halted {
+			break
+		}
+	}
+	compareState(t, tag, fast, legacy)
+	compareEvents(t, tag, fe.evs, le.evs)
+
+	// A halted machine must answer ErrHalted from both engines.
+	if err := fast.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("%s: fast Step after halt = %v", tag, err)
+	}
+	if err := legacy.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("%s: legacy Step after halt = %v", tag, err)
+	}
+}
+
+// runCompare executes p via Run on both engines (fresh machines) and
+// requires equivalent errors and identical final state and event streams —
+// covering the batched fast loop, not just the single-step seam.
+func runCompare(t *testing.T, tag string, p *prog.Program, maxSteps int64) {
+	t.Helper()
+	fast, legacy := New(p), New(p)
+	legacy.SetEngine(EngineLegacy)
+	fe, le := &recorder{}, &recorder{}
+	fast.SetSink(fe)
+	legacy.SetSink(le)
+
+	ef, el := fast.Run(maxSteps), legacy.Run(maxSteps)
+	if ok, why := sameStepErr(ef, el); !ok {
+		t.Fatalf("%s: Run errors diverge (%s): fast=%v legacy=%v", tag, why, ef, el)
+	}
+	compareState(t, tag, fast, legacy)
+	compareEvents(t, tag, fe.evs, le.evs)
+}
+
+// TestLockstepRandprog cross-validates the two engines over the random
+// program corpus, both step-by-step and through Run.
+func TestLockstepRandprog(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		tag := p.Name
+		lockstep(t, tag, p, 2_000_000)
+		runCompare(t, tag, p, 0)
+		// Step-limit behaviour must match too, including a limit that lands
+		// mid-run.
+		runCompare(t, tag+"/limit", p, 137)
+	}
+}
+
+// TestLockstepFaults pins engine agreement on every fault class with
+// hand-assembled programs (the builder would reject most of these).
+func TestLockstepFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		instrs []isa.Instr
+	}{
+		{"mem-oob-load", []isa.Instr{
+			{Op: isa.MovI, A: 1, Imm: 99},
+			{Op: isa.Load, A: 2, B: 1},
+		}},
+		{"mem-oob-store-negative", []isa.Instr{
+			{Op: isa.MovI, A: 1, Imm: -3},
+			{Op: isa.Store, A: 2, B: 1},
+		}},
+		{"bad-opcode", []isa.Instr{{Op: isa.Op(200)}}},
+		{"bad-register", []isa.Instr{{Op: isa.Add, A: 40, B: 1, C: 2}}},
+		{"bad-register-before-bad-opcode", []isa.Instr{{Op: isa.Op(200), A: 77}}},
+		{"jmp-oob", []isa.Instr{{Op: isa.Jmp, Target: 55}}},
+		{"br-taken-oob", []isa.Instr{{Op: isa.Br, Cond: isa.Eq, A: 1, B: 2, Target: -9}}},
+		{"fall-off-end", []isa.Instr{{Op: isa.MovI, A: 1, Imm: 7}}},
+		{"fall-off-end-load-oob", []isa.Instr{
+			{Op: isa.MovI, A: 1, Imm: 88},
+			{Op: isa.Load, A: 2, B: 1},
+		}},
+		{"jmp-ind-not-block-start", []isa.Instr{
+			{Op: isa.MovI, A: 1, Imm: 1},
+			{Op: isa.JmpInd, A: 1},
+		}},
+		{"call-ind-not-entry", []isa.Instr{
+			{Op: isa.MovI, A: 1, Imm: 1},
+			{Op: isa.CallInd, A: 1},
+		}},
+		{"ret-underflow", []isa.Instr{{Op: isa.Ret}}},
+		{"stack-overflow", []isa.Instr{{Op: isa.Call, Target: 0}}},
+		{"invalid-cond-never-taken", []isa.Instr{
+			{Op: isa.Br, Cond: isa.Cond(7), A: 1, B: 2, Target: 0},
+			{Op: isa.Halt},
+		}},
+		{"halt", []isa.Instr{{Op: isa.Halt}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := rawProgram(tc.instrs, 8)
+			lockstep(t, tc.name, p, 200_000)
+			runCompare(t, tc.name, p, 0)
+			runCompare(t, tc.name+"/limit", p, 3)
+		})
+	}
+}

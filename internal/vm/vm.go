@@ -115,6 +115,19 @@ func (m *Machine) fault(kind FaultKind, format string, args ...any) error {
 // malformed workloads.
 const MaxCallDepth = 1 << 16
 
+// Engine selects the execution engine. The predecoded direct-threaded
+// engine (EngineFast) is the default; the original switch-based decoder
+// (EngineLegacy) is kept as the reference semantics for differential
+// testing. Both engines produce identical architectural state, branch
+// events, step counts, and fault errors on every program.
+type Engine uint8
+
+// Execution engines.
+const (
+	EngineFast Engine = iota
+	EngineLegacy
+)
+
 // Machine is the interpreter state.
 type Machine struct {
 	Prog   *prog.Program
@@ -125,18 +138,32 @@ type Machine struct {
 	// Steps counts executed instructions (including Halt).
 	Steps int64
 
+	// ops is the predecoded micro-op image of Prog; it depends only on the
+	// instruction bytes, so Reset leaves it intact.
+	ops []uop
+	// trap holds a fault raised inside a micro-op handler until SettleExec
+	// delivers it.
+	trap *Fault
+	// legacy routes Step/Run through the switch-based decoder.
+	legacy bool
+
 	stack     []int64
 	sink      Sink
 	faultHook FaultHook
 }
 
 // New creates a machine for p with memory initialized from p.InitMem and the
-// program counter at p.Entry.
+// program counter at p.Entry. The program is predecoded once, here, into the
+// direct-threaded micro-op array both Step and Run dispatch through.
 func New(p *prog.Program) *Machine {
-	m := &Machine{Prog: p}
+	m := &Machine{Prog: p, ops: predecode(p)}
 	m.Reset()
 	return m
 }
+
+// SetEngine selects the execution engine; see Engine. It may be switched at
+// any instruction boundary.
+func (m *Machine) SetEngine(e Engine) { m.legacy = e == EngineLegacy }
 
 // Reset restores the machine to its initial state (registers zero, memory
 // re-initialized, PC at entry).
@@ -154,6 +181,7 @@ func (m *Machine) Reset() {
 	m.PC = m.Prog.Entry
 	m.Halted = false
 	m.Steps = 0
+	m.trap = nil
 	m.stack = m.stack[:0]
 }
 
@@ -173,7 +201,13 @@ func (m *Machine) SetListener(l Listener) {
 }
 
 // SetFaultHook installs the fault-injection hook (nil disables injection).
+// A non-nil hook routes Run through the per-step slow path so the hook is
+// consulted before every instruction, exactly as Step does.
 func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
+
+// HasFaultHook reports whether a fault-injection hook is installed. Batched
+// executors (dynamo's fragment loop) use it to pick the slow-path stepper.
+func (m *Machine) HasFaultHook() bool { return m.faultHook != nil }
 
 // CallDepth returns the current return-stack depth.
 func (m *Machine) CallDepth() int { return len(m.stack) }
@@ -182,16 +216,28 @@ func (m *Machine) CallDepth() int { return len(m.stack) }
 // addresses (callers hold a validated program).
 func (m *Machine) InstrAt(addr int) isa.Instr { return m.Prog.Instrs[addr] }
 
+// branch reports a control transfer to the sink. The nil-sink early return
+// keeps branch within the inlining budget, so unprofiled runs pay one
+// inlined compare per transfer instead of a call.
 func (m *Machine) branch(pc, target int, taken bool, kind isa.BranchKind) {
-	if m.sink != nil {
-		m.sink.OnBranch(BranchEvent{
-			PC:       pc,
-			Target:   target,
-			Taken:    taken,
-			Kind:     kind,
-			Backward: taken && target <= pc,
-		})
+	if m.sink == nil {
+		return
 	}
+	m.emitBranch(pc, target, taken, kind)
+}
+
+// emitBranch is kept out of line so branch stays within the inlining
+// budget; it only runs when a sink is installed.
+//
+//go:noinline
+func (m *Machine) emitBranch(pc, target int, taken bool, kind isa.BranchKind) {
+	m.sink.OnBranch(BranchEvent{
+		PC:       pc,
+		Target:   target,
+		Taken:    taken,
+		Kind:     kind,
+		Backward: taken && target <= pc,
+	})
 }
 
 func (m *Machine) memAddr(base int64, off int64) (int, error) {
@@ -208,6 +254,76 @@ func (m *Machine) memAddr(base int64, off int64) (int, error) {
 // faults halt the machine. Step never panics, even on hand-assembled
 // programs that bypass prog.Validate.
 func (m *Machine) Step() error {
+	if m.legacy {
+		return m.stepSwitch()
+	}
+	if m.Halted {
+		return ErrHalted
+	}
+	if m.faultHook != nil {
+		if err := m.faultHook(m); err != nil {
+			m.Halted = true
+			return err
+		}
+	}
+	pc := m.PC
+	if uint(pc) >= uint(len(m.ops)) {
+		return m.fault(FaultBadPC, "vm: pc %d outside program [0,%d)", pc, len(m.Prog.Instrs))
+	}
+	u := &m.ops[pc]
+	m.Steps++
+	nu := u.fn(m, u)
+	if nu == nil {
+		return m.SettleExec(pc, stop)
+	}
+	m.PC = int(nu.pc)
+	return nil
+}
+
+// ExecAt executes the single predecoded micro-op at pc and returns the next
+// PC, or a negative value when the micro-op stopped the machine (Halt or
+// fault). It counts the step but does not move m.PC — callers (the batched
+// Run loop, dynamo's fragment executor) own the PC and resolve stops via
+// SettleExec. The caller must ensure the machine is not halted and pc is in
+// range.
+func (m *Machine) ExecAt(pc int) int {
+	u := &m.ops[pc]
+	m.Steps++
+	nu := u.fn(m, u)
+	if nu == nil {
+		return stop
+	}
+	return int(nu.pc)
+}
+
+// SettleExec resolves a stop reported by ExecAt for the micro-op at pc,
+// reproducing the legacy engine's cold-path semantics: a clean Halt returns
+// nil and a parked handler fault is delivered, with the step uncounted for
+// bad-register faults, which the legacy engine rejects before counting.
+// m.PC is left at pc — the halting or faulting instruction — in every
+// case. npc is the stop value, kept for the defensive fallback: handlers
+// fault all out-of-range transfers themselves, so a non-halted settle
+// cannot happen on any reachable path.
+func (m *Machine) SettleExec(pc, npc int) error {
+	m.PC = pc
+	if m.Halted {
+		f := m.trap
+		if f == nil {
+			return nil
+		}
+		m.trap = nil
+		if f.Kind == FaultBadRegister {
+			m.Steps--
+		}
+		return f
+	}
+	return m.fault(FaultBadPC, "vm: control transfer to %d out of range at pc %d", npc, pc)
+}
+
+// stepSwitch is the original switch-based decoder, retained as the legacy
+// engine (EngineLegacy) and as the reference semantics the predecoded
+// engine is differentially tested against.
+func (m *Machine) stepSwitch() error {
 	if m.Halted {
 		return ErrHalted
 	}
@@ -353,7 +469,54 @@ func (m *Machine) Step() error {
 
 // Run executes until the program halts or maxSteps instructions have been
 // executed (ErrStepLimit). maxSteps <= 0 means no limit.
+//
+// With the fast engine and no fault hook, Run executes a batched inner
+// dispatch loop threaded through the micro-ops' successor pointers: the
+// only loop-carried state is the current micro-op and the step count, the
+// step budget is folded into a single compare, and neither Halted nor the
+// hook nor PC bounds are re-checked per instruction — handlers return nil
+// to stop and fault out-of-range transfers themselves. A fault hook (chaos
+// injection) or the legacy engine routes through the per-step slow path
+// instead.
 func (m *Machine) Run(maxSteps int64) error {
+	if m.legacy || m.faultHook != nil {
+		return m.runSlow(maxSteps)
+	}
+	if m.Halted {
+		return nil
+	}
+	pc := m.PC
+	if uint(pc) >= uint(len(m.ops)) {
+		if maxSteps > 0 && m.Steps >= maxSteps {
+			return ErrStepLimit
+		}
+		return m.fault(FaultBadPC, "vm: pc %d outside program [0,%d)", pc, len(m.Prog.Instrs))
+	}
+	limit := int64(1) << 62
+	if maxSteps > 0 {
+		limit = maxSteps
+	}
+	u := &m.ops[pc]
+	steps := m.Steps
+	for {
+		if steps >= limit {
+			m.PC, m.Steps = int(u.pc), steps
+			return ErrStepLimit
+		}
+		steps++
+		nu := u.fn(m, u)
+		if nu == nil {
+			m.Steps = steps
+			return m.SettleExec(int(u.pc), stop)
+		}
+		u = nu
+	}
+}
+
+// runSlow is the per-step execution loop: the legacy Run semantics, and the
+// slow path the fast engine takes whenever a fault hook must be consulted
+// between instructions.
+func (m *Machine) runSlow(maxSteps int64) error {
 	for !m.Halted {
 		if maxSteps > 0 && m.Steps >= maxSteps {
 			return ErrStepLimit
