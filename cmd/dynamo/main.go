@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"netpath/internal/dynamo"
+	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
 )
@@ -31,7 +32,25 @@ func main() {
 	noopt := flag.Bool("noopt", false, "disable the trace optimizer (ablation)")
 	nolink := flag.Bool("nolink", false, "disable fragment linking (ablation)")
 	fragments := flag.Int("fragments", 0, "print the top N resident fragments after the run")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address and enable collection")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server (and process) alive this long after the work completes")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, addr, err := telemetry.Serve(*telemetryAddr, telemetry.Def)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry: serving /metrics /snapshot /events on http://%s", addr)
+		if *telemetryHold > 0 {
+			hold := *telemetryHold
+			defer func() {
+				log.Printf("telemetry: holding the server for %s (scrape now)", hold)
+				time.Sleep(hold)
+			}()
+		}
+	}
 
 	var scheme dynamo.Scheme
 	switch strings.ToLower(*schemeFlag) {
@@ -59,6 +78,9 @@ func main() {
 		cfg := dynamo.DefaultConfig(scheme, *tau)
 		cfg.DisableOptimizer = *noopt
 		cfg.DisableLinking = *nolink
+		if telemetry.Active() {
+			cfg.Telemetry = telemetry.Def.NewSink()
+		}
 		if *maxSteps > 0 {
 			cfg.MaxSteps = *maxSteps
 		}

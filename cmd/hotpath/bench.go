@@ -7,12 +7,14 @@ import (
 	"testing"
 
 	"netpath/internal/benchjson"
+	"netpath/internal/dynamo"
 	"netpath/internal/experiments"
 	"netpath/internal/metrics"
 	"netpath/internal/par"
 	"netpath/internal/path"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
+	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
 )
@@ -165,6 +167,48 @@ func runBenchSuite(scale float64, out string) error {
 			it.InternBytes(sig.Bytes(), 7, 6)
 		}
 	})
+	micro("telemetry_emit", func(b *testing.B) {
+		// The raw hot-path write: counter add + histogram observe + ring
+		// event. Must report 0 allocs/op; gate_test.go re-checks it as a
+		// hard zero independent of this baseline.
+		reg := telemetry.NewRegistry(1 << 10)
+		c := reg.Counter("bench_events_total", "bench")
+		h := reg.Histogram("bench_sizes", "bench")
+		s := reg.NewSink()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Inc(c)
+			s.Observe(h, int64(i&1023))
+			s.Emit(telemetry.EvFragEnter, int64(i), 7, 0)
+		}
+	})
+
+	// Telemetry overhead pair: the same mini-Dynamo run with the sink off and
+	// on. The committed ns/op pair documents the enabled-path cost (the
+	// acceptance bar is <= 5% overhead); allocs/op must be identical.
+	dynRun := func(b *testing.B, sink *telemetry.Sink) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := dynamo.DefaultConfig(dynamo.SchemeNET, 50)
+			cfg.Telemetry = sink
+			if _, err := dynamo.New(p, cfg).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	off := benchjson.FromResult("telemetry_off",
+		testing.Benchmark(func(b *testing.B) { dynRun(b, nil) }))
+	rep.Add(off)
+	fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op\n", off.Name, off.NsPerOp, off.AllocsPerOp)
+	on := benchjson.FromResult("telemetry_on",
+		testing.Benchmark(func(b *testing.B) { dynRun(b, telemetry.Def.NewSink()) }))
+	if off.NsPerOp > 0 {
+		on.Metrics = map[string]float64{"overhead_vs_off": on.NsPerOp/off.NsPerOp - 1}
+	}
+	rep.Add(on)
+	fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op  (%+.1f%% vs off)\n",
+		on.Name, on.NsPerOp, on.AllocsPerOp, 100*on.Metrics["overhead_vs_off"])
 
 	if err := benchjson.WriteFile(out, rep); err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"netpath/internal/experiments"
 	"netpath/internal/metrics"
 	"netpath/internal/par"
+	"netpath/internal/telemetry"
 )
 
 func main() {
@@ -46,9 +47,33 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address and enable collection")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server (and process) alive this long after the work completes")
+	progress := flag.Duration("progress", 0, "print a progress line (cells done, ETA) to stderr at this interval")
 	flag.Parse()
 
 	par.SetWorkers(*parallel)
+
+	if *telemetryAddr != "" {
+		srv, addr, err := telemetry.Serve(*telemetryAddr, telemetry.Def)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics /snapshot /events on http://%s\n", addr)
+		if *telemetryHold > 0 {
+			hold := *telemetryHold
+			defer func() {
+				fmt.Fprintf(os.Stderr, "telemetry: holding the server for %s (scrape now)\n", hold)
+				time.Sleep(hold)
+			}()
+		}
+	}
+	if *progress > 0 {
+		done, planned := experiments.ProgressCounters()
+		prog := telemetry.StartProgress(os.Stderr, "hotpath", done, planned, *progress)
+		defer prog.Stop()
+	}
 
 	cmds := flag.Args()
 	if len(cmds) == 0 && *benchOut == "" {

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -21,25 +22,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pathdump: ")
-	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	top := flag.Int("top", 0, "print the top N paths by frequency")
-	hot := flag.Float64("hot", 0.001, "fractional hot threshold")
-	disasm := flag.Bool("disasm", false, "print the program disassembly")
-	jsonOut := flag.Bool("json", false, "emit the path profile as JSON instead of a summary")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	names := flag.Args()
+// run parses args and writes the requested dumps to w. Split from main so
+// the golden-output test can drive the full flag-to-format pipeline.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pathdump", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	top := fs.Int("top", 0, "print the top N paths by frequency")
+	hot := fs.Float64("hot", 0.001, "fractional hot threshold")
+	disasm := fs.Bool("disasm", false, "print the program disassembly")
+	jsonOut := fs.Bool("json", false, "emit the path profile as JSON instead of a summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
 	if len(names) == 0 {
 		names = workload.Names()
 	}
 	for _, name := range names {
-		if err := dump(name, *scale, *top, *hot, *disasm, *jsonOut); err != nil {
-			log.Fatal(err)
+		if err := dump(w, name, *scale, *top, *hot, *disasm, *jsonOut); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func dump(name string, scale float64, top int, hotFrac float64, disasm, jsonOut bool) error {
+func dump(w io.Writer, name string, scale float64, top int, hotFrac float64, disasm, jsonOut bool) error {
 	b, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -49,7 +61,7 @@ func dump(name string, scale float64, top int, hotFrac float64, disasm, jsonOut 
 		return err
 	}
 	if disasm {
-		fmt.Print(p.Disasm())
+		fmt.Fprint(w, p.Disasm())
 	}
 	start := time.Now()
 	pr, err := profile.Collect(p, 0)
@@ -57,17 +69,17 @@ func dump(name string, scale float64, top int, hotFrac float64, disasm, jsonOut 
 		return err
 	}
 	if jsonOut {
-		return pr.WriteJSON(os.Stdout)
+		return pr.WriteJSON(w)
 	}
 	hs := pr.Hot(hotFrac)
-	fmt.Fprintf(os.Stdout,
+	fmt.Fprintf(w,
 		"%-10s instrs=%-9d steps=%-11d paths=%-7d heads=%-6d flow=%-9d hot(%.2g%%): %d paths, %.1f%% flow  [%.2fs]\n",
 		name, p.Len(), pr.Steps, pr.NumPaths(), pr.UniqueHeads(), pr.Flow,
 		hotFrac*100, hs.Count, hs.FlowPct(pr), time.Since(start).Seconds())
 	if top > 0 {
 		for _, pc := range pr.TopPaths(top) {
 			info := pr.Paths.Info(pc.ID)
-			fmt.Printf("  %10d  %s\n", pc.Freq, info.Signature())
+			fmt.Fprintf(w, "  %10d  %s\n", pc.Freq, info.Signature())
 		}
 	}
 	return nil

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// timingRe matches the wall-clock suffix of a summary line, the one
+// non-deterministic field in the dump format.
+var timingRe = regexp.MustCompile(`\[\d+\.\d{2}s\]`)
+
+func normalize(s string) string {
+	return timingRe.ReplaceAllString(s, "[TIME]")
+}
+
+// TestGoldenDump drives the full flag-parsing → dump pipeline and compares
+// the normalized output against the committed golden file. Regenerate with
+// `go test ./cmd/pathdump -run TestGoldenDump -update` after an intentional
+// format change.
+func TestGoldenDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-top", "3", "-hot", "0.001", "compress", "deltablue"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := normalize(buf.String())
+
+	golden := filepath.Join("testdata", "dump_compress_deltablue.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("dump output diverged from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "not-a-number"}, &buf); err == nil {
+		t.Error("bad -scale value: want a parse error")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag: want a parse error")
+	}
+	if err := run([]string{"-scale", "0.05", "no-such-benchmark"}, &buf); err == nil {
+		t.Error("unknown benchmark: want an error")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-json", "compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+}
+
+func TestDisasmOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-disasm", "compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compress") {
+		t.Errorf("disasm output missing summary line:\n%.400s", out)
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Errorf("disasm output suspiciously short:\n%s", out)
+	}
+}

@@ -52,6 +52,56 @@ func TestOptimizerStatsExposed(t *testing.T) {
 	}
 }
 
+func TestCacheStatsTieOrdering(t *testing.T) {
+	// Equal-enter fragments must sort by start address ascending so the
+	// report order (and DumpCache output) is deterministic run to run.
+	sys := New(hotLoop(3), DefaultConfig(SchemeNET, 1000))
+	for _, f := range []*Fragment{
+		{Start: 90, Enters: 5},
+		{Start: 10, Enters: 5},
+		{Start: 50, Enters: 5},
+		{Start: 70, Enters: 9},
+	} {
+		sys.cache[f.Start] = f
+	}
+	stats := sys.CacheStats()
+	wantStarts := []int{70, 10, 50, 90}
+	if len(stats) != len(wantStarts) {
+		t.Fatalf("got %d stats, want %d", len(stats), len(wantStarts))
+	}
+	for i, want := range wantStarts {
+		if stats[i].Start != want {
+			t.Errorf("stats[%d].Start = %d, want %d (enters=%d)",
+				i, stats[i].Start, want, stats[i].Enters)
+		}
+	}
+}
+
+func TestOptimizerStatsSurviveFlush(t *testing.T) {
+	// A tiny fragment cache forces capacity flushes; the optimizer's
+	// elimination counters are per-System and must accumulate across them.
+	cfg := DefaultConfig(SchemeNET, 10)
+	cfg.MaxFragments = 2
+	cfg.FlushWindow = 0
+	cfg.BailoutAfter = 0
+	sys := New(multiPhase(4, 2_000, 10), cfg)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes == 0 {
+		t.Fatal("capacity 2 with 4 hot loops must force at least one flush")
+	}
+	opt := sys.OptimizerStats()
+	if opt.FoldedOps == 0 && opt.DeadRemoved == 0 && opt.LoadsRemoved == 0 {
+		t.Error("optimizer counters reset by cache flush; they must persist")
+	}
+	if len(sys.CacheStats()) > cfg.MaxFragments {
+		t.Errorf("%d resident fragments exceed MaxFragments=%d after flush",
+			len(sys.CacheStats()), cfg.MaxFragments)
+	}
+}
+
 func TestEmptyCacheStats(t *testing.T) {
 	// A program too short to trigger selection leaves the cache empty.
 	sys := New(hotLoop(3), DefaultConfig(SchemeNET, 1000))

@@ -128,8 +128,9 @@ func newBlacklist(backoff int64, maxAborts int) *blacklist {
 	return &blacklist{entries: make(map[int]*blacklistEntry), backoff: backoff, maxAborts: maxAborts}
 }
 
-// abort records a recording abort at head, raising its backoff.
-func (b *blacklist) abort(head int) {
+// abort records a recording abort at head, raising its backoff, and returns
+// the head's total abort count (telemetry reports it in the blacklist event).
+func (b *blacklist) abort(head int) int {
 	e := b.entries[head]
 	if e == nil {
 		e = &blacklistEntry{}
@@ -141,6 +142,7 @@ func (b *blacklist) abort(head int) {
 		shift = 16
 	}
 	e.wait = b.backoff << shift
+	return e.aborts
 }
 
 // allow reports whether a selection at head may proceed, consuming one

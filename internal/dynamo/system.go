@@ -7,6 +7,7 @@ import (
 	"netpath/internal/isa"
 	"netpath/internal/path"
 	"netpath/internal/prog"
+	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 )
 
@@ -78,6 +79,13 @@ type Config struct {
 	// (recording/fragment aborts, counter corruption, selection spikes)
 	// never change what the program computes — only how Dynamo executes it.
 	Chaos Injector
+
+	// Telemetry is an optional observability sink (see internal/telemetry).
+	// All instruments live in the process-wide registry under stable names;
+	// the sink only decides whether this System writes into them (and which
+	// counter shard it writes through). nil disables every emission site at
+	// the cost of one predictable branch.
+	Telemetry *telemetry.Sink
 
 	// MaxHeadCounters caps the NET head-counter table; the least recently
 	// hit head is CLOCK-evicted when it fills (0 = default, <0 = unbounded).
@@ -254,6 +262,10 @@ type System struct {
 	capAborted  bool  // PP: the capture in flight was aborted by a fault
 	evictsAtWin int64 // table evictions seen at the last governor window
 
+	// Telemetry (nil = disabled; see telemetry.go).
+	tel     *telemetry.Sink
+	telLast telCycleMarks
+
 	// Cache.
 	cache map[int]*Fragment
 	frag  *Fragment
@@ -314,6 +326,7 @@ func New(p *prog.Program, cfg Config) *System {
 		interner:   path.NewInterner(),
 		inj:        cfg.Chaos,
 		black:      newBlacklist(cfg.BlacklistBackoff, cfg.BlacklistMaxAborts),
+		tel:        cfg.Telemetry,
 	}
 	if cfg.MaxPaths > 0 {
 		// A recycled path slot belongs to a new path: forget the old
@@ -429,6 +442,7 @@ func (s *System) finish() {
 	s.res.PathEvictions = s.interner.Evictions()
 	s.res.BlacklistSkips = s.black.skips
 	s.res.BlacklistedHeads = s.black.permanent()
+	s.syncTelemetry()
 }
 
 func (s *System) stepInterp() error {
@@ -489,12 +503,12 @@ func (s *System) stepInterp() error {
 				s.recording = false
 				s.recBuf = s.recBuf[:0]
 				s.res.RecordAborts++
-				s.black.abort(s.recStart)
+				s.blacklistHead(s.recStart, chaosArgRecordAbort)
 			case s.cfg.Scheme == SchemePathProfile && !s.skipping && !s.capAborted:
 				s.capAborted = true
 				s.capBuf = s.capBuf[:0]
 				s.res.RecordAborts++
-				s.black.abort(s.capStart)
+				s.blacklistHead(s.capStart, chaosArgRecordAbort)
 			}
 		}
 	}
@@ -512,6 +526,9 @@ func (s *System) stepInterp() error {
 		s.completed = false
 		id := s.completedID
 		s.res.PathEvents++
+		if s.tel != nil && s.res.PathEvents&telSampleMask == 0 {
+			s.tel.Observe(telPathLen, int64(s.interner.Info(id).Branches))
+		}
 		s.onPathEvent()
 
 		if s.cfg.Scheme == SchemePathProfile {
@@ -520,9 +537,19 @@ func (s *System) stepInterp() error {
 				if d, ok := s.inj.CorruptCounter(s.m.Steps); ok {
 					s.corruptPathCount(id, d)
 					s.res.Corruptions++
+					if s.tel != nil {
+						s.tel.Inc(telCorruptions)
+						s.tel.Emit(telemetry.EvChaosInject, s.m.Steps, s.capStart, chaosArgCorrupt)
+					}
 				}
 			}
-			s.pathCount(id)
+			if s.pathCount(id) && s.tel != nil {
+				// The path's own counter reached τ: the PathProfile analogue
+				// of a head promotion.
+				s.tel.Inc(telHeadPromotions)
+				s.tel.Observe(telPromoteCounter, s.cfg.Tau)
+				s.tel.Emit(telemetry.EvHeadPromote, s.m.Steps, s.capStart, s.cfg.Tau)
+			}
 			if s.armed[id] && s.cache[s.capStart] == nil && !s.capAborted && s.black.allow(s.capStart) {
 				delete(s.armed, id)
 				// Retroactive recording charge for the captured trace.
@@ -541,7 +568,9 @@ func (s *System) stepInterp() error {
 	return nil
 }
 
-func (s *System) pathCount(id path.ID) {
+// pathCount counts one execution of path id and reports whether this count
+// armed it (reached τ exactly).
+func (s *System) pathCount(id path.ID) bool {
 	for int(id) >= len(s.pathCounts) {
 		s.pathCounts = append(s.pathCounts, 0)
 	}
@@ -550,7 +579,9 @@ func (s *System) pathCount(id path.ID) {
 	}
 	if s.pathCounts[id] == s.cfg.Tau {
 		s.armed[id] = true
+		return true
 	}
+	return false
 }
 
 // corruptPathCount absorbs an injected corruption of path id's counter:
@@ -585,6 +616,9 @@ func (s *System) atPathStart(addr int) {
 		s.mode = modeFragment
 		s.frag = fr
 		s.fpos = 0
+		if s.tel != nil && s.res.FragEnters&telSampleMask == 0 {
+			s.tel.Emit(telemetry.EvFragEnter, s.m.Steps, addr, 0)
+		}
 		return
 	}
 	// Interpreting from addr: reset the scheme's per-path state.
@@ -595,6 +629,10 @@ func (s *System) atPathStart(addr int) {
 			if d, ok := s.inj.CorruptCounter(s.m.Steps); ok {
 				s.heads.add(addr, d)
 				s.res.Corruptions++
+				if s.tel != nil {
+					s.tel.Inc(telCorruptions)
+					s.tel.Emit(telemetry.EvChaosInject, s.m.Steps, addr, chaosArgCorrupt)
+				}
 			}
 		}
 		n := s.heads.add(addr, 1)
@@ -607,6 +645,15 @@ func (s *System) atPathStart(addr int) {
 				s.recBuf = s.recBuf[:0]
 				if force && n < s.cfg.Tau {
 					s.res.ForcedSelections++
+					if s.tel != nil {
+						s.tel.Inc(telForcedSelects)
+						s.tel.Emit(telemetry.EvChaosInject, s.m.Steps, addr, chaosArgSpike)
+					}
+				}
+				if s.tel != nil {
+					s.tel.Inc(telHeadPromotions)
+					s.tel.Observe(telPromoteCounter, n)
+					s.tel.Emit(telemetry.EvHeadPromote, s.m.Steps, addr, n)
 				}
 			}
 		}
@@ -632,6 +679,11 @@ func (s *System) emit(start int, steps []TraceStep) {
 	}
 	s.cache[start] = fr
 	s.res.Fragments++
+	if s.tel != nil {
+		s.tel.Inc(telFragCreated)
+		s.tel.Observe(telFragSize, int64(len(steps)))
+		s.tel.Emit(telemetry.EvFragEmit, s.m.Steps, start, int64(len(steps)))
+	}
 	if !s.everCached[start] {
 		s.everCached[start] = true
 		s.windowCreations++
@@ -639,9 +691,14 @@ func (s *System) emit(start int, steps []TraceStep) {
 }
 
 func (s *System) flush() {
+	resident := len(s.cache)
 	s.cache = make(map[int]*Fragment)
 	s.res.Flushes++
 	s.res.TransCycles += s.cfg.Costs.FlushCost
+	if s.tel != nil {
+		s.tel.Inc(telFlushes)
+		s.tel.Emit(telemetry.EvFlush, s.m.Steps, 0, int64(resident))
+	}
 }
 
 // onPathEvent drives the flush and bail-out heuristics.
@@ -669,6 +726,9 @@ func (s *System) onPathEvent() {
 				s.prevCreations = s.prevCreations[1:]
 			}
 			s.windowCreations = 0
+			// Lazy telemetry sync: the exported cycle split and occupancy
+			// gauges trail the live run by at most one flush window.
+			s.syncTelemetry()
 
 			// Resource governor: heavy CLOCK eviction in the bounded
 			// head/path tables means the working set no longer fits and
@@ -705,6 +765,10 @@ func (s *System) bail(reason string) {
 	s.cache = make(map[int]*Fragment)
 	s.recording = false
 	s.skipping = false
+	if s.tel != nil {
+		s.tel.Inc(telBailouts)
+		s.tel.Emit(telemetry.EvBail, s.m.Steps, 0, bailReasonCode(reason))
+	}
 }
 
 // runFragment executes fragments on their compiled step arrays until control
@@ -810,16 +874,27 @@ func (s *System) stepFragmentSlow() error {
 			s.res.FragAborts++
 			s.frag.Aborts++
 			head := s.frag.Start
+			if s.tel != nil {
+				s.tel.Inc(telFragAborts)
+				s.tel.Emit(telemetry.EvChaosInject, s.m.Steps, head, chaosArgFragAbort)
+			}
 			if s.cfg.DemoteAfterAborts > 0 && s.frag.Aborts >= int64(s.cfg.DemoteAfterAborts) {
 				if s.cache[head] == s.frag {
 					delete(s.cache, head)
 				}
 				s.res.Demotions++
-				s.black.abort(head)
+				s.blacklistHead(head, -1)
+				if s.tel != nil {
+					s.tel.Inc(telDemotions)
+					s.tel.Emit(telemetry.EvFragDemote, s.m.Steps, head, s.frag.Aborts)
+				}
 			}
 			s.res.TransCycles += c.FragExit
 			s.res.FragExits++
 			s.mode = modeInterp
+			if s.tel != nil && s.res.FragExits&telSampleMask == 0 {
+				s.tel.Emit(telemetry.EvFragExit, s.m.Steps, s.m.PC, 0)
+			}
 			s.tracker.Restart(s.m.PC)
 			if s.cfg.Scheme == SchemeNET || s.fpos == 0 {
 				// The abort point is a (potential) trace head: NET treats any
@@ -876,11 +951,17 @@ func (s *System) leaveFragment(target int, completedPath bool) {
 		fr.Enters++
 		s.frag = fr
 		s.fpos = 0
+		if s.tel != nil && s.res.LinkedJumps&telSampleMask == 0 {
+			s.tel.Emit(telemetry.EvFragLink, s.m.Steps, target, 0)
+		}
 		return
 	}
 	s.res.TransCycles += c.FragExit
 	s.res.FragExits++
 	s.mode = modeInterp
+	if s.tel != nil && s.res.FragExits&telSampleMask == 0 {
+		s.tel.Emit(telemetry.EvFragExit, s.m.Steps, target, 0)
+	}
 	if completedPath {
 		// The target is a genuine path head under either scheme.
 		s.tracker.Restart(target)

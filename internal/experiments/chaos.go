@@ -52,6 +52,7 @@ func RunChaos(scale float64, tau int64) ([]ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	planCells(len(bs) * len(ChaosMultipliers))
 	return par.MapErr(context.Background(), len(bs)*len(ChaosMultipliers),
 		func(_ context.Context, cell int) (ChaosResult, error) {
 			b := bs[cell/len(ChaosMultipliers)]
@@ -60,10 +61,12 @@ func RunChaos(scale float64, tau int64) ([]ChaosResult, error) {
 			if mult > 0 {
 				cfg.Chaos = chaos.NewRandom(chaosSeed, chaosBaseRates.Scaled(mult))
 			}
+			sink := dynamoSink(&cfg)
 			res, err := dynamo.New(progs[cell/len(ChaosMultipliers)], cfg).Run()
 			if err != nil {
 				return ChaosResult{}, fmt.Errorf("experiments: chaos %s ×%g: %w", b.Name, mult, err)
 			}
+			cellDone(sink)
 			return ChaosResult{Bench: b.Name, Mult: mult, Result: res}, nil
 		})
 }

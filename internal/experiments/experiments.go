@@ -70,6 +70,7 @@ type BenchProfile struct {
 // order regardless of scheduling; the first failure cancels the rest.
 func CollectAll(scale float64) ([]BenchProfile, error) {
 	bs := workload.All()
+	planCells(len(bs))
 	return par.MapErr(context.Background(), len(bs),
 		func(_ context.Context, i int) (BenchProfile, error) {
 			b := bs[i]
@@ -81,6 +82,7 @@ func CollectAll(scale float64) ([]BenchProfile, error) {
 			if err != nil {
 				return BenchProfile{}, fmt.Errorf("experiments: %s: %w", b.Name, err)
 			}
+			cellDone(nil)
 			return BenchProfile{Name: b.Name, Prof: pr, Hot: pr.Hot(HotFrac)}, nil
 		})
 }
@@ -141,10 +143,15 @@ func SweepSchemes(bps []BenchProfile, taus []int64) []Series {
 		out = append(out, Series{Scheme: "net", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
 		facs = append(facs, metrics.NETFactory(bp.Prof))
 	}
+	planCells(len(out) * len(taus))
 	par.Do(len(out)*len(taus), func(cell int) {
 		si, ti := cell/len(taus), cell%len(taus)
 		bp := bps[si/2]
-		out[si].Points[ti] = metrics.Evaluate(bp.Prof, bp.Hot, facs[si](taus[ti]), taus[ti])
+		sink := telSink()
+		pred := facs[si](taus[ti])
+		attachPredictor(pred, sink)
+		out[si].Points[ti] = metrics.Evaluate(bp.Prof, bp.Hot, pred, taus[ti])
+		cellDone(sink)
 	})
 	return out
 }
@@ -293,6 +300,7 @@ func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 	}
 	schemes := []dynamo.Scheme{dynamo.SchemeNET, dynamo.SchemePathProfile}
 	cells := len(bs) * len(schemes) * len(Fig5Taus)
+	planCells(cells)
 	results, err := par.MapErr(context.Background(), cells,
 		func(_ context.Context, cell int) (dynamo.Result, error) {
 			bi := cell / (len(schemes) * len(Fig5Taus))
@@ -306,10 +314,12 @@ func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 				// comparison scheme runs to completion.
 				cfg.BailoutAfter = 0
 			}
+			sink := dynamoSink(&cfg)
 			res, err := dynamo.New(progs[bi], cfg).Run()
 			if err != nil {
 				return res, fmt.Errorf("experiments: %s %v τ=%d: %w", bs[bi].Name, scheme, tau, err)
 			}
+			cellDone(sink)
 			return res, nil
 		})
 	if err != nil {

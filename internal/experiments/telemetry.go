@@ -1,0 +1,69 @@
+// Telemetry for the experiment pipeline: cell-grained progress counters (one
+// atomic per cell — the cells themselves run for milliseconds to seconds, so
+// this is nowhere near a hot path) and the policy for handing telemetry sinks
+// to the systems the grids spawn.
+package experiments
+
+import (
+	"netpath/internal/dynamo"
+	"netpath/internal/predict"
+	"netpath/internal/telemetry"
+)
+
+// Grid progress: planned is bumped when a grid is scheduled, done as each
+// cell completes. done/planned drives the stderr progress line and the
+// /snapshot ETA math.
+var (
+	telCellsPlanned = telemetry.NewCounter("experiments_cells_planned_total",
+		"experiment grid cells scheduled")
+	telCellsDone = telemetry.NewCounter("experiments_cells_done_total",
+		"experiment grid cells completed")
+)
+
+// ProgressCounters returns the (done, planned) cell counters for progress
+// reporting (see telemetry.StartProgress).
+func ProgressCounters() (done, planned *telemetry.Counter) {
+	return telCellsDone, telCellsPlanned
+}
+
+// telSink returns a fresh write handle on the default registry when the
+// process opted into telemetry collection, nil otherwise. One sink per grid
+// cell keeps parallel cells on distinct counter shards.
+func telSink() *telemetry.Sink {
+	if !telemetry.Active() {
+		return nil
+	}
+	return telemetry.Def.NewSink()
+}
+
+// attachPredictor installs sink on predictors that accept one (the concrete
+// schemes embed predict.predictedSet; the interface stays telemetry-free).
+func attachPredictor(p predict.Predictor, sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	if t, ok := p.(interface{ SetTelemetry(*telemetry.Sink) }); ok {
+		t.SetTelemetry(sink)
+	}
+}
+
+// planCells accounts a grid of n cells about to run.
+func planCells(n int) { telCellsPlanned.Add(int64(n)) }
+
+// cellDone accounts one completed grid cell, preferring the cell's own sink
+// shard when it has one.
+func cellDone(sink *telemetry.Sink) {
+	if sink != nil {
+		sink.Inc(telCellsDone)
+		return
+	}
+	telCellsDone.Inc()
+}
+
+// dynamoSink wires cfg to report into the default registry when telemetry is
+// active, returning the sink used (nil when inactive).
+func dynamoSink(cfg *dynamo.Config) *telemetry.Sink {
+	s := telSink()
+	cfg.Telemetry = s
+	return s
+}

@@ -18,7 +18,10 @@
 // event streams across a τ sweep stays cheap.
 package predict
 
-import "netpath/internal/path"
+import (
+	"netpath/internal/path"
+	"netpath/internal/telemetry"
+)
 
 // Predictor is an online hot path prediction scheme.
 //
@@ -49,6 +52,7 @@ type Predictor interface {
 type predictedSet struct {
 	set   []bool
 	count int
+	tel   *telemetry.Sink // nil = no reporting (see telemetry.go)
 }
 
 func (s *predictedSet) IsPredicted(id path.ID) bool {
@@ -57,7 +61,11 @@ func (s *predictedSet) IsPredicted(id path.ID) bool {
 
 func (s *predictedSet) PredictedCount() int { return s.count }
 
-func (s *predictedSet) add(id path.ID) {
+func (s *predictedSet) add(id path.ID) { s.addAt(id, -1) }
+
+// addAt predicts id, reporting head (the path's head address) to telemetry
+// when the scheme knows it (-1 otherwise).
+func (s *predictedSet) addAt(id path.ID, head int) {
 	if id < 0 {
 		return
 	}
@@ -67,6 +75,7 @@ func (s *predictedSet) add(id path.ID) {
 	if !s.set[id] {
 		s.set[id] = true
 		s.count++
+		s.report(id, head)
 	}
 }
 
@@ -213,7 +222,7 @@ func (n *NET) Observe(id path.ID) bool {
 		return false
 	}
 	if n.counts.incr(h) >= n.Tau {
-		n.add(id)
+		n.addAt(id, h)
 		n.counts.zero(h)
 		if n.Single {
 			for h >= len(n.done) {

@@ -1,0 +1,89 @@
+// The periodic stderr progress line for long experiment sweeps. The
+// pipeline's workers already count finished cells into sharded telemetry
+// counters; Progress just samples those counters on a ticker and prints one
+// line — cells done, rate, ETA — so a multi-hour sweep is never a silent
+// black box. Sampling is read-only and off the workers' path entirely.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress periodically reports done/planned counter pairs to a writer.
+type Progress struct {
+	w        io.Writer
+	label    string
+	done     *Counter
+	planned  *Counter
+	interval time.Duration
+
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// StartProgress begins a progress loop printing every interval to w, reading
+// the done and planned counters. Returns nil (a no-op) when interval <= 0.
+// Call Stop to end the loop; a final line is printed iff any work was done.
+func StartProgress(w io.Writer, label string, done, planned *Counter, interval time.Duration) *Progress {
+	if interval <= 0 {
+		return nil
+	}
+	p := &Progress{
+		w: w, label: label, done: done, planned: planned,
+		interval: interval, start: time.Now(), stop: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.report(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// report prints one progress line. final also prints when the tick would be
+// silent (done == 0 is skipped on periodic ticks: nothing has started yet).
+func (p *Progress) report(final bool) {
+	done, planned := p.done.Value(), p.planned.Value()
+	if done == 0 && !final {
+		return
+	}
+	elapsed := time.Since(p.start)
+	line := fmt.Sprintf("%s: %d", p.label, done)
+	if planned > done {
+		line += fmt.Sprintf("/%d cells (%.1f%%)", planned, 100*float64(done)/float64(planned))
+	} else {
+		line += " cells"
+	}
+	line += fmt.Sprintf(", elapsed %s", elapsed.Round(time.Second))
+	if done > 0 && planned > done {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(planned-done))
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// Stop ends the loop and prints a final summary line. Safe on a nil
+// Progress.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+	p.report(true)
+}

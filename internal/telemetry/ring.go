@@ -1,0 +1,172 @@
+// The event ring: a fixed-size, lock-free, multi-producer buffer of typed
+// telemetry events. Producers claim a global sequence number with one atomic
+// add and store the event into the preallocated slot that sequence maps to;
+// nothing is ever allocated after construction and writers never block.
+// Readers drain lazily (exporters, the /events endpoint): a drain walks the
+// sequence window still resident in the buffer and skips slots that a faster
+// writer has reclaimed mid-read, so a slow reader loses old events — by
+// design — but never tears one. Every slot field is an atomic word, which is
+// what makes the skip detection sound and keeps the race detector satisfied
+// under the parallel experiment pipeline.
+package telemetry
+
+import "sync/atomic"
+
+// EventKind classifies ring events.
+type EventKind uint8
+
+// Event kinds emitted by the VM → Dynamo → predictor stack.
+const (
+	// EvHeadPromote: a path head's counter reached τ and trace recording (or
+	// path-profile arming) began; Site is the head address, Arg the counter
+	// value at promotion.
+	EvHeadPromote EventKind = iota
+	// EvFragEnter: control entered a cached fragment from the interpreter;
+	// Site is the fragment start.
+	EvFragEnter
+	// EvFragExit: control left the fragment cache back to the interpreter;
+	// Site is the exit target address.
+	EvFragExit
+	// EvFragLink: a fragment exit transferred directly into a successor
+	// fragment (linked jump); Site is the successor's start.
+	EvFragLink
+	// EvFragEmit: an optimized trace was installed in the cache; Site is the
+	// fragment start, Arg its length in instructions.
+	EvFragEmit
+	// EvFragDemote: a faulting fragment was evicted back to interpretation;
+	// Site is the fragment start, Arg its abort count.
+	EvFragDemote
+	// EvFlush: the fragment cache was flushed; Arg is the number of resident
+	// fragments discarded.
+	EvFlush
+	// EvBlacklist: a recording abort raised a head's backoff; Site is the
+	// head, Arg the abort count.
+	EvBlacklist
+	// EvChaosInject: an injected soft fault was absorbed; Arg is the
+	// chaos.Kind-compatible code of what was injected.
+	EvChaosInject
+	// EvBail: the system gave up on dynamic optimization; Arg encodes the
+	// BailReason index.
+	EvBail
+	// EvPredict: an online predictor (replay evaluation) predicted a path
+	// hot; Site is the path head, Arg the path ID.
+	EvPredict
+	// EvVMFault: the machine faulted; Arg is the vm.FaultKind code, Site the
+	// faulting PC.
+	EvVMFault
+
+	// NumEventKinds is the number of event kinds.
+	NumEventKinds
+)
+
+var eventKindNames = [...]string{
+	"head-promote", "frag-enter", "frag-exit", "frag-link", "frag-emit",
+	"frag-demote", "flush", "blacklist", "chaos-inject", "bail", "predict",
+	"vm-fault",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "kind-unknown"
+}
+
+// Event is one drained ring event.
+type Event struct {
+	// Seq is the global sequence number (1-based, gap-free across all
+	// producers; gaps in a drain mean the reader lost the race to a writer).
+	Seq uint64
+	// Step is the machine step count at emission (0 when not applicable).
+	Step int64
+	// Kind classifies the event.
+	Kind EventKind
+	// Site is the kind-specific code address (head, fragment start, PC).
+	Site int32
+	// Arg is the kind-specific argument.
+	Arg int64
+}
+
+// slot is one ring cell. All fields are atomics: a writer invalidates seq,
+// stores the payload, then publishes seq, so a reader that sees the same
+// valid seq before and after reading the payload read a complete event.
+type slot struct {
+	seq      atomic.Uint64 // 0 = being written; else the event's sequence
+	step     atomic.Int64
+	kindSite atomic.Uint64 // kind<<32 | uint32(site)
+	arg      atomic.Int64
+}
+
+// Ring is the fixed-size lock-free event buffer.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64 // sequence ticket; the next event gets next.Add(1)
+	slots []slot
+}
+
+// NewRing creates a ring with at least size slots (rounded up to a power of
+// two; <= 0 uses DefaultRingSize).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Emitted returns the total number of events ever emitted.
+func (r *Ring) Emitted() uint64 { return r.next.Load() }
+
+// Emit appends one event: one atomic add to claim the sequence, then four
+// word stores into the preallocated slot. Never blocks, never allocates.
+func (r *Ring) Emit(kind EventKind, step int64, site int32, arg int64) {
+	seq := r.next.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // invalidate while the payload is in flight
+	s.step.Store(step)
+	s.kindSite.Store(uint64(kind)<<32 | uint64(uint32(site)))
+	s.arg.Store(arg)
+	s.seq.Store(seq)
+}
+
+// Drain appends to buf every event with sequence in (after, Emitted()] that
+// is still resident, in sequence order, and returns the extended buffer and
+// the new cursor. Events older than the ring window, or overwritten between
+// the cursor read and the slot read, are skipped (the sequence numbers make
+// the loss visible to the caller). Pass after=0 and a reused buf for a lazy
+// periodic drain.
+func (r *Ring) Drain(after uint64, buf []Event) ([]Event, uint64) {
+	head := r.next.Load()
+	lo := after + 1
+	if head > uint64(len(r.slots)) && lo < head-uint64(len(r.slots))+1 {
+		// Older sequences have been reclaimed; start at the oldest that can
+		// still be resident.
+		lo = head - uint64(len(r.slots)) + 1
+	}
+	for seq := lo; seq <= head; seq++ {
+		s := &r.slots[(seq-1)&r.mask]
+		if s.seq.Load() != seq {
+			continue // lost to a writer (overwritten or in flight)
+		}
+		ev := Event{
+			Seq:  seq,
+			Step: s.step.Load(),
+			Arg:  s.arg.Load(),
+		}
+		ks := s.kindSite.Load()
+		ev.Kind = EventKind(ks >> 32)
+		ev.Site = int32(uint32(ks))
+		if s.seq.Load() != seq {
+			continue // overwritten while reading; drop the torn copy
+		}
+		buf = append(buf, ev)
+	}
+	return buf, head
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardsSum(t *testing.T) {
+	r := NewRegistry(16)
+	c := r.Counter("test_total", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		s := r.NewSink()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestRegistryIdempotentAndKindSafe(t *testing.T) {
+	r := NewRegistry(16)
+	a := r.Counter("x", "h")
+	b := r.Counter("x", "different help ignored")
+	if a != b {
+		t.Fatal("re-registering a counter name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a name as a different kind must panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry(16)
+	g := r.Gauge("occ", "")
+	g.Set(7)
+	g.Max(3)
+	if g.Value() != 7 {
+		t.Fatalf("Max(3) lowered the gauge: %d", g.Value())
+	}
+	g.Max(10)
+	if g.Value() != 10 {
+		t.Fatalf("Max(10) = %d, want 10", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(16)
+	h := r.Histogram("sizes", "")
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 1000, int64(1) << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	wantSum := int64(0+1+2+3+4+5+1000) + int64(1)<<40
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// Bucket invariants: v=2 lands in the le=2 bucket, v=3,4 in le=4.
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Errorf("le=2 bucket = %d, want 1", got)
+	}
+	if got := h.buckets[2].Load(); got != 2 {
+		t.Errorf("le=4 bucket = %d, want 2", got)
+	}
+	// The overflow bucket absorbs the huge value.
+	if got := h.buckets[histBuckets-1].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{-5: 0, 0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := bucketOf(int64(1) << 62); got != histBuckets-1 {
+		t.Errorf("bucketOf(2^62) = %d, want overflow bucket %d", got, histBuckets-1)
+	}
+}
+
+// TestZeroAllocWritePath pins the tentpole claim: the enabled hot path —
+// counter add, histogram observe, ring emit — allocates nothing.
+func TestZeroAllocWritePath(t *testing.T) {
+	r := NewRegistry(1 << 10)
+	c := r.Counter("hot_total", "")
+	h := r.Histogram("hot_sizes", "")
+	g := r.Gauge("hot_occ", "")
+	s := r.NewSink()
+	i := int64(0)
+	got := testing.AllocsPerRun(10000, func() {
+		s.Add(c, 1)
+		s.Observe(h, i%257)
+		s.Set(g, i)
+		s.Emit(EvFragEnter, i, int(i%1024), i)
+		i++
+	})
+	if got != 0 {
+		t.Fatalf("telemetry write path allocates %v allocs/op, want 0", got)
+	}
+}
+
+func TestProgressReports(t *testing.T) {
+	r := NewRegistry(16)
+	done := r.Counter("done", "")
+	planned := r.Counter("planned", "")
+	planned.Add(10)
+	done.Add(4)
+	var buf syncBuffer
+	p := StartProgress(&buf, "sweep", done, planned, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 4/10 cells (40.0%)") {
+		t.Fatalf("progress output missing cells/percent line:\n%s", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Fatalf("progress output missing ETA:\n%s", out)
+	}
+	if StartProgress(&buf, "off", done, planned, 0) != nil {
+		t.Fatal("interval <= 0 must disable progress")
+	}
+	(*Progress)(nil).Stop() // must not panic
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the progress goroutine writes
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

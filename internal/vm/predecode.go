@@ -63,6 +63,7 @@ type uopFn func(m *Machine, u *uop) *uop
 // the dispatch loop stops.
 func (m *Machine) trapf(kind FaultKind, pc int32, format string, args ...any) *uop {
 	m.Halted = true
+	countFault(kind, int(pc), m.Steps)
 	m.trap = &Fault{Kind: kind, PC: int(pc), Msg: fmt.Sprintf(format, args...)}
 	return nil
 }

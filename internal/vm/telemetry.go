@@ -1,0 +1,40 @@
+// Telemetry for machine faults. Faults are terminal (the machine halts), so
+// unlike the dynamo hot-path sites these are counted unconditionally — no
+// Sink, no configuration — and the per-kind counters carry stable names
+// derived from faultNames so exporters and the chaos harness agree on them.
+package vm
+
+import (
+	"errors"
+
+	"netpath/internal/telemetry"
+)
+
+// faultCounters[k] counts delivered faults of kind k under
+// vm_fault_<name>_total.
+var faultCounters = func() [len(faultNames)]*telemetry.Counter {
+	var cs [len(faultNames)]*telemetry.Counter
+	for k, name := range faultNames {
+		cs[k] = telemetry.NewCounter("vm_fault_"+name+"_total",
+			"machine faults delivered: "+name)
+	}
+	return cs
+}()
+
+// countFault accounts one delivered fault: a counter bump and an EvVMFault
+// ring event (Site = faulting PC, Arg = kind code). Cold path by definition.
+func countFault(kind FaultKind, pc int, step int64) {
+	if int(kind) < len(faultCounters) {
+		faultCounters[kind].Inc()
+	}
+	telemetry.Def.Ring().Emit(telemetry.EvVMFault, step, int32(pc), int64(kind))
+}
+
+// countFaultErr accounts err if it is (or wraps) a *Fault; hook-injected
+// errors pass through here on their way out of Step.
+func countFaultErr(err error, step int64) {
+	var f *Fault
+	if errors.As(err, &f) {
+		countFault(f.Kind, f.PC, step)
+	}
+}

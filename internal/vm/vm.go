@@ -108,6 +108,7 @@ func (f *Fault) Error() string { return f.Msg }
 
 func (m *Machine) fault(kind FaultKind, format string, args ...any) error {
 	m.Halted = true
+	countFault(kind, m.PC, m.Steps)
 	return &Fault{Kind: kind, PC: m.PC, Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -263,6 +264,7 @@ func (m *Machine) Step() error {
 	if m.faultHook != nil {
 		if err := m.faultHook(m); err != nil {
 			m.Halted = true
+			countFaultErr(err, m.Steps)
 			return err
 		}
 	}
@@ -330,6 +332,7 @@ func (m *Machine) stepSwitch() error {
 	if m.faultHook != nil {
 		if err := m.faultHook(m); err != nil {
 			m.Halted = true
+			countFaultErr(err, m.Steps)
 			return err
 		}
 	}
