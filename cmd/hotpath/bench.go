@@ -14,6 +14,7 @@ import (
 	"netpath/internal/path"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
+	"netpath/internal/staticpred"
 	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
@@ -145,6 +146,21 @@ func runBenchSuite(scale float64, out string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			metrics.Evaluate(pr, hs, predict.NewNET(50, pr.Paths.Head), 50)
+		}
+	})
+	micro("static_predict", func(b *testing.B) {
+		// The static scheme's whole analysis cost: CFG construction, loop
+		// maps, heuristic walks, and interner matching — what a load-time
+		// translator would pay once per program.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp, err := staticpred.Predict(pr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sp.PredictedCount() == 0 {
+				b.Fatal("static predictor matched nothing")
+			}
 		}
 	})
 	micro("intern_hit", func(b *testing.B) {

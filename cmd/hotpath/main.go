@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hotpath [-scale f] [-tau n] [-parallel n] table1|table2|fig2|fig3|fig4|fig5|phases|chaos|all
+//	hotpath [-scale f] [-tau n] [-parallel n] table1|table2|fig2|fig3|fig4|fig5|static|phases|chaos|all
 //
 // Tables 1-2 and Figures 2-4 use the abstract metrics (Section 5); Figure 5
 // runs the mini-Dynamo concrete evaluation (Section 6); phases runs the
@@ -77,7 +77,7 @@ func main() {
 
 	cmds := flag.Args()
 	if len(cmds) == 0 && *benchOut == "" {
-		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] [-parallel n] [-bench-out f.json] table1|table2|fig2|fig3|fig4|fig5|phases|boa|ablation|hardware|chaos|all")
+		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] [-parallel n] [-bench-out f.json] table1|table2|fig2|fig3|fig4|fig5|static|phases|boa|ablation|hardware|chaos|all")
 		os.Exit(2)
 	}
 
@@ -135,7 +135,7 @@ func main() {
 	needFig5 := false
 	for _, c := range cmds {
 		switch c {
-		case "table1", "table2", "fig2", "fig3", "fig4", "phases", "boa", "ablation", "all":
+		case "table1", "table2", "fig2", "fig3", "fig4", "static", "phases", "boa", "ablation", "all":
 			needProfiles = true
 		case "hardware":
 			// needs no oracle profiles
@@ -193,6 +193,8 @@ func main() {
 			fmt.Println(experiments.Fig4(bps))
 		case "fig5":
 			fmt.Println(experiments.Fig5(fig5))
+		case "static":
+			fmt.Println(experiments.StaticReport(bps))
 		case "phases":
 			fmt.Println(experiments.PhasesReport(bps, *tau))
 		case "boa":
@@ -222,6 +224,7 @@ func main() {
 			fmt.Println(experiments.Fig3(sweep()))
 			fmt.Println(experiments.Fig4(bps))
 			fmt.Println(experiments.Fig5(fig5))
+			fmt.Println(experiments.StaticReport(bps))
 			fmt.Println(experiments.PhasesReport(bps, *tau))
 			out, err := experiments.BoaReport(bps, *scale, *tau)
 			if err != nil {

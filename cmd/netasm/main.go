@@ -7,16 +7,24 @@
 //	netasm fmt file.s          parse and reprint in canonical form
 //	netasm profile file.s      execute and print the path profile
 //	netasm dump <benchmark>    emit a synthetic workload as assembly
+//	netasm verify file.s       run the static CFG verifier, report issues
 //	netasm sample              print a sample program to get started
+//
+// The -verify flag makes run/fmt/profile/dump gate on the static verifier
+// first: the report prints to stderr and error-class issues abort before any
+// execution, the same load-time check dynamo applies. The verify subcommand
+// accepts a file or a benchmark name and exits 1 on error-class issues.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"netpath/internal/asm"
+	"netpath/internal/cfg"
 	"netpath/internal/profile"
 	"netpath/internal/prog"
 	"netpath/internal/vm"
@@ -46,11 +54,12 @@ func main() {
 	steps := flag.Int64("maxsteps", 500_000_000, "step limit for run/profile (<=0 = unlimited)")
 	scale := flag.Float64("scale", 0.05, "workload scale for dump")
 	top := flag.Int("top", 5, "top paths to print for profile")
+	verify := flag.Bool("verify", false, "run the static CFG verifier before executing; abort on errors")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: netasm run|fmt|profile|dump|sample [file.s | benchmark]")
+		fmt.Fprintln(os.Stderr, "usage: netasm run|fmt|profile|dump|verify|sample [file.s | benchmark]")
 		os.Exit(2)
 	}
 	cmd := args[0]
@@ -72,7 +81,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *verify && !verifyProgram(os.Stderr, p) {
+			os.Exit(1)
+		}
 		fmt.Print(asm.Format(p))
+	case "verify":
+		p, err := load(args[1], *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !verifyProgram(os.Stdout, p) {
+			os.Exit(1)
+		}
 	case "run", "fmt", "profile":
 		src, err := os.ReadFile(args[1])
 		if err != nil {
@@ -81,6 +101,9 @@ func main() {
 		p, err := asm.Parse(args[1], string(src))
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *verify && !verifyProgram(os.Stderr, p) {
+			os.Exit(1)
 		}
 		switch cmd {
 		case "fmt":
@@ -93,6 +116,30 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// load resolves arg as an assembly file when one exists at that path, and
+// as a synthetic benchmark name otherwise.
+func load(arg string, scale float64) (*prog.Program, error) {
+	if src, err := os.ReadFile(arg); err == nil {
+		return asm.Parse(arg, string(src))
+	}
+	b, err := workload.ByName(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a readable file nor a benchmark: %w", arg, err)
+	}
+	return b.Build(scale)
+}
+
+// verifyProgram prints the static verifier's report to w and reports
+// whether the program passed (warnings alone pass; errors fail).
+func verifyProgram(w io.Writer, p *prog.Program) bool {
+	r := cfg.Verify(p)
+	fmt.Fprint(w, r.String())
+	if len(r.Issues) == 0 {
+		fmt.Fprintln(w) // "verify ok" carries no trailing newline
+	}
+	return r.Err() == nil
 }
 
 func run(p *prog.Program, steps int64) {

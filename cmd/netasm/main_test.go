@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netpath/internal/asm"
+)
+
+func TestVerifyProgramOK(t *testing.T) {
+	p, err := asm.Parse("sample.s", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if !verifyProgram(&buf, p) {
+		t.Fatalf("sample program failed verification:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "verify ok") {
+		t.Errorf("report missing ok line: %q", buf.String())
+	}
+}
+
+func TestVerifyProgramRejectsInfiniteLoop(t *testing.T) {
+	src := ".mem 8\n\nfunc main:\nspin:\n    jmp spin\n"
+	p, err := asm.Parse("spin.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if verifyProgram(&buf, p) {
+		t.Fatalf("counterless infinite loop passed verification:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "infinite-loop") {
+		t.Errorf("report does not name the infinite-loop class: %q", buf.String())
+	}
+}
+
+func TestLoadFileAndBenchmark(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(file, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(file, 0.05); err != nil {
+		t.Errorf("load(file): %v", err)
+	}
+	if _, err := load("compress", 0.05); err != nil {
+		t.Errorf("load(benchmark): %v", err)
+	}
+	if _, err := load("no-such-thing", 0.05); err == nil {
+		t.Error("load(bogus): want an error")
+	}
+}

@@ -1,0 +1,117 @@
+// Command netpathvet is the repository's custom lint pass. It enforces two
+// invariants the standard toolchain cannot know about:
+//
+//   - sinkcheck: *telemetry.Sink methods are not nil-safe by design (the
+//     guard would cost a branch on every disabled-telemetry counter write),
+//     so every call site must be dominated by its own nil check.
+//   - hotalloc: packages tagged hot-path (internal/vm, internal/path,
+//     internal/telemetry) must not call fmt or the allocating strings/strconv
+//     helpers outside functions marked cold.
+//
+// Usage:
+//
+//	netpathvet [./...]          lint every package of the enclosing module
+//	netpathvet dir [dir ...]    lint specific package directories
+//
+// Diagnostics print as file:line:col: message (analyzer); the exit status is
+// 1 when anything is flagged. The analyzers live in internal/lint and mirror
+// the golang.org/x/tools/go/analysis API so they can be ported to the real
+// driver if that dependency is ever vendored.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"netpath/internal/lint"
+)
+
+func main() {
+	n, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpathvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run lints the requested packages, prints diagnostics to w, and returns
+// how many were found.
+func run(args []string, w io.Writer) (int, error) {
+	var pkgs []*lint.Package
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		root, modpath, err := findModule(".")
+		if err != nil {
+			return 0, err
+		}
+		pkgs, err = lint.LoadModule(root, modpath)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		for _, dir := range args {
+			root, modpath, err := findModule(dir)
+			if err != nil {
+				return 0, err
+			}
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				return 0, err
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				return 0, err
+			}
+			ip := modpath
+			if rel != "." {
+				ip = modpath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := lint.LoadDir(dir, ip)
+			if err != nil {
+				return 0, err
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+	diags, fsets, err := lint.Run(lint.Analyzers(), pkgs)
+	if err != nil {
+		return 0, err
+	}
+	for i, d := range diags {
+		pos := fsets[i].Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoIsClean lints the entire module the test file lives in. This is
+// the same invocation CI runs; a violation anywhere in the repo fails here
+// first, with the diagnostic in the failure message.
+func TestRepoIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{"./..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("netpathvet found %d violation(s) in the repo:\n%s", n, buf.String())
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	_, thisFile, _, _ := runtime.Caller(0)
+	root, modpath, err := findModule(filepath.Dir(thisFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modpath != "netpath" {
+		t.Errorf("module path = %q, want %q", modpath, "netpath")
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(root))) == "" {
+		t.Errorf("implausible module root %q", root)
+	}
+}
+
+// TestSingleDirArgs lints one directory given as an explicit argument.
+func TestSingleDirArgs(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{"."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("linting cmd/netpathvet itself found %d violation(s):\n%s", n, buf.String())
+	}
+}

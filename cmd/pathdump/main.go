@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	pathdump [-scale f] [-top n] [-hot frac] [benchmark ...]
+//	pathdump [-scale f] [-top n] [-hot frac] [-verify] [benchmark ...]
+//	pathdump cfg [-scale f] [-fn name] benchmark ...
+//
+// The cfg subcommand emits one function's control-flow graph as Graphviz
+// DOT, with the static predictor's maximum-likelihood hot-path edges
+// highlighted in red; -verify runs the static verifier over each program
+// and prints its report before the summary.
 package main
 
 import (
@@ -15,7 +21,10 @@ import (
 	"os"
 	"time"
 
+	"netpath/internal/cfg"
 	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/staticpred"
 	"netpath/internal/workload"
 )
 
@@ -30,12 +39,16 @@ func main() {
 // run parses args and writes the requested dumps to w. Split from main so
 // the golden-output test can drive the full flag-to-format pipeline.
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "cfg" {
+		return runCFG(args[1:], w)
+	}
 	fs := flag.NewFlagSet("pathdump", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	top := fs.Int("top", 0, "print the top N paths by frequency")
 	hot := fs.Float64("hot", 0.001, "fractional hot threshold")
 	disasm := fs.Bool("disasm", false, "print the program disassembly")
 	jsonOut := fs.Bool("json", false, "emit the path profile as JSON instead of a summary")
+	verify := fs.Bool("verify", false, "run the static verifier and print its report before the summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,14 +57,95 @@ func run(args []string, w io.Writer) error {
 		names = workload.Names()
 	}
 	for _, name := range names {
-		if err := dump(w, name, *scale, *top, *hot, *disasm, *jsonOut); err != nil {
+		if err := dump(w, name, *scale, *top, *hot, *disasm, *jsonOut, *verify); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func dump(w io.Writer, name string, scale float64, top int, hotFrac float64, disasm, jsonOut bool) error {
+// runCFG implements the cfg subcommand: emit one function's CFG as DOT with
+// the static maximum-likelihood hot-path edges highlighted.
+func runCFG(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pathdump cfg", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	fn := fs.String("fn", "main", "function whose CFG to emit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf("cfg wants at least one benchmark name")
+	}
+	for _, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		p, err := b.Build(*scale)
+		if err != nil {
+			return err
+		}
+		fi := -1
+		for i := range p.Funcs {
+			if p.Funcs[i].Name == *fn {
+				fi = i
+			}
+		}
+		if fi < 0 {
+			return fmt.Errorf("%s has no function %q", name, *fn)
+		}
+		g, err := cfg.Build(p, fi)
+		if err != nil {
+			return err
+		}
+		hl, err := hotPathEdges(p, fi, g)
+		if err != nil {
+			return err
+		}
+		if err := cfg.WriteDOT(w, g, hl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hotPathEdges maps the static predictor's walks through function fi onto
+// CFG edges: every block-to-block transfer a maximum-likelihood walk takes
+// inside the function is highlighted.
+func hotPathEdges(p *prog.Program, fi int, g *cfg.Graph) (map[cfg.Edge]bool, error) {
+	a, err := staticpred.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	nodeAt := func(addr int) cfg.Node {
+		bi := p.BlockAt(addr)
+		if bi < 0 || p.Blocks[bi].Func != fi {
+			return -1
+		}
+		if n, ok := g.NodeOf[bi]; ok {
+			return n
+		}
+		return -1
+	}
+	hl := map[cfg.Edge]bool{}
+	for _, wk := range a.Walks() {
+		for _, st := range wk.Steps {
+			// Only block terminators realize CFG edges.
+			bi := p.BlockAt(st.PC)
+			if bi < 0 || p.Blocks[bi].Func != fi || st.PC != p.Blocks[bi].End-1 {
+				continue
+			}
+			from, to := nodeAt(st.PC), nodeAt(st.Next)
+			if from >= 0 && to >= 0 {
+				hl[cfg.Edge{From: from, To: to}] = true
+			}
+		}
+	}
+	return hl, nil
+}
+
+func dump(w io.Writer, name string, scale float64, top int, hotFrac float64, disasm, jsonOut, verify bool) error {
 	b, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -59,6 +153,13 @@ func dump(w io.Writer, name string, scale float64, top int, hotFrac float64, dis
 	p, err := b.Build(scale)
 	if err != nil {
 		return err
+	}
+	if verify {
+		r := cfg.Verify(p)
+		fmt.Fprintln(w, r.String())
+		if err := r.Err(); err != nil {
+			return err
+		}
 	}
 	if disasm {
 		fmt.Fprint(w, p.Disasm())

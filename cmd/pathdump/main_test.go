@@ -50,6 +50,58 @@ func TestGoldenDump(t *testing.T) {
 	}
 }
 
+// TestGoldenCFG drives the cfg subcommand end to end — workload build, CFG
+// construction, static hot-path walk, DOT rendering — and compares against
+// the committed golden file. The output is fully deterministic (no timing
+// field), so no normalization is needed. Regenerate with -update.
+func TestGoldenCFG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"cfg", "-scale", "0.05", "-fn", "main", "compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "cfg_compress_main.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("cfg DOT output diverged from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+	if !strings.Contains(got, "digraph") {
+		t.Errorf("cfg output is not DOT:\n%.200s", got)
+	}
+	if !strings.Contains(got, "color=red") {
+		t.Errorf("cfg output highlights no hot-path edges:\n%.400s", got)
+	}
+}
+
+func TestCFGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"cfg"}, &buf); err == nil {
+		t.Error("cfg with no benchmark: want an error")
+	}
+	if err := run([]string{"cfg", "-fn", "no-such-fn", "compress"}, &buf); err == nil {
+		t.Error("cfg with unknown function: want an error")
+	}
+}
+
+func TestVerifyOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-verify", "compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verify ok") {
+		t.Errorf("-verify output missing report:\n%.400s", buf.String())
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-scale", "not-a-number"}, &buf); err == nil {

@@ -191,8 +191,7 @@ func constructPath(p *prog.Program, ep *EdgeProfile, head int) (string, Construc
 		case isa.Halt:
 			return sig.Key(), Constructed
 		}
-		backward := taken && next <= pc
-		if backward {
+		if isa.IsBackward(pc, next, taken) {
 			return sig.Key(), Constructed
 		}
 		switch in.Op {

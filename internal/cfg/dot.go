@@ -1,0 +1,62 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders one function's CFG in Graphviz DOT form. Back edges are
+// drawn dashed; edges present in highlight (typically a statically predicted
+// hot path) are drawn bold and red. Output is deterministic: nodes in index
+// order, edges in g.Edges() order.
+func WriteDOT(w io.Writer, g *Graph, highlight map[Edge]bool) error {
+	f := g.Prog.Funcs[g.Func]
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", f.Name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  label=%q;\n", fmt.Sprintf("%s [%d,%d)", f.Name, f.Entry, f.End))
+	fmt.Fprintf(w, "  node [shape=box, fontname=\"monospace\"];\n")
+
+	back := map[Edge]bool{}
+	for _, e := range g.BackEdges() {
+		back[e] = true
+	}
+
+	for node := 0; node < g.NumNodes(); node++ {
+		switch Node(node) {
+		case Entry:
+			fmt.Fprintf(w, "  n0 [label=\"entry\", shape=circle];\n")
+		case Exit:
+			fmt.Fprintf(w, "  n1 [label=\"exit\", shape=doublecircle];\n")
+		default:
+			b := g.Prog.Blocks[g.BlockOf[node]]
+			label := fmt.Sprintf("[%d,%d)", b.Start, b.End)
+			for a := b.Start; a < b.End; a++ {
+				label += fmt.Sprintf("\\l%3d: %s", a, g.Prog.Instrs[a])
+			}
+			label += "\\l"
+			attrs := ""
+			if !g.Reachable(Node(node)) {
+				attrs = ", style=dotted"
+			}
+			fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", node, label, attrs)
+		}
+	}
+
+	for _, e := range g.Edges() {
+		var attrs []byte
+		if back[e] {
+			attrs = append(attrs, ` style=dashed`...)
+		}
+		if highlight[e] {
+			attrs = append(attrs, ` color=red penwidth=2.5`...)
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(w, "  n%d -> n%d [%s];\n", e.From, e.To, attrs[1:])
+		} else {
+			fmt.Fprintf(w, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,54 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := diamondLoop(t)
+	g, err := Build(p, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	bes := g.BackEdges()
+	if len(bes) != 1 {
+		t.Fatalf("back edges = %v, want 1", bes)
+	}
+	highlight := map[Edge]bool{bes[0]: true}
+	var b strings.Builder
+	if err := WriteDOT(&b, g, highlight); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"main\"", "entry", "exit",
+		"style=dashed",            // the back edge
+		"color=red penwidth=2.5",  // the highlighted edge
+		p.Instrs[0].String() + "", // instruction text appears in block labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := WriteDOT(&b2, g, highlight); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if b2.String() != out {
+		t.Error("WriteDOT output is not deterministic")
+	}
+}
+
+func TestWriteDOTNoHighlight(t *testing.T) {
+	p := diamondLoop(t)
+	g, _ := Build(p, 0)
+	var b strings.Builder
+	if err := WriteDOT(&b, g, nil); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if strings.Contains(b.String(), "color=red") {
+		t.Error("nil highlight must not color any edge")
+	}
+}

@@ -1,0 +1,46 @@
+package cfg
+
+import (
+	"testing"
+
+	"netpath/internal/randprog"
+)
+
+// FuzzBuildVerify drives Build and Verify over the randprog generator's
+// option space: whatever the generator produces, analysis must not panic,
+// the verdict must be deterministic, and — since generated programs are
+// valid and terminating by construction — the load gate must stay open.
+func FuzzBuildVerify(f *testing.F) {
+	f.Add(int64(0), uint8(5), uint8(3), uint8(6))
+	f.Add(int64(1), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(42), uint8(8), uint8(2), uint8(10))
+	f.Add(int64(-7), uint8(3), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, maxFuncs, maxDepth, maxBody uint8) {
+		opts := randprog.Options{
+			MaxFuncs: int(maxFuncs%8) + 1,
+			MaxDepth: int(maxDepth%4) + 1,
+			MaxBody:  int(maxBody%8) + 1,
+		}
+		p, err := randprog.Generate(seed, opts)
+		if err != nil {
+			t.Skip() // options exceeding the register window
+		}
+		rep1 := Verify(p)
+		rep2 := Verify(p)
+		if rep1.String() != rep2.String() {
+			t.Fatalf("verdict unstable:\n%s\nvs\n%s", rep1, rep2)
+		}
+		if err := rep1.Err(); err != nil {
+			t.Fatalf("generated program rejected: %v", err)
+		}
+		for fi := range p.Funcs {
+			g, err := Build(p, fi)
+			if err != nil {
+				t.Fatalf("Build(%d): %v", fi, err)
+			}
+			// Analyses must hold together on every generated shape.
+			_ = g.BackEdges()
+			_ = g.NaturalLoops()
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package cfg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/randprog"
+	"netpath/internal/workload"
+)
+
+// raw hand-assembles a program, bypassing the builder so tests can express
+// malformations the builder cannot produce.
+func raw(name string, instrs []isa.Instr, funcs []prog.Func, blocks []prog.Block, entry int) *prog.Program {
+	p := &prog.Program{
+		Name:    name,
+		Instrs:  instrs,
+		Funcs:   funcs,
+		Blocks:  blocks,
+		MemSize: 4,
+		Entry:   entry,
+	}
+	p.Freeze()
+	return p
+}
+
+func classes(issues []Issue) []Class {
+	out := make([]Class, len(issues))
+	for i, is := range issues {
+		out[i] = is.Class
+	}
+	return out
+}
+
+// TestVerifyMalformations drives every malformation class through Verify:
+// one crafted program per class, checking both the classification and the
+// error/warning split that decides whether the load gate rejects.
+func TestVerifyMalformations(t *testing.T) {
+	tests := []struct {
+		name         string
+		prog         *prog.Program
+		wantErrors   []Class
+		wantWarnings []Class
+	}{
+		{
+			// A block that does not end in a control instruction fails
+			// prog.Validate; Verify folds that into ClassStructure.
+			name: "structure: block without terminator",
+			prog: raw("bad-structure",
+				[]isa.Instr{{Op: isa.Nop}},
+				[]prog.Func{{Name: "main", Entry: 0, End: 1}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}},
+				0),
+			wantErrors: []Class{ClassStructure},
+		},
+		{
+			// main jumps straight into f's entry, bypassing the call stack.
+			// (The skipped main block is also unreachable — a warning.)
+			name: "cross-function jump",
+			prog: raw("cross-fn",
+				[]isa.Instr{
+					{Op: isa.Jmp, Target: 2},
+					{Op: isa.Halt},
+					{Op: isa.Ret},
+				},
+				[]prog.Func{{Name: "main", Entry: 0, End: 2}, {Name: "f", Entry: 2, End: 3}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 0}, {Start: 2, End: 3, Func: 1}},
+				0),
+			wantErrors:   []Class{ClassCrossFunction},
+			wantWarnings: []Class{ClassUnreachable},
+		},
+		{
+			// The program's last instruction is a call: its return
+			// continuation falls off the end of the instruction array.
+			name: "fallthrough off the end",
+			prog: raw("fall-end",
+				[]isa.Instr{
+					{Op: isa.Ret},
+					{Op: isa.Call, Target: 0},
+				},
+				[]prog.Func{{Name: "f", Entry: 0, End: 1}, {Name: "main", Entry: 1, End: 2}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 1}},
+				1),
+			wantErrors: []Class{ClassFallthroughEnd},
+		},
+		{
+			// A ret in the never-called entry function always underflows the
+			// call stack.
+			name: "return underflow",
+			prog: raw("underflow",
+				[]isa.Instr{{Op: isa.Ret}},
+				[]prog.Func{{Name: "main", Entry: 0, End: 1}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}},
+				0),
+			wantErrors: []Class{ClassReturnUnderflow},
+		},
+		{
+			// jmp @0 at address 0: the tightest possible counterless loop
+			// (also exercises the self-branch backward tie-break).
+			name: "infinite self-loop",
+			prog: raw("spin",
+				[]isa.Instr{{Op: isa.Jmp, Target: 0}},
+				[]prog.Func{{Name: "main", Entry: 0, End: 1}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}},
+				0),
+			wantErrors: []Class{ClassInfiniteLoop},
+		},
+		{
+			// A two-block counterless loop: br falls through to a jmp that
+			// closes the cycle; no edge leaves the pair.
+			name: "infinite two-block loop",
+			prog: raw("spin2",
+				[]isa.Instr{
+					{Op: isa.BrI, Cond: isa.Eq, A: 1, Imm: 0, Target: 0},
+					{Op: isa.Jmp, Target: 0},
+				},
+				[]prog.Func{{Name: "main", Entry: 0, End: 2}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 0}},
+				0),
+			wantErrors: []Class{ClassInfiniteLoop},
+		},
+		{
+			// A skipped block is suspicious but runnable: warning only, the
+			// load gate stays open.
+			name: "unreachable block warns",
+			prog: raw("dead-block",
+				[]isa.Instr{
+					{Op: isa.Jmp, Target: 2},
+					{Op: isa.Halt},
+					{Op: isa.Halt},
+				},
+				[]prog.Func{{Name: "main", Entry: 0, End: 3}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 0}, {Start: 2, End: 3, Func: 0}},
+				0),
+			wantWarnings: []Class{ClassUnreachable},
+		},
+		{
+			// f is called but loops forever around a call: no reachable ret
+			// or halt. The embedded call keeps it out of the infinite-loop
+			// class (the callee could halt), leaving the no-return warning.
+			name: "called function never returns",
+			prog: raw("no-return",
+				[]isa.Instr{
+					{Op: isa.Call, Target: 2},
+					{Op: isa.Halt},
+					{Op: isa.Call, Target: 4},
+					{Op: isa.Jmp, Target: 2},
+					{Op: isa.Ret},
+				},
+				[]prog.Func{{Name: "main", Entry: 0, End: 2}, {Name: "f", Entry: 2, End: 4}, {Name: "g", Entry: 4, End: 5}},
+				[]prog.Block{
+					{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 0},
+					{Start: 2, End: 3, Func: 1}, {Start: 3, End: 4, Func: 1},
+					{Start: 4, End: 5, Func: 2},
+				},
+				0),
+			wantWarnings: []Class{ClassNoReturn},
+		},
+		{
+			// A call terminating its function (but not the program) returns
+			// into the next function: runnable, but almost surely a layout
+			// bug.
+			name: "call falls into next function",
+			prog: raw("fall-next",
+				[]isa.Instr{
+					{Op: isa.Call, Target: 1},
+					{Op: isa.Halt},
+				},
+				[]prog.Func{{Name: "main", Entry: 0, End: 1}, {Name: "f", Entry: 1, End: 2}},
+				[]prog.Block{{Start: 0, End: 1, Func: 0}, {Start: 1, End: 2, Func: 1}},
+				0),
+			wantWarnings: []Class{ClassFallthroughEnd},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Verify(tc.prog)
+			gotE, gotW := classes(rep.Errors()), classes(rep.Warnings())
+			if len(gotE) != len(tc.wantErrors) {
+				t.Fatalf("errors = %v, want classes %v\nreport:\n%s", gotE, tc.wantErrors, rep)
+			}
+			for i, c := range tc.wantErrors {
+				if gotE[i] != c {
+					t.Errorf("error[%d] = %v, want %v", i, gotE[i], c)
+				}
+			}
+			if len(gotW) != len(tc.wantWarnings) {
+				t.Fatalf("warnings = %v, want classes %v\nreport:\n%s", gotW, tc.wantWarnings, rep)
+			}
+			for i, c := range tc.wantWarnings {
+				if gotW[i] != c {
+					t.Errorf("warning[%d] = %v, want %v", i, gotW[i], c)
+				}
+			}
+			// The gate contract: errors reject, warnings alone do not.
+			if err := rep.Err(); (err != nil) != (len(tc.wantErrors) > 0) {
+				t.Errorf("Err() = %v with %d error classes", err, len(tc.wantErrors))
+			}
+		})
+	}
+}
+
+func TestVerifyErrorIsStructured(t *testing.T) {
+	p := raw("underflow",
+		[]isa.Instr{{Op: isa.Ret}},
+		[]prog.Func{{Name: "main", Entry: 0, End: 1}},
+		[]prog.Block{{Start: 0, End: 1, Func: 0}},
+		0)
+	err := VerifyProgram(p)
+	if err == nil {
+		t.Fatal("VerifyProgram must reject the underflowing program")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %T is not a *VerifyError", err)
+	}
+	if ve.Program != "underflow" || len(ve.Issues) != 1 || ve.Issues[0].Class != ClassReturnUnderflow {
+		t.Errorf("unexpected VerifyError contents: %+v", ve)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "underflow") || !strings.Contains(msg, "1 error(s)") {
+		t.Errorf("error message %q lacks program name or count", msg)
+	}
+}
+
+// TestVerifyWorkloadsClean: every benchmark program must pass the load gate
+// (warnings allowed, errors not) — otherwise dynamo could never run them.
+func TestVerifyWorkloadsClean(t *testing.T) {
+	for _, b := range workload.All() {
+		p, err := b.Build(0.02)
+		if err != nil {
+			t.Fatalf("%s: build: %v", b.Name, err)
+		}
+		if err := VerifyProgram(p); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestVerifyRandprogClean: generated programs are terminating and valid by
+// construction, so none may produce an error-class issue.
+func TestVerifyRandprogClean(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		if err := VerifyProgram(p); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	p := diamondLoop(t)
+	rep := Verify(p)
+	if len(rep.Issues) != 0 {
+		t.Fatalf("diamond program should verify clean, got:\n%s", rep)
+	}
+	if s := rep.String(); !strings.Contains(s, "verify ok") {
+		t.Errorf("clean report rendering = %q", s)
+	}
+	bad := Verify(raw("spin",
+		[]isa.Instr{{Op: isa.Jmp, Target: 0}},
+		[]prog.Func{{Name: "main", Entry: 0, End: 1}},
+		[]prog.Block{{Start: 0, End: 1, Func: 0}},
+		0))
+	s := bad.String()
+	if !strings.Contains(s, "error[infinite-loop]") || !strings.Contains(s, "(main)") {
+		t.Errorf("issue rendering missing class or function: %q", s)
+	}
+}

@@ -1,0 +1,132 @@
+package dynamo
+
+import (
+	"errors"
+	"testing"
+
+	"netpath/internal/cfg"
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/workload"
+)
+
+// TestVerifyGateRefusesMalformed pins the load gate: a program the static
+// verifier rejects never executes — Run returns the structured
+// *cfg.VerifyError without panicking, and the machine stays at step zero.
+func TestVerifyGateRefusesMalformed(t *testing.T) {
+	// An unconditional self-loop with no counter: the verifier's
+	// infinite-loop class.
+	p := &prog.Program{
+		Name:    "spin",
+		Instrs:  []isa.Instr{{Op: isa.Jmp, Target: 0}},
+		Funcs:   []prog.Func{{Name: "main", Entry: 0, End: 1}},
+		Blocks:  []prog.Block{{Start: 0, End: 1, Func: 0}},
+		MemSize: 4,
+		Entry:   0,
+	}
+	p.Freeze()
+
+	for _, scheme := range []Scheme{SchemeNET, SchemePathProfile, SchemeStatic} {
+		s := New(p, DefaultConfig(scheme, 50))
+		res, err := s.Run()
+		if err == nil {
+			t.Fatalf("%v: Run accepted a malformed program", scheme)
+		}
+		var ve *cfg.VerifyError
+		if !errors.As(err, &ve) {
+			t.Fatalf("%v: error %v is not a *cfg.VerifyError", scheme, err)
+		}
+		if ve.Program != "spin" || len(ve.Issues) == 0 {
+			t.Errorf("%v: verify error lacks structure: %+v", scheme, ve)
+		}
+		if s.Machine().Steps != 0 {
+			t.Errorf("%v: refused program executed %d steps", scheme, s.Machine().Steps)
+		}
+		if res.Steps != 0 {
+			t.Errorf("%v: result reports %d steps for a refused program", scheme, res.Steps)
+		}
+	}
+}
+
+// TestVerifyGateMemoized runs many Systems over one program and checks the
+// verdict is consistent (the memoized path returns the same answer as the
+// first computation).
+func TestVerifyGateMemoized(t *testing.T) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bm.Build(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemeNET, SchemePathProfile, SchemeStatic} {
+		if _, err := New(p, DefaultConfig(scheme, 50)).Run(); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}
+
+// TestStaticSchemeRuns exercises SchemeStatic end-to-end on a loop-heavy
+// workload: fragments exist before the first instruction runs, the run
+// completes with the same machine state as plain interpretation, no
+// profiling cycles are charged, and real fragment-cache execution happens.
+func TestStaticSchemeRuns(t *testing.T) {
+	bm, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bm.Build(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, DefaultConfig(SchemeStatic, 0))
+	if s.res.Fragments == 0 {
+		t.Fatal("static scheme prebuilt no fragments")
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Scheme != SchemeStatic || res.Scheme.String() != "Static" {
+		t.Errorf("scheme = %v (%q)", res.Scheme, res.Scheme)
+	}
+	if res.ProfileCycles != 0 {
+		t.Errorf("static scheme charged %v profiling cycles, want 0 (the scheme's defining property)", res.ProfileCycles)
+	}
+	if res.FragInstrs == 0 {
+		t.Error("no instructions ran from the prebuilt fragment cache")
+	}
+
+	// Semantic equivalence with plain NET execution of the same program.
+	ref, err := New(p, DefaultConfig(SchemeNET, 50)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != ref.Steps || res.Redirects != ref.Redirects {
+		t.Errorf("static run diverged: steps %d/%d redirects %d/%d",
+			res.Steps, ref.Steps, res.Redirects, ref.Redirects)
+	}
+}
+
+// TestStaticSchemeAllWorkloads checks the static scheme completes on every
+// benchmark without error and never diverges from the native step count.
+func TestStaticSchemeAllWorkloads(t *testing.T) {
+	for _, bm := range workload.All() {
+		p, err := bm.Build(0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		res, err := New(p, DefaultConfig(SchemeStatic, 0)).Run()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		ref, err := New(p, DefaultConfig(SchemeNET, 50)).Run()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if res.Steps != ref.Steps {
+			t.Errorf("%s: static steps %d != reference %d", bm.Name, res.Steps, ref.Steps)
+		}
+	}
+}

@@ -25,12 +25,22 @@ const (
 	// Divergent fragment exits resume profiling only at the next genuine
 	// path head (mid-path suffixes are not profilable units).
 	SchemePathProfile
+	// SchemeStatic: no runtime profiling at all. The fragment cache is
+	// pre-populated at load time from the static predictor's
+	// maximum-likelihood walks (internal/staticpred); τ is fixed at zero
+	// and the interpreter carries no counters, bit shifts, or recording.
+	// Mispredicted fragments simply exit early; the flush and bail-out
+	// heuristics still apply.
+	SchemeStatic
 )
 
 // String names the scheme as in Figure 5.
 func (s Scheme) String() string {
-	if s == SchemeNET {
+	switch s {
+	case SchemeNET:
 		return "NET"
+	case SchemeStatic:
+		return "Static"
 	}
 	return "PathProfile"
 }
@@ -266,6 +276,10 @@ type System struct {
 	tel     *telemetry.Sink
 	telLast telCycleMarks
 
+	// verifyErr is the static verifier's load-time verdict (verify.go);
+	// a non-nil value makes Run refuse the program.
+	verifyErr error
+
 	// Cache.
 	cache map[int]*Fragment
 	frag  *Fragment
@@ -358,6 +372,20 @@ func New(p *prog.Program, cfg Config) *System {
 	if h, ok := cfg.Chaos.(interface{ VMFault(*vm.Machine) error }); ok {
 		s.m.SetFaultHook(h.VMFault)
 	}
+	// Load-time gate: the static verifier (internal/cfg) must accept the
+	// program before Dynamo will execute it. The verdict is memoized per
+	// program, so the many Systems of an experiment grid verify each
+	// program once.
+	s.verifyErr = verifyGate(p)
+	if s.verifyErr != nil {
+		if s.tel != nil {
+			s.tel.Inc(telVerifyRejects)
+		}
+		return s
+	}
+	if cfg.Scheme == SchemeStatic {
+		s.prebuildStatic(p)
+	}
 	return s
 }
 
@@ -397,6 +425,9 @@ func (s *System) OnBranch(ev vm.BranchEvent) {
 // (under the same fault schedule) would have produced: Dynamo never
 // diverges semantically and never panics.
 func (s *System) Run() (Result, error) {
+	if s.verifyErr != nil {
+		return s.res, fmt.Errorf("dynamo: refusing unverified program: %w", s.verifyErr)
+	}
 	s.atPathStart(s.m.PC)
 	for !s.m.Halted {
 		if s.cfg.MaxSteps > 0 && s.m.Steps >= s.cfg.MaxSteps {
@@ -896,9 +927,10 @@ func (s *System) stepFragmentSlow() error {
 				s.tel.Emit(telemetry.EvFragExit, s.m.Steps, s.m.PC, 0)
 			}
 			s.tracker.Restart(s.m.PC)
-			if s.cfg.Scheme == SchemeNET || s.fpos == 0 {
-				// The abort point is a (potential) trace head: NET treats any
-				// exit as one, and at fpos 0 it is the fragment's own head.
+			if s.cfg.Scheme != SchemePathProfile || s.fpos == 0 {
+				// The abort point is a (potential) trace head: NET and the
+				// static scheme treat any exit as one, and at fpos 0 it is
+				// the fragment's own head.
 				s.atPathStart(s.m.PC)
 			} else {
 				// PathProfile: a mid-path suffix is not a profilable unit.
@@ -969,9 +1001,11 @@ func (s *System) leaveFragment(target int, completedPath bool) {
 		return
 	}
 	switch s.cfg.Scheme {
-	case SchemeNET:
+	case SchemeNET, SchemeStatic:
 		// Exit-stub counter: the exit target becomes a potential trace
-		// head (secondary trace formation).
+		// head (secondary trace formation). Under the static scheme there
+		// is nothing to count, but the exit target may hold a prebuilt
+		// fragment, which atPathStart enters.
 		s.tracker.Restart(target)
 		s.atPathStart(target)
 	case SchemePathProfile:

@@ -42,6 +42,10 @@ var (
 		"injected spike selections honored")
 	telBailouts = telemetry.NewCounter("dynamo_bailouts_total",
 		"runs that gave up on dynamic optimization (any reason)")
+	telVerifyRejects = telemetry.NewCounter("dynamo_static_verify_rejects_total",
+		"programs refused at load time by the static CFG verifier")
+	telStaticPrebuilt = telemetry.NewCounter("dynamo_static_fragments_prebuilt_total",
+		"fragments pre-installed at load time from static walks (SchemeStatic)")
 )
 
 // Per-phase cycle split, in millicycles so the cost model's sub-cycle

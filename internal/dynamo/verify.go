@@ -1,0 +1,75 @@
+// Static program admission and the static scheme's load-time translation.
+//
+// Every System runs the CFG verifier (internal/cfg) over its program before
+// executing a single instruction: a program with error-class malformations
+// (wild jump targets, fall-through off the end, counterless infinite loops,
+// ...) is refused with a structured *cfg.VerifyError rather than risking an
+// interpreter fault mid-run. Verdicts are memoized per program pointer — an
+// experiment grid spawns many Systems over the same read-only program, and
+// the verifier only needs to run once.
+package dynamo
+
+import (
+	"sync"
+
+	"netpath/internal/cfg"
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/staticpred"
+)
+
+// verifyCache memoizes verifyGate verdicts by program identity. Programs
+// are immutable after Freeze, so pointer identity is a sound key.
+var verifyCache sync.Map // *prog.Program → error (possibly nil)
+
+// verifyGate returns the static verifier's verdict for p, computing it at
+// most once per program.
+func verifyGate(p *prog.Program) error {
+	if v, ok := verifyCache.Load(p); ok {
+		err, _ := v.(error)
+		return err
+	}
+	err := cfg.VerifyProgram(p)
+	verifyCache.Store(p, err)
+	return err
+}
+
+// prebuildStatic populates the fragment cache from the static predictor's
+// maximum-likelihood walks — the static scheme's whole "profiling" phase,
+// run at load time with zero runtime counters. Each completed walk becomes
+// a trace recorded exactly as the online recorder would have recorded it
+// (one TraceStep per predicted instruction), then optimized and installed
+// through the ordinary emit path so cycle accounting charges the one-time
+// translation cost. Walks that abort on indirect control carry no steps and
+// are skipped; a trailing halt is trimmed because online recordings end at
+// path boundaries, never at the halt itself.
+func (s *System) prebuildStatic(p *prog.Program) {
+	a, err := staticpred.Analyze(p)
+	if err != nil {
+		// Analyze only fails where the verifier would have failed first;
+		// a verified program always analyzes. Degrade to an empty cache.
+		return
+	}
+	built := 0
+	for _, w := range a.Walks() {
+		if w.Aborted || len(w.Steps) == 0 {
+			continue
+		}
+		steps := make([]TraceStep, 0, len(w.Steps))
+		for _, st := range w.Steps {
+			in := p.Instrs[st.PC]
+			if in.Op == isa.Halt {
+				break
+			}
+			steps = append(steps, TraceStep{PC: st.PC, In: in, Next: st.Next})
+		}
+		if len(steps) == 0 || s.cache[w.Head] != nil {
+			continue
+		}
+		s.emit(w.Head, steps)
+		built++
+	}
+	if s.tel != nil {
+		s.tel.Add(telStaticPrebuilt, int64(built))
+	}
+}

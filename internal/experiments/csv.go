@@ -54,7 +54,7 @@ func WriteFig5CSV(w io.Writer, grid map[string][]Fig5Result) error {
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("experiments: writing CSV: %w", err)
 	}
-	for _, key := range []string{"NET10", "NET50", "NET100", "PathProfile10", "PathProfile50", "PathProfile100"} {
+	for _, key := range fig5Keys {
 		for _, r := range grid[key] {
 			res := r.Result
 			row := []string{

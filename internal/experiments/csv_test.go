@@ -18,8 +18,8 @@ func TestWriteSeriesCSV(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-parsing CSV: %v", err)
 	}
-	// Header + 9 benchmarks x 2 schemes x 2 taus.
-	if want := 1 + 9*2*2; len(rows) != want {
+	// Header + 9 benchmarks x 3 schemes x 2 taus.
+	if want := 1 + 9*3*2; len(rows) != want {
 		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	if rows[0][0] != "benchmark" || rows[0][2] != "tau" {
@@ -59,7 +59,8 @@ func TestWriteFig5CSV(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-parsing CSV: %v", err)
 	}
-	if want := 1 + 9*6; len(rows) != want {
+	// 6 scheme×τ combos plus the static scheme's single τ=0 column.
+	if want := 1 + 9*7; len(rows) != want {
 		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	for _, r := range rows[1:] {

@@ -24,6 +24,7 @@ import (
 	"netpath/internal/par"
 	"netpath/internal/profile"
 	"netpath/internal/prog"
+	"netpath/internal/staticpred"
 	"netpath/internal/tables"
 	"netpath/internal/workload"
 )
@@ -128,25 +129,29 @@ type Series struct {
 	Points []metrics.Point
 }
 
-// SweepSchemes runs the τ sweep for path-profile-based and NET prediction
-// over every benchmark profile. The grid is flattened to individual
-// (benchmark, scheme, τ) cells — each builds a fresh predictor and replays
-// the shared read-only stream — and the cells fan out over the par worker
-// pool, writing into preallocated slots so the output is identical to the
-// serial nested loops.
+// SweepSchemes runs the τ sweep for path-profile-based, NET and static
+// (profile-free) prediction over every benchmark profile. The grid is
+// flattened to individual (benchmark, scheme, τ) cells — each builds a
+// fresh predictor and replays the shared read-only stream — and the cells
+// fan out over the par worker pool, writing into preallocated slots so the
+// output is identical to the serial nested loops. The static scheme has no
+// delay knob (τ is zero by construction); its series carries the same
+// point at every τ and renders as the flat profile-free baseline.
 func SweepSchemes(bps []BenchProfile, taus []int64) []Series {
-	out := make([]Series, 0, 2*len(bps))
-	facs := make([]metrics.Factory, 0, 2*len(bps))
+	out := make([]Series, 0, 3*len(bps))
+	facs := make([]metrics.Factory, 0, 3*len(bps))
 	for _, bp := range bps {
 		out = append(out, Series{Scheme: "pathprofile", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
 		facs = append(facs, metrics.PathProfileFactory())
 		out = append(out, Series{Scheme: "net", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
 		facs = append(facs, metrics.NETFactory(bp.Prof))
+		out = append(out, Series{Scheme: "static", Bench: bp.Name, Points: make([]metrics.Point, len(taus))})
+		facs = append(facs, metrics.StaticFactory(bp.Prof))
 	}
 	planCells(len(out) * len(taus))
 	par.Do(len(out)*len(taus), func(cell int) {
 		si, ti := cell/len(taus), cell%len(taus)
-		bp := bps[si/2]
+		bp := bps[si/3]
 		sink := telSink()
 		pred := facs[si](taus[ti])
 		attachPredictor(pred, sink)
@@ -154,6 +159,45 @@ func SweepSchemes(bps []BenchProfile, taus []int64) []Series {
 		cellDone(sink)
 	})
 	return out
+}
+
+// StaticReport renders the profile-free static scheme head-to-head against
+// NET at the paper's headline delay τ=50: hit and noise rates, the size and
+// quality of the static predicted set (phantom walks predicted paths that
+// never execute; aborted walks hit indirect control), and counter space —
+// zero by construction for static, the scheme's defining property.
+func StaticReport(bps []BenchProfile) string {
+	const tau = 50
+	type row struct {
+		sp  *staticpred.Predictor
+		st  metrics.Point
+		net metrics.Point
+	}
+	planCells(len(bps))
+	rows := par.Map(len(bps), func(i int) row {
+		bp := bps[i]
+		sink := telSink()
+		sp, err := staticpred.Predict(bp.Prof)
+		if err != nil {
+			sp = staticpred.NewPredictor(bp.Prof, nil)
+		}
+		sp.SetTelemetry(sink)
+		st := metrics.Evaluate(bp.Prof, bp.Hot, sp, 0)
+		net := metrics.Evaluate(bp.Prof, bp.Hot, metrics.NETFactory(bp.Prof)(tau), tau)
+		cellDone(sink)
+		return row{sp: sp, st: st, net: net}
+	})
+	t := tables.New("Benchmark", "static hit%", "static noise%", "NET50 hit%", "NET50 noise%",
+		"predicted", "phantoms", "aborts", "static ctrs", "NET ctrs")
+	for i, bp := range bps {
+		r := rows[i]
+		t.Row(bp.Name,
+			tables.Pct(r.st.HitRate()), tables.Pct(r.st.NoiseRate()),
+			tables.Pct(r.net.HitRate()), tables.Pct(r.net.NoiseRate()),
+			r.st.PredictedHot+r.st.PredictedCold, r.sp.Phantoms, r.sp.Aborts,
+			r.st.CounterSpace, r.net.CounterSpace)
+	}
+	return "Static prediction: profile-free hot paths vs NET (τ=50), zero counters and zero delay\n" + t.String()
 }
 
 // rate selects which figure a rendering serves.
@@ -230,8 +274,11 @@ func renderRate(series []Series, scheme string, r rate, zoomPct float64) string 
 }
 
 func schemeTitle(scheme string) string {
-	if scheme == "net" {
+	switch scheme {
+	case "net":
 		return "NET"
+	case "static":
+		return "static (profile-free)"
 	}
 	return "path profile based"
 }
@@ -244,6 +291,7 @@ func Fig2(series []Series) string {
 	b.WriteString("(b) " + renderRate(series, "pathprofile", hitRate, 10) + "\n")
 	b.WriteString("(c) " + renderRate(series, "net", hitRate, 0) + "\n")
 	b.WriteString("(d) " + renderRate(series, "net", hitRate, 10) + "\n")
+	b.WriteString("(e) " + renderRate(series, "static", hitRate, 0) + "\n")
 	return b.String()
 }
 
@@ -255,6 +303,7 @@ func Fig3(series []Series) string {
 	b.WriteString("(b) " + renderRate(series, "pathprofile", noiseRate, 10) + "\n")
 	b.WriteString("(c) " + renderRate(series, "net", noiseRate, 0) + "\n")
 	b.WriteString("(d) " + renderRate(series, "net", noiseRate, 10) + "\n")
+	b.WriteString("(e) " + renderRate(series, "static", noiseRate, 0) + "\n")
 	return b.String()
 }
 
@@ -283,11 +332,43 @@ type Fig5Result struct {
 // Fig5Taus are the prediction delays of Figure 5.
 var Fig5Taus = []int64{10, 50, 100}
 
-// RunFig5 executes the full Figure 5 grid: both schemes at delays 10/50/100
-// over every benchmark. Programs are built once per benchmark (in parallel),
-// then every (benchmark, scheme, τ) cell runs as an independent mini-Dynamo
-// instance on the par pool — each System owns its machine, tracker and cache,
-// and the shared *prog.Program is read-only. The grid map is assembled in
+// fig5Combos is the full Figure 5 configuration grid: NET and path-profile
+// at the paper's delays, plus the static profile-free scheme, which has no
+// delay knob (its predictions exist before the first instruction runs, so
+// its only cell is τ=0).
+func fig5Combos() []struct {
+	Scheme dynamo.Scheme
+	Tau    int64
+} {
+	var combos []struct {
+		Scheme dynamo.Scheme
+		Tau    int64
+	}
+	for _, s := range []dynamo.Scheme{dynamo.SchemeNET, dynamo.SchemePathProfile} {
+		for _, tau := range Fig5Taus {
+			combos = append(combos, struct {
+				Scheme dynamo.Scheme
+				Tau    int64
+			}{s, tau})
+		}
+	}
+	combos = append(combos, struct {
+		Scheme dynamo.Scheme
+		Tau    int64
+	}{dynamo.SchemeStatic, 0})
+	return combos
+}
+
+// fig5Keys lists the grid's column keys in render order.
+var fig5Keys = []string{"NET10", "NET50", "NET100",
+	"PathProfile10", "PathProfile50", "PathProfile100", "Static0"}
+
+// RunFig5 executes the full Figure 5 grid: NET and path-profile at delays
+// 10/50/100 plus the static scheme at its fixed τ=0, over every benchmark.
+// Programs are built once per benchmark (in parallel), then every
+// (benchmark, scheme, τ) cell runs as an independent mini-Dynamo instance
+// on the par pool — each System owns its machine, tracker and cache, and
+// the shared *prog.Program is read-only. The grid map is assembled in
 // benchmark order afterwards, so it is byte-identical to a serial run.
 func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 	bs := workload.All()
@@ -298,26 +379,28 @@ func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	schemes := []dynamo.Scheme{dynamo.SchemeNET, dynamo.SchemePathProfile}
-	cells := len(bs) * len(schemes) * len(Fig5Taus)
+	combos := fig5Combos()
+	cells := len(bs) * len(combos)
 	planCells(cells)
 	results, err := par.MapErr(context.Background(), cells,
 		func(_ context.Context, cell int) (dynamo.Result, error) {
-			bi := cell / (len(schemes) * len(Fig5Taus))
-			scheme := schemes[cell/len(Fig5Taus)%len(schemes)]
-			tau := Fig5Taus[cell%len(Fig5Taus)]
-			cfg := dynamo.DefaultConfig(scheme, tau)
-			if scheme == dynamo.SchemePathProfile {
+			bi := cell / len(combos)
+			c := combos[cell%len(combos)]
+			cfg := dynamo.DefaultConfig(c.Scheme, c.Tau)
+			if c.Scheme != dynamo.SchemeNET {
 				// The bail-out heuristic belongs to the production
 				// system; the paper reports path-profile slowdowns on
 				// every program the NET system processes, so the
-				// comparison scheme runs to completion.
+				// comparison schemes (path-profile and static) run to
+				// completion. Only NET's bail-outs define the figure's
+				// processed set — a comparison cell that bailed would
+				// otherwise erase NET's measured speedup for that row.
 				cfg.BailoutAfter = 0
 			}
 			sink := dynamoSink(&cfg)
 			res, err := dynamo.New(progs[bi], cfg).Run()
 			if err != nil {
-				return res, fmt.Errorf("experiments: %s %v τ=%d: %w", bs[bi].Name, scheme, tau, err)
+				return res, fmt.Errorf("experiments: %s %v τ=%d: %w", bs[bi].Name, c.Scheme, c.Tau, err)
 			}
 			cellDone(sink)
 			return res, nil
@@ -327,10 +410,9 @@ func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 	}
 	out := map[string][]Fig5Result{}
 	for cell, res := range results {
-		bi := cell / (len(schemes) * len(Fig5Taus))
-		scheme := schemes[cell/len(Fig5Taus)%len(schemes)]
-		tau := Fig5Taus[cell%len(Fig5Taus)]
-		key := fmt.Sprintf("%v%d", scheme, tau)
+		bi := cell / len(combos)
+		c := combos[cell%len(combos)]
+		key := fmt.Sprintf("%v%d", c.Scheme, c.Tau)
 		out[key] = append(out[key], Fig5Result{Bench: bs[bi].Name, Result: res})
 	}
 	return out, nil
@@ -340,7 +422,7 @@ func RunFig5(scale float64) (map[string][]Fig5Result, error) {
 // are reported as such and excluded from the average, matching the paper
 // (which plots only the programs processed without bail-out).
 func Fig5(grid map[string][]Fig5Result) string {
-	keys := []string{"NET10", "NET50", "NET100", "PathProfile10", "PathProfile50", "PathProfile100"}
+	keys := fig5Keys
 	headers := append([]string{"Benchmark"}, keys...)
 	t := tables.New(headers...)
 

@@ -44,8 +44,8 @@ func TestSweepAndFigures(t *testing.T) {
 	bps := collect(t)
 	taus := []int64{10, 100, 1000}
 	series := SweepSchemes(bps, taus)
-	if len(series) != 18 {
-		t.Fatalf("series = %d, want 18 (9 benchmarks x 2 schemes)", len(series))
+	if len(series) != 27 {
+		t.Fatalf("series = %d, want 27 (9 benchmarks x 3 schemes)", len(series))
 	}
 	for _, s := range series {
 		if len(s.Points) != len(taus) {
@@ -58,7 +58,7 @@ func TestSweepAndFigures(t *testing.T) {
 		}
 	}
 	f2 := Fig2(series)
-	for _, want := range []string{"Figure 2", "NET prediction", "path profile based"} {
+	for _, want := range []string{"Figure 2", "NET prediction", "path profile based", "static (profile-free)"} {
 		if !strings.Contains(f2, want) {
 			t.Errorf("Fig2 missing %q", want)
 		}
@@ -70,6 +70,41 @@ func TestSweepAndFigures(t *testing.T) {
 	f4 := Fig4(bps)
 	if !strings.Contains(f4, "Figure 4") || !strings.Contains(f4, "Average") {
 		t.Error("Fig4 rendering wrong")
+	}
+}
+
+func TestStaticReportRenders(t *testing.T) {
+	out := StaticReport(collect(t))
+	for _, want := range []string{"Static prediction", "compress", "phantoms", "NET50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("StaticReport missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStaticSchemeScores(t *testing.T) {
+	// The profile-free scheme must produce real hit/noise/MOC numbers on
+	// every workload: zero counter space always, and nonzero hits on the
+	// loop-dominated benchmarks where static walks can see the hot loops.
+	bps := collect(t)
+	anyHits := false
+	for _, bp := range bps {
+		pt := metrics.Evaluate(bp.Prof, bp.Hot, metrics.StaticFactory(bp.Prof)(0), 0)
+		if pt.CounterSpace != 0 {
+			t.Errorf("%s: static counter space = %d, want 0", bp.Name, pt.CounterSpace)
+		}
+		if pt.Profiled+pt.Hits+pt.Noise != pt.Flow {
+			t.Errorf("%s: static flow not conserved", bp.Name)
+		}
+		if pt.PredictedHot+pt.PredictedCold == 0 {
+			t.Errorf("%s: static predicted nothing", bp.Name)
+		}
+		if pt.Hits > 0 {
+			anyHits = true
+		}
+	}
+	if !anyHits {
+		t.Error("static scheme scored zero hits on every workload")
 	}
 }
 
@@ -125,11 +160,11 @@ func TestFig5SmallScale(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunFig5: %v", err)
 	}
-	if len(grid) != 6 {
-		t.Fatalf("grid keys = %d, want 6", len(grid))
+	if len(grid) != 7 {
+		t.Fatalf("grid keys = %d, want 7", len(grid))
 	}
 	out := Fig5(grid)
-	for _, want := range []string{"Figure 5", "NET50", "PathProfile100", "Average"} {
+	for _, want := range []string{"Figure 5", "NET50", "PathProfile100", "Static0", "Average"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig5 missing %q:\n%s", want, out)
 		}

@@ -19,6 +19,7 @@ func renderAll(bps []BenchProfile, series []Series) string {
 	b.WriteString(Fig4(bps))
 	b.WriteString(PhasesReport(bps, 20))
 	b.WriteString(AblationReport(bps, 20))
+	b.WriteString(StaticReport(bps))
 	return b.String()
 }
 
@@ -115,12 +116,16 @@ func TestParallelSweepMatchesMetricsSweep(t *testing.T) {
 	for i, bp := range bps {
 		pp := metrics.Sweep(bp.Prof, bp.Hot, metrics.PathProfileFactory(), taus)
 		net := metrics.Sweep(bp.Prof, bp.Hot, metrics.NETFactory(bp.Prof), taus)
+		st := metrics.Sweep(bp.Prof, bp.Hot, metrics.StaticFactory(bp.Prof), taus)
 		for ti := range taus {
-			if series[2*i].Points[ti] != pp[ti] {
-				t.Errorf("%s pathprofile τ=%d: %v != %v", bp.Name, taus[ti], series[2*i].Points[ti], pp[ti])
+			if series[3*i].Points[ti] != pp[ti] {
+				t.Errorf("%s pathprofile τ=%d: %v != %v", bp.Name, taus[ti], series[3*i].Points[ti], pp[ti])
 			}
-			if series[2*i+1].Points[ti] != net[ti] {
-				t.Errorf("%s net τ=%d: %v != %v", bp.Name, taus[ti], series[2*i+1].Points[ti], net[ti])
+			if series[3*i+1].Points[ti] != net[ti] {
+				t.Errorf("%s net τ=%d: %v != %v", bp.Name, taus[ti], series[3*i+1].Points[ti], net[ti])
+			}
+			if series[3*i+2].Points[ti] != st[ti] {
+				t.Errorf("%s static τ=%d: %v != %v", bp.Name, taus[ti], series[3*i+2].Points[ti], st[ti])
 			}
 		}
 	}

@@ -9,8 +9,15 @@
 //
 // Instructions are addressed by their index in a flat instruction array;
 // "address" throughout this repository means that index. A branch is
-// backward when it is taken and its target address is not greater than the
-// branch's own address.
+// backward when it is taken and its target address is less than or equal to
+// the branch's own address (IsBackward). The "or equal" half is the
+// tie-breaking rule for self-branches: a taken branch whose target is its
+// own address re-executes the same instruction, which is a loop of body
+// length one, so it terminates the current forward path exactly like any
+// other loop back edge. Every layer that classifies transfers — the VM's
+// event stream, the path tracker, the boa path constructor and the static
+// CFG back-edge detector — must share this rule, or the same program would
+// yield different path boundaries depending on who observed it.
 package isa
 
 import "fmt"
@@ -122,6 +129,18 @@ func (op Op) IsConditional() bool { return op == Br || op == BrI }
 
 // IsIndirect reports whether the opcode's target is computed at runtime.
 func (op Op) IsIndirect() bool { return op == JmpInd || op == CallInd }
+
+// IsBackward reports whether a control transfer from pc to target with the
+// given taken outcome is a backward branch — the event that terminates an
+// interprocedural forward path (Section 3 of the paper). A transfer is
+// backward iff it is taken and target <= pc. The equality half is the
+// self-branch tie-break: target == pc forms a single-instruction loop, so
+// it counts as backward (a back edge, a path boundary), never as forward.
+// This is the single definition shared by the VM event stream, the path
+// tracker, the boa constructor and the cfg back-edge detector.
+func IsBackward(pc, target int, taken bool) bool {
+	return taken && target <= pc
+}
 
 // Cond enumerates comparison conditions for conditional branches.
 type Cond uint8

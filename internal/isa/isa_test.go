@@ -169,6 +169,47 @@ func TestInstrString(t *testing.T) {
 	}
 }
 
+func TestIsBackward(t *testing.T) {
+	cases := []struct {
+		pc, target int
+		taken      bool
+		want       bool
+	}{
+		// Plain forward/backward taken transfers.
+		{10, 5, true, true},
+		{10, 11, true, false},
+		{10, 100, true, false},
+		{100, 10, true, true},
+		// Not-taken transfers are never backward, whatever the target.
+		{10, 5, false, false},
+		{10, 10, false, false},
+		{10, 11, false, false},
+		// The self-branch tie-break: target == pc is backward (a loop of
+		// body length one), by the <= in the definition.
+		{10, 10, true, true},
+		{0, 0, true, true},
+	}
+	for _, c := range cases {
+		if got := IsBackward(c.pc, c.target, c.taken); got != c.want {
+			t.Errorf("IsBackward(%d, %d, %v) = %v, want %v", c.pc, c.target, c.taken, got, c.want)
+		}
+	}
+}
+
+func TestIsBackwardProperties(t *testing.T) {
+	f := func(pc, target int16, taken bool) bool {
+		got := IsBackward(int(pc), int(target), taken)
+		// Never backward when not taken; taken iff target <= pc.
+		if !taken {
+			return !got
+		}
+		return got == (int(target) <= int(pc))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestKindOf(t *testing.T) {
 	cases := []struct {
 		op   Op

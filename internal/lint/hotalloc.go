@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// DefaultHotPackages lists the import paths whose steady-state code must not
+// allocate: the interpreter step loop, the path tracker/interner, and the
+// telemetry write path. The alloc gates in gate_test.go pin these at
+// 0 allocs/op; this analyzer catches the regression at review time instead
+// of bench time.
+var DefaultHotPackages = []string{
+	"netpath/internal/vm",
+	"netpath/internal/path",
+	"netpath/internal/telemetry",
+}
+
+// hotBanned maps package name → banned function set. Every fmt entry point
+// allocates (interface boxing of the arguments at minimum); the strings and
+// strconv entries all return fresh allocations.
+var hotBanned = map[string]map[string]bool{
+	"fmt": nil, // nil = every function in the package
+	"strings": {
+		"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true,
+		"Split": true, "SplitN": true, "SplitAfter": true, "Fields": true,
+		"Map": true, "ToUpper": true, "ToLower": true, "Title": true,
+	},
+	"strconv": {
+		"Quote": true, "QuoteToASCII": true, "Itoa": true,
+		"FormatInt": true, "FormatUint": true, "FormatFloat": true,
+	},
+}
+
+// HotAlloc flags allocation-prone calls (fmt.*, allocating strings/strconv
+// helpers) inside packages tagged hot-path. Cold code inside those packages
+// opts out explicitly: methods named Error or String (error/dump
+// formatting), functions whose doc comment carries //netpathvet:cold, and
+// files carrying //netpathvet:cold-file (exporters, HTTP handlers).
+var HotAlloc = NewHotAlloc(DefaultHotPackages)
+
+// NewHotAlloc builds the analyzer for a given hot-package list; tests use it
+// to point the check at fixture packages.
+func NewHotAlloc(hotPackages []string) *Analyzer {
+	hot := map[string]bool{}
+	for _, p := range hotPackages {
+		hot[p] = true
+	}
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "no fmt/allocating-string calls in hot-path packages " + strings.Join(hotPackages, ", "),
+		Run: func(pass *Pass) error {
+			if !hot[pass.Path] {
+				return nil
+			}
+			runHotAlloc(pass)
+			return nil
+		},
+	}
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		if hasColdFileDirective(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || hotAllocExempt(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				banned, known := hotBanned[pkg.Name]
+				if !known || (banned != nil && !banned[sel.Sel.Name]) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"allocation-prone call %s.%s in hot-path package %s (hoist it off the hot path, or mark the enclosing function //netpathvet:cold / the file //netpathvet:cold-file if it is genuinely cold)",
+					pkg.Name, sel.Sel.Name, pass.Path)
+				return true
+			})
+		}
+	}
+}
+
+// hotAllocExempt reports whether fn is cold by convention or directive:
+// Error and String methods exist to format, and //netpathvet:cold marks
+// fault constructors and friends that run only on the failure path.
+func hotAllocExempt(fn *ast.FuncDecl) bool {
+	if fn.Recv != nil && (fn.Name.Name == "Error" || fn.Name.Name == "String") {
+		return true
+	}
+	return hasColdDirective(fn)
+}
+
+// Analyzers returns the full netpathvet suite in a stable order.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{SinkCheck, HotAlloc}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}

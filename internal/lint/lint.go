@@ -1,0 +1,220 @@
+// Package lint is the analysis framework behind cmd/netpathvet, the repo's
+// custom vet pass. It mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) so the checkers read like standard vet
+// analyzers and can be ported onto the real driver wholesale if the x/tools
+// dependency is ever vendored — this container builds from the standard
+// library alone, so the driver half (package loading, directory walking,
+// diagnostic printing) is reimplemented here on go/parser and go/token.
+//
+// Analyses are purely syntactic: they parse, they do not type-check. Each
+// checker documents the approximation it makes in place of type information
+// and the repo convention that makes the approximation sound.
+//
+// Suppression directives, checked by the individual analyzers:
+//
+//	//netpathvet:cold       on a function's doc comment — the function is a
+//	                        cold path (error construction, dump formatting);
+//	                        hotalloc skips it.
+//	//netpathvet:cold-file  anywhere in a file — the whole file is cold
+//	                        (exporters, HTTP handlers, progress printing).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass: a name for diagnostics, a doc
+// string for -help, and the Run function applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (module-relative, e.g.
+	// "netpath/internal/vm").
+	Path string
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Package is a parsed package ready to be analyzed.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// LoadDir parses the non-test Go files of one directory as a package with
+// import path path. Directories with no Go files yield a nil package.
+func LoadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{Path: path, Fset: fset, Files: files}, nil
+}
+
+// LoadModule walks the module rooted at root (the directory holding go.mod)
+// and loads every package under it, skipping testdata, hidden directories,
+// and vendor. modpath is the module path from go.mod.
+func LoadModule(root, modpath string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := modpath
+		if rel != "." {
+			ip = modpath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := LoadDir(p, ip)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []*token.FileSet, error) {
+	var diags []Diagnostic
+	var fsets []*token.FileSet
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Report: func(d Diagnostic) {
+					diags = append(diags, d)
+					fsets = append(fsets, pkg.Fset)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	order := make([]int, len(diags))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		pi := fsets[order[i]].Position(diags[order[i]].Pos)
+		pj := fsets[order[j]].Position(diags[order[j]].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	sd := make([]Diagnostic, len(diags))
+	sf := make([]*token.FileSet, len(diags))
+	for i, o := range order {
+		sd[i] = diags[o]
+		sf[i] = fsets[o]
+	}
+	return sd, sf, nil
+}
+
+// hasColdFileDirective reports whether any comment in f is the
+// //netpathvet:cold-file directive.
+func hasColdFileDirective(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//netpathvet:cold-file") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasColdDirective reports whether fn's doc comment carries the
+// //netpathvet:cold directive.
+func hasColdDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//netpathvet:cold") {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders an identifier or dotted selector chain ("s.tel",
+// "cfg.Telemetry") and returns ok=false for anything more complex — the
+// checkers only track expressions they can compare textually.
+func exprString(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprString(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}

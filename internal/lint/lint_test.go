@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantLines returns the 1-based line numbers of fixture lines carrying the
+// "// want" marker.
+func wantLines(t *testing.T, file string) []int {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []int
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		if strings.Contains(sc.Text(), "// want") {
+			lines = append(lines, n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// runFixture loads one testdata package and runs the analyzer, returning the
+// flagged line numbers sorted.
+func runFixture(t *testing.T, a *Analyzer, dir, importPath string) []int {
+	t.Helper()
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags, fsets, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i, d := range diags {
+		got = append(got, fsets[i].Position(d.Pos).Line)
+	}
+	sort.Ints(got)
+	return got
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSinkCheckFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "sinkfixture")
+	want := wantLines(t, filepath.Join(dir, "sink.go"))
+	got := runFixture(t, SinkCheck, dir, "fixture/sinkfixture")
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+	if !equalInts(got, want) {
+		t.Errorf("sinkcheck flagged lines %v, want %v", got, want)
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "hotfixture")
+	want := wantLines(t, filepath.Join(dir, "hot.go"))
+	a := NewHotAlloc([]string{"fixture/hotfixture"})
+	got := runFixture(t, a, dir, "fixture/hotfixture")
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+	if !equalInts(got, want) {
+		t.Errorf("hotalloc flagged lines %v, want %v", got, want)
+	}
+}
+
+// TestHotAllocIgnoresColdPackages: the same fixture linted under an import
+// path that is not in the hot list must produce nothing.
+func TestHotAllocIgnoresColdPackages(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "hotfixture")
+	got := runFixture(t, HotAlloc, dir, "fixture/hotfixture")
+	if len(got) != 0 {
+		t.Errorf("hotalloc flagged a package outside its hot list: lines %v", got)
+	}
+}
+
+// TestSinkCheckSkipsDefiningPackage: inside internal/telemetry the receiver
+// convention differs, so the analyzer must stay silent there.
+func TestSinkCheckSkipsDefiningPackage(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "sinkfixture")
+	got := runFixture(t, SinkCheck, dir, "netpath/internal/telemetry")
+	if len(got) != 0 {
+		t.Errorf("sinkcheck flagged the defining package: lines %v", got)
+	}
+}

@@ -1,0 +1,43 @@
+// Package hotfixture is a lint test fixture for the hotalloc analyzer: the
+// test registers this package as hot-path, so the allocation-prone calls
+// below carrying the want marker must be flagged, and the exempted forms
+// (Error and String methods, //netpathvet:cold functions) must not.
+package hotfixture
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func hotSprintf(n int) string {
+	return fmt.Sprintf("%d", n) // want
+}
+
+func hotJoin(parts []string) string {
+	return strings.Join(parts, ",") // want
+}
+
+func hotItoa(n int) string {
+	return strconv.Itoa(n) // want
+}
+
+func hotNested() {
+	f := func() string { return fmt.Sprint("x") } // want
+	_ = f
+}
+
+// coldByDirective formats an operand for the disassembly listing.
+//
+//netpathvet:cold
+func coldByDirective(n int) string {
+	return fmt.Sprintf("r%d", n)
+}
+
+type kind int
+
+func (kind) String() string { return fmt.Sprintf("kind") }
+
+type failure struct{ msg string }
+
+func (f *failure) Error() string { return fmt.Sprintf("failure: %s", f.msg) }

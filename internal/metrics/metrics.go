@@ -27,6 +27,7 @@ import (
 	"netpath/internal/path"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
+	"netpath/internal/staticpred"
 )
 
 // Point is the outcome of one (scheme, τ) evaluation.
@@ -82,6 +83,18 @@ func Evaluate(pr *profile.Profile, hs *profile.HotSet, pred predict.Predictor, t
 		Flow:    pr.Flow,
 		HotFlow: hs.Flow,
 	}
+	// Ahead-of-time schemes (the static predictor) fix their predicted set
+	// before the first execution; Observe never fires for them, so their
+	// predictions are accounted here instead.
+	if sp, ok := pred.(interface{ PrePredicted() []path.ID }); ok {
+		for _, id := range sp.PrePredicted() {
+			if int(id) < len(hs.IsHot) && hs.IsHot[id] {
+				pt.PredictedHot++
+			} else {
+				pt.PredictedCold++
+			}
+		}
+	}
 	for _, id := range pr.Stream {
 		if pred.IsPredicted(id) {
 			if hs.IsHot[id] {
@@ -129,6 +142,21 @@ func NETSingleFactory(pr *profile.Profile) Factory {
 // PathProfileFactory returns a Factory for path-profile-based prediction.
 func PathProfileFactory() Factory {
 	return func(tau int64) predict.Predictor { return predict.NewPathProfile(tau) }
+}
+
+// StaticFactory returns a Factory for the profile-free static scheme. The
+// predicted set is computed once from the program text (it does not depend
+// on τ, which the scheme fixes at zero) and the immutable predictor is
+// shared across delays — every replay sees the same read-only set. A
+// program malformed enough to defeat CFG construction yields an empty
+// predictor; such a program cannot have produced a profile in the first
+// place.
+func StaticFactory(pr *profile.Profile) Factory {
+	sp, err := staticpred.Predict(pr)
+	if err != nil {
+		sp = staticpred.NewPredictor(pr, nil)
+	}
+	return func(tau int64) predict.Predictor { return sp }
 }
 
 // Sweep evaluates the factory's scheme at every delay in taus. Each delay

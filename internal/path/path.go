@@ -75,6 +75,9 @@ type Info struct {
 
 // Signature renders the path in the paper's textual signature form,
 // "start.history,indirect-targets", e.g. "A.0101" with numeric addresses.
+// Dump/debug output only — never called while tracking.
+//
+//netpathvet:cold
 func (in Info) Signature() string {
 	var hist strings.Builder
 	var ind []string

@@ -8,10 +8,10 @@ import (
 	"netpath/internal/vm"
 )
 
-// ev builds a branch event; backward is derived from pc/target like the VM
-// does.
+// ev builds a branch event; backward is derived from pc/target exactly as
+// the VM does (the shared isa.IsBackward rule).
 func ev(pc, target int, taken bool, kind isa.BranchKind) vm.BranchEvent {
-	return vm.BranchEvent{PC: pc, Target: target, Taken: taken, Kind: kind, Backward: taken && target <= pc}
+	return vm.BranchEvent{PC: pc, Target: target, Taken: taken, Kind: kind, Backward: isa.IsBackward(pc, target, taken)}
 }
 
 func collect(start int) (*Tracker, *[]Completed) {

@@ -1,0 +1,207 @@
+package staticpred
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/path"
+	"netpath/internal/profile"
+	"netpath/internal/prog"
+	"netpath/internal/workload"
+)
+
+// replayOutcome classifies one static replay of a dynamic signature.
+type replayOutcome int
+
+const (
+	replayOK replayOutcome = iota
+	// replayIndeterminate: the path crosses a return whose call lies before
+	// the path head; the dynamic return address is not in the signature, so
+	// the replay can neither confirm nor refute.
+	replayIndeterminate
+)
+
+// replaySignature re-executes an interned path signature against the
+// program text alone: the start address and the recorded branch tokens
+// fully determine every transfer except unmatched returns. It verifies
+// that each token's kind matches the control instruction actually at that
+// point of the walk, that no terminating event (backward taken transfer,
+// matched return) occurs before the path's last event, and that the token
+// stream is exhausted exactly at the end.
+func replaySignature(p *prog.Program, info path.Info) (replayOutcome, error) {
+	key := []byte(info.Key)
+	if len(key) < 4 {
+		return replayOK, fmt.Errorf("short key")
+	}
+	start := int(binary.LittleEndian.Uint32(key[:4]))
+	if start != info.Start {
+		return replayOK, fmt.Errorf("key start %d != info start %d", start, info.Start)
+	}
+	toks := key[4:]
+	ti := 0
+	pc := start
+	depth := 0
+	var stack []int
+	for branches := 0; branches < info.Branches; {
+		if pc < 0 || pc >= p.Len() {
+			return replayOK, fmt.Errorf("pc %d out of range at branch %d", pc, branches)
+		}
+		in := p.Instrs[pc]
+		if !in.Op.IsControl() {
+			pc++
+			continue
+		}
+		branches++
+		last := branches == info.Branches
+		var next int
+		taken := true
+		switch in.Op {
+		case isa.Jmp:
+			next = int(in.Target)
+		case isa.Br, isa.BrI:
+			if ti >= len(toks) || (toks[ti] != '0' && toks[ti] != '1') {
+				return replayOK, fmt.Errorf("branch %d at @%d: conditional without a cond token", branches, pc)
+			}
+			taken = toks[ti] == '1'
+			ti++
+			if taken {
+				next = int(in.Target)
+			} else {
+				next = pc + 1
+			}
+		case isa.JmpInd, isa.CallInd:
+			if ti+5 > len(toks) || toks[ti] != 'I' {
+				return replayOK, fmt.Errorf("branch %d at @%d: indirect without an I token", branches, pc)
+			}
+			next = int(binary.LittleEndian.Uint32(toks[ti+1 : ti+5]))
+			ti += 5
+			if in.Op == isa.CallInd {
+				stack = append(stack, pc+1)
+			}
+		case isa.Call:
+			next = int(in.Target)
+			stack = append(stack, pc+1)
+		case isa.Ret:
+			if len(stack) == 0 {
+				// The return address lives in a caller frame established
+				// before this path began: statically unknowable.
+				return replayIndeterminate, nil
+			}
+			next = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case isa.Halt:
+			// Halt emits no branch event; a signature can never record one.
+			return replayOK, fmt.Errorf("halt counted as a branch event at @%d", pc)
+		}
+		// The tracker's termination rules: a terminating event may only be
+		// the path's last, and the last event must terminate (unless the
+		// path ended by cap or program end).
+		terminates := isa.IsBackward(pc, next, taken)
+		if !terminates && in.Op == isa.Ret && depth > 0 {
+			terminates = true
+		}
+		if terminates && !last {
+			return replayOK, fmt.Errorf("terminating event at branch %d/%d (@%d→%d)", branches, info.Branches, pc, next)
+		}
+		if last && !terminates && info.Branches < path.DefaultMaxBranches {
+			// Not terminated, not capped: the only remaining reason is
+			// program end — the next control reachable straight-line must be
+			// a halt (or the run's end, which workloads never hit mid-path).
+			q := next
+			for q >= 0 && q < p.Len() && !p.Instrs[q].Op.IsControl() {
+				q++
+			}
+			if q < 0 || q >= p.Len() || p.Instrs[q].Op != isa.Halt {
+				return replayOK, fmt.Errorf("path ends at branch %d (@%d→%d) with no terminator, cap, or halt", branches, pc, next)
+			}
+		}
+		switch in.Op {
+		case isa.Call, isa.CallInd:
+			depth++
+		case isa.Ret:
+			if depth > 0 {
+				depth--
+			}
+		}
+		pc = next
+	}
+	if ti != len(toks) {
+		return replayOK, fmt.Errorf("%d token bytes left after %d branches", len(toks)-ti, info.Branches)
+	}
+	return replayOK, nil
+}
+
+// TestDynamicPathsReplayStatically is the containment differential: every
+// path the online tracker interned on every workload must be statically
+// re-derivable from the program text — i.e. the CFG-reachable forward
+// paths are a superset of the dynamically observed ones. A failure means
+// the static and dynamic views of path structure (branch kinds, signature
+// encoding, termination rules) have diverged.
+func TestDynamicPathsReplayStatically(t *testing.T) {
+	for _, bm := range workload.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			p, err := bm.Build(0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := profile.Collect(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked, indeterminate := 0, 0
+			for id := 0; id < pr.Paths.NumPaths(); id++ {
+				info := pr.Paths.Info(path.ID(id))
+				out, err := replaySignature(p, info)
+				if err != nil {
+					t.Fatalf("path %d (%s): %v", id, info.Signature(), err)
+				}
+				if out == replayIndeterminate {
+					indeterminate++
+					continue
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatalf("no path fully replayed (%d indeterminate)", indeterminate)
+			}
+			t.Logf("%s: %d paths replayed, %d indeterminate (unmatched returns)", bm.Name, checked, indeterminate)
+		})
+	}
+}
+
+// TestStaticWalksIntern checks the constructive direction on the walks
+// themselves: every completed static walk produces a signature the online
+// tracker COULD intern — replaying it against the program text succeeds.
+func TestStaticWalksIntern(t *testing.T) {
+	for _, bm := range workload.All() {
+		p, err := bm.Build(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range a.Walks() {
+			if w.Aborted {
+				continue
+			}
+			branches := 0
+			for _, s := range w.Steps {
+				if p.Instrs[s.PC].Op.IsControl() && p.Instrs[s.PC].Op != isa.Halt {
+					branches++
+				}
+			}
+			if branches == 0 {
+				continue // a head that runs straight into halt
+			}
+			info := path.Info{Start: w.Head, Branches: branches, Key: w.Key}
+			if _, err := replaySignature(p, info); err != nil {
+				t.Errorf("%s: walk from %d does not replay: %v", bm.Name, w.Head, err)
+			}
+		}
+	}
+}

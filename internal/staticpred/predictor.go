@@ -1,0 +1,109 @@
+package staticpred
+
+import (
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/telemetry"
+)
+
+// Telemetry instruments (exported names get the netpath_ prefix).
+var (
+	telPredicted = telemetry.NewCounter("static_paths_predicted_total",
+		"static walks matching a dynamically observed path (predicted hot)")
+	telPhantoms = telemetry.NewCounter("static_phantom_predictions_total",
+		"static walks whose path never executed as a whole")
+	telAborts = telemetry.NewCounter("static_walk_aborts_total",
+		"static walks aborted on indirect control or an unmatched return")
+)
+
+// Predictor is the profile-free static scheme as a predict.Predictor: the
+// predicted set is fixed before the first path executes (τ = 0), Observe
+// never predicts anything, and no counters exist (CounterSpace 0). Matching
+// walked signatures against path IDs requires the interner, so the
+// predictor is built against the profile it will be replayed on — the
+// prediction itself used no profile data, only the interner's key→ID map.
+type Predictor struct {
+	set   []bool
+	pre   []path.ID
+	count int
+
+	// Phantoms counts completed walks whose signature never executed;
+	// Aborts counts walks that hit statically unpredictable control.
+	Phantoms int
+	Aborts   int
+}
+
+// NewPredictor matches the walks against pr's interned paths.
+func NewPredictor(pr *profile.Profile, walks []Walk) *Predictor {
+	s := &Predictor{set: make([]bool, pr.Paths.NumPaths())}
+	for _, w := range walks {
+		if w.Aborted {
+			s.Aborts++
+			continue
+		}
+		id := pr.Paths.Lookup(w.Key)
+		if id == path.None {
+			s.Phantoms++
+			continue
+		}
+		if int(id) < len(s.set) && !s.set[id] {
+			s.set[id] = true
+			s.pre = append(s.pre, id)
+			s.count++
+		}
+	}
+	return s
+}
+
+// Name implements predict.Predictor.
+func (s *Predictor) Name() string { return "static" }
+
+// IsPredicted implements predict.Predictor.
+func (s *Predictor) IsPredicted(id path.ID) bool {
+	return id >= 0 && int(id) < len(s.set) && s.set[id]
+}
+
+// Observe implements predict.Predictor: the static scheme never learns
+// from execution.
+func (s *Predictor) Observe(id path.ID) bool { return false }
+
+// PredictedCount implements predict.Predictor.
+func (s *Predictor) PredictedCount() int { return s.count }
+
+// CounterSpace implements predict.Predictor: the scheme's defining property.
+func (s *Predictor) CounterSpace() int { return 0 }
+
+// Reset implements predict.Predictor. The predicted set is the scheme's
+// static output, not runtime state, so there is nothing to clear.
+func (s *Predictor) Reset() {}
+
+// PrePredicted returns the IDs predicted before replay began; the metrics
+// evaluator uses it to account PredictedHot/PredictedCold, which for online
+// schemes are filled in by Observe.
+func (s *Predictor) PrePredicted() []path.ID { return s.pre }
+
+// SetTelemetry reports the construction-time statistics through sink (the
+// scheme has no runtime transitions to instrument).
+func (s *Predictor) SetTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	sink.Add(telPredicted, int64(s.count))
+	sink.Add(telPhantoms, int64(s.Phantoms))
+	sink.Add(telAborts, int64(s.Aborts))
+}
+
+var _ predict.Predictor = (*Predictor)(nil)
+
+// Predict is the one-call form: analyze pr's program, walk every static
+// head, and return the predictor. Analysis or walk failures cannot occur on
+// a program that produced a profile, but a malformed program yields an
+// error rather than a panic.
+func Predict(pr *profile.Profile) (*Predictor, error) {
+	a, err := Analyze(pr.Program)
+	if err != nil {
+		return nil, err
+	}
+	return NewPredictor(pr, a.Walks()), nil
+}

@@ -1,0 +1,163 @@
+package staticpred
+
+import (
+	"sort"
+
+	"netpath/internal/isa"
+	"netpath/internal/path"
+	"netpath/internal/prog"
+)
+
+// maxWalk bounds the walked path length, mirroring the online tracker cap
+// so static signatures stay comparable with dynamic ones.
+const maxWalk = path.DefaultMaxBranches
+
+// Step is one instruction of a walked path with its chosen successor —
+// the static analogue of a recorded trace step.
+type Step struct {
+	PC, Next int
+}
+
+// Walk is one maximum-likelihood forward path from a static head.
+type Walk struct {
+	Head int
+	// Key is the path signature, built with the exact rules the online
+	// tracker applies ("" when the walk aborted).
+	Key string
+	// Confidence is the product of the chosen branch probabilities: the
+	// model's estimate that this exact path executes from the head.
+	Confidence float64
+	// Steps lists every instruction on the path in execution order.
+	Steps []Step
+	// Aborted marks walks that hit statically unpredictable control (an
+	// indirect transfer, or a return whose call is outside the path).
+	Aborted bool
+}
+
+// Heads returns the statically identifiable path heads of p, sorted: the
+// program entry, every target of a potentially backward direct transfer
+// (the address rule shared with isa.IsBackward), and every call
+// continuation (where a matched-return path boundary resumes). Backward
+// indirect transfers also start paths dynamically, but their targets are
+// not static — those heads are simply not covered, part of the scheme's
+// accuracy price.
+func Heads(p *prog.Program) []int {
+	set := map[int]bool{p.Entry: true}
+	for pc, in := range p.Instrs {
+		switch in.Op {
+		case isa.Jmp, isa.Br, isa.BrI, isa.Call:
+			if t := int(in.Target); t <= pc {
+				set[t] = true
+			}
+		}
+		switch in.Op {
+		case isa.Call, isa.CallInd:
+			if pc+1 < p.Len() {
+				set[pc+1] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WalkFrom walks the maximum-likelihood forward path from head. The walk
+// applies the online tracker's termination rules exactly — backward taken
+// transfer, matched return, halt, or the branch cap — so a completed walk's
+// Key is directly comparable against dynamically interned signatures.
+func (a *Analysis) WalkFrom(head int) Walk {
+	p := a.Prog
+	var sig path.SigBuilder
+	sig.Reset(head)
+	w := Walk{Head: head, Confidence: 1}
+	pc := head
+	depth := 0
+	var stack []int
+	complete := func() Walk {
+		w.Key = sig.Key()
+		return w
+	}
+	abort := func() Walk {
+		w.Aborted = true
+		w.Steps = nil
+		return w
+	}
+	for branches := 0; branches < maxWalk; {
+		if pc < 0 || pc >= p.Len() {
+			return abort()
+		}
+		in := p.Instrs[pc]
+		if !in.Op.IsControl() {
+			w.Steps = append(w.Steps, Step{pc, pc + 1})
+			pc++
+			continue
+		}
+		branches++
+		var next int
+		taken := true
+		switch in.Op {
+		case isa.Jmp:
+			next = int(in.Target)
+		case isa.Br, isa.BrI:
+			pt := a.TakenProb(pc)
+			// Strict inequality makes the p == 0.5 tie fall through:
+			// deterministic, and biased the same way the hardware-style
+			// static predictors break ties (not-taken is free).
+			tk := pt > 0.5
+			sig.CondBit(tk)
+			taken = tk
+			if tk {
+				next = int(in.Target)
+				w.Confidence *= pt
+			} else {
+				next = pc + 1
+				w.Confidence *= 1 - pt
+			}
+		case isa.JmpInd, isa.CallInd:
+			// Statically unpredictable target.
+			return abort()
+		case isa.Call:
+			next = int(in.Target)
+			stack = append(stack, pc+1)
+		case isa.Ret:
+			if len(stack) == 0 {
+				// The dynamic return address belongs to a caller outside
+				// this path; unknowable statically.
+				return abort()
+			}
+			next = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case isa.Halt:
+			w.Steps = append(w.Steps, Step{pc, pc})
+			return complete()
+		}
+		w.Steps = append(w.Steps, Step{pc, next})
+		if isa.IsBackward(pc, next, taken) {
+			return complete()
+		}
+		switch in.Op {
+		case isa.Call:
+			depth++
+		case isa.Ret:
+			if depth > 0 {
+				return complete()
+			}
+		}
+		pc = next
+	}
+	return complete()
+}
+
+// Walks walks every static head of the analyzed program.
+func (a *Analysis) Walks() []Walk {
+	heads := Heads(a.Prog)
+	out := make([]Walk, 0, len(heads))
+	for _, h := range heads {
+		out = append(out, a.WalkFrom(h))
+	}
+	return out
+}

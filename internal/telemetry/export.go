@@ -3,6 +3,10 @@
 // atomics; they can run concurrently with the hottest writers and a snapshot
 // is internally consistent per instrument (counters are summed shard by
 // shard, so a snapshot races only at the granularity of single adds).
+// Export formatting is cold by construction: it runs on scrape, not on the
+// instrument write path.
+//
+//netpathvet:cold-file
 package telemetry
 
 import (

@@ -6,6 +6,10 @@
 //	/events         lazy JSON drain of the event ring (?after=N resumes)
 //	/debug/vars     expvar (includes the published snapshot)
 //	/debug/pprof/   the standard net/http/pprof handlers
+//
+// Request handling is cold: it serves scrapes, never instrument writes.
+//
+//netpathvet:cold-file
 package telemetry
 
 import (

@@ -3,6 +3,8 @@
 // counters; Progress just samples those counters on a ticker and prints one
 // line — cells done, rate, ETA — so a multi-hour sweep is never a silent
 // black box. Sampling is read-only and off the workers' path entirely.
+//
+//netpathvet:cold-file
 package telemetry
 
 import (

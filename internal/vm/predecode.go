@@ -60,7 +60,9 @@ type uopFn func(m *Machine, u *uop) *uop
 
 // trapf parks a fault raised inside a micro-op handler and halts the
 // machine; SettleExec delivers it. Handlers return nil after calling it so
-// the dispatch loop stops.
+// the dispatch loop stops — it runs at most once per execution.
+//
+//netpathvet:cold
 func (m *Machine) trapf(kind FaultKind, pc int32, format string, args ...any) *uop {
 	m.Halted = true
 	countFault(kind, int(pc), m.Steps)

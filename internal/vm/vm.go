@@ -106,6 +106,10 @@ type Fault struct {
 // Error implements error.
 func (f *Fault) Error() string { return f.Msg }
 
+// fault constructs the machine's fault error; it runs at most once per
+// execution, on the failure path.
+//
+//netpathvet:cold
 func (m *Machine) fault(kind FaultKind, format string, args ...any) error {
 	m.Halted = true
 	countFault(kind, m.PC, m.Steps)
@@ -237,7 +241,7 @@ func (m *Machine) emitBranch(pc, target int, taken bool, kind isa.BranchKind) {
 		Target:   target,
 		Taken:    taken,
 		Kind:     kind,
-		Backward: taken && target <= pc,
+		Backward: isa.IsBackward(pc, target, taken),
 	})
 }
 
