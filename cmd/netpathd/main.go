@@ -1,0 +1,103 @@
+// Command netpathd serves the VM → NET → fragment-cache stack as a hardened
+// multi-tenant HTTP service. Tenants POST assembled guests (or encoded
+// programs, or built-in benchmark names) to /v1/run; the daemon verifies,
+// admits, rate-limits, executes under per-tenant step/deadline/table
+// budgets, and answers with the run result or a typed error. Telemetry,
+// health, and operator status ride the same listener.
+//
+// Usage:
+//
+//	netpathd [-addr :8092] [-workers n] [-queue n] [-rate r] [-burst b]
+//	         [-max-tenants n] [-shared-tables] [-snapshot-out file]
+//
+// Endpoints:
+//
+//	POST /v1/run    submit a guest (JSON envelope; see internal/server)
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 while draining)
+//	GET  /statusz   admission/ladder/tenant state (JSON)
+//	GET  /metrics   Prometheus text (VM + dynamo + server instruments)
+//	GET  /snapshot  versioned JSON telemetry snapshot
+//	GET  /events    telemetry event ring drain
+//
+// SIGTERM/SIGINT starts a graceful drain: admission closes with typed 503s,
+// in-flight and queued guests finish, the final telemetry snapshot is
+// written to -snapshot-out (if set), and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netpath/internal/server"
+	"netpath/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netpathd: ")
+	addr := flag.String("addr", ":8092", "listen address")
+	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS-derived default)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (total buffered guests)")
+	queueTenant := flag.Int("queue-per-tenant", 0, "per-tenant queue share (0 = queue/4)")
+	maxTenants := flag.Int("max-tenants", 256, "tenant table bound")
+	rate := flag.Float64("rate", 0, "per-tenant submissions/sec token bucket rate (0 = unlimited)")
+	burst := flag.Float64("burst", 10, "token bucket burst")
+	sharedTables := flag.Bool("shared-tables", false, "give every tenant the full table budget instead of a per-tenant shard")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight guests on shutdown")
+	snapshotOut := flag.String("snapshot-out", "", "write the final telemetry snapshot to this file on drain (- = stdout)")
+	flag.Parse()
+
+	telemetry.SetActive(true)
+	telemetry.PublishExpvar()
+
+	srv := server.New(server.Config{
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		QueueDepthPerTenant: *queueTenant,
+		MaxTenants:          *maxTenants,
+		RatePerSec:          *rate,
+		Burst:               *burst,
+		SharedTables:        *sharedTables,
+		Logf:                log.Printf,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (workers=%d queue=%d rate=%.1f/s)",
+		bound, *workers, *queueDepth, *rate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("received %v; draining (timeout %s)", got, *drainTimeout)
+
+	var out io.Writer
+	switch *snapshotOut {
+	case "":
+	case "-":
+		out = os.Stdout
+	default:
+		f, err := os.Create(*snapshotOut)
+		if err != nil {
+			log.Printf("snapshot-out: %v (skipping flush)", err)
+		} else {
+			defer f.Close()
+			out = f
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx, out); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

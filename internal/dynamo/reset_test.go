@@ -1,0 +1,115 @@
+package dynamo
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"netpath/internal/chaos"
+	"netpath/internal/randprog"
+	"netpath/internal/workload"
+)
+
+// TestSystemResetReplays is the reuse contract a resident server relies on:
+// Run → Reset → Run must reproduce byte-identical results — including every
+// robustness counter — to a freshly constructed System, under every scheme
+// and with a chaos injector attached.
+func TestSystemResetReplays(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		for _, scheme := range []Scheme{SchemeNET, SchemePathProfile, SchemeStatic} {
+			cfg := DefaultConfig(scheme, 5)
+			cfg.Chaos = chaos.NewRandom(seed, softRates)
+
+			fresh := New(p, cfg)
+			want, wantErr := fresh.Run()
+
+			sys := New(p, cfg)
+			if _, err := sys.Run(); (err == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d %v: first run err %v, fresh err %v", seed, scheme, err, wantErr)
+			}
+			sys.Reset()
+			got, gotErr := sys.Run()
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d %v: reset run err %v, fresh err %v", seed, scheme, gotErr, wantErr)
+			}
+			if got != want {
+				t.Errorf("seed %d %v: reset run Result differs from fresh run:\n reset: %+v\n fresh: %+v",
+					seed, scheme, got, want)
+			}
+			if sys.Machine().Steps != fresh.Machine().Steps || sys.Machine().Reg != fresh.Machine().Reg {
+				t.Errorf("seed %d %v: reset run machine state differs from fresh run", seed, scheme)
+			}
+		}
+	}
+}
+
+// TestRunContextDeadline: a guest that outlives its wall-clock budget is
+// stopped with a typed *DeadlineError — never a hang — and the partial
+// Result is accounted. A background context changes nothing.
+func TestRunContextDeadline(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expired before the first step: preemption must fire almost at once.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sys := New(p, DefaultConfig(SchemeNET, 50))
+	res, err := sys.RunContext(ctx)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, must unwrap to context.DeadlineExceeded", err)
+	}
+	if de.Steps != res.Steps {
+		t.Errorf("DeadlineError.Steps = %d, Result.Steps = %d", de.Steps, res.Steps)
+	}
+
+	// Background context: identical to Run.
+	want, err := New(p, DefaultConfig(SchemeNET, 50)).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := New(p, DefaultConfig(SchemeNET, 50)).RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("RunContext(Background): %v", err)
+	}
+	if got != want {
+		t.Errorf("RunContext(Background) differs from Run")
+	}
+}
+
+// TestRunContextCancelMidRun cancels from another goroutine while the guest
+// executes and checks the run stops promptly with the typed error.
+func TestRunContextCancelMidRun(t *testing.T) {
+	b, err := workload.ByName("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = New(p, DefaultConfig(SchemeNET, 50)).RunContext(ctx)
+	var de *DeadlineError
+	if err != nil && !errors.As(err, &de) {
+		// The guest may legitimately finish before the deadline on a fast
+		// machine; any other error is a failure.
+		t.Fatalf("err = %v, want nil or *DeadlineError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run took %v after a 5ms deadline: preemption not cooperative", elapsed)
+	}
+}

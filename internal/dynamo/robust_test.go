@@ -1,11 +1,14 @@
 package dynamo
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"netpath/internal/chaos"
 	"netpath/internal/randprog"
+	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 )
 
@@ -106,6 +109,59 @@ func TestChaosTrapEquivalence(t *testing.T) {
 				t.Errorf("seed %d %v: final registers diverge from plain VM", seed, scheme)
 			}
 		}
+	}
+}
+
+// TestChaosConcurrentSharded is the multi-tenant variant of the equivalence
+// property, run under -race in CI: many chaos-seeded Systems execute in
+// parallel, drawing their table capacities from one shared ShardSet and
+// writing one shared telemetry registry, and every one of them must still
+// produce exactly the machine state plain interpretation produces — no
+// cross-tenant interference, no data races, no panics.
+func TestChaosConcurrentSharded(t *testing.T) {
+	const tenants = 8
+	ss := NewShardSet(TableBudget{HeadCounters: 1 << 12, Paths: 1 << 14, Fragments: 512}, false)
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*3)
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", ten)
+			for seed := int64(1); seed <= 3; seed++ {
+				p := randprog.MustGenerate(int64(ten)*7+seed, randprog.Options{})
+				ref := vm.New(p)
+				if err := ref.Run(0); err != nil {
+					errs <- fmt.Errorf("%s seed %d: plain run: %w", tenant, seed, err)
+					return
+				}
+				cfg := DefaultConfig(SchemeNET, 5)
+				ss.Alloc(tenant).Apply(&cfg)
+				cfg.Chaos = chaos.NewRandom(seed, softRates)
+				cfg.Telemetry = telemetry.Def.NewSink()
+				sys := New(p, cfg)
+				res, err := sys.Run()
+				ss.Release(tenant, res)
+				if err != nil {
+					errs <- fmt.Errorf("%s seed %d: chaos run: %w", tenant, seed, err)
+					return
+				}
+				m := sys.Machine()
+				if res.Steps != ref.Steps || m.Reg != ref.Reg {
+					errs <- fmt.Errorf("%s seed %d: state diverges from plain VM (steps %d vs %d)",
+						tenant, seed, res.Steps, ref.Steps)
+					return
+				}
+			}
+		}(ten)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := ss.Tenants(); got != tenants {
+		t.Errorf("ShardSet tracks %d tenants, want %d", got, tenants)
 	}
 }
 

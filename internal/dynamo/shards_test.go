@@ -1,0 +1,72 @@
+package dynamo
+
+import "testing"
+
+func TestShardSetDivision(t *testing.T) {
+	ss := NewShardSet(TableBudget{HeadCounters: 4000, Paths: 8000, Fragments: 400}, false)
+	a := ss.Alloc("alice")
+	if a.MaxHeadCounters != 4000 || a.MaxPaths != 8000 || a.MaxFragments != 400 {
+		t.Fatalf("single tenant gets the full budget, got %+v", a)
+	}
+	ss.Alloc("bob")
+	ss.Alloc("carol")
+	ss.Alloc("dave")
+	a = ss.Alloc("alice")
+	if a.MaxHeadCounters != 1000 || a.MaxPaths != 2000 || a.MaxFragments != 100 {
+		t.Fatalf("four tenants split the budget evenly, got %+v", a)
+	}
+	if ss.Tenants() != 4 {
+		t.Fatalf("Tenants = %d, want 4", ss.Tenants())
+	}
+	ss.Retire("dave")
+	ss.Retire("carol")
+	a = ss.Alloc("alice")
+	if a.MaxHeadCounters != 2000 {
+		t.Fatalf("retired tenants return capacity, got %+v", a)
+	}
+}
+
+func TestShardSetFloors(t *testing.T) {
+	ss := NewShardSet(TableBudget{HeadCounters: 128, Paths: 512, Fragments: 32}, false)
+	for _, tn := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		ss.Alloc(tn)
+	}
+	a := ss.Alloc("a")
+	if a.MaxHeadCounters < minShardHeads || a.MaxPaths < minShardPaths || a.MaxFragments < minShardFrags {
+		t.Fatalf("shard below floor: %+v", a)
+	}
+}
+
+func TestShardSetShared(t *testing.T) {
+	ss := NewShardSet(TableBudget{HeadCounters: 4000, Paths: 8000, Fragments: 400}, true)
+	ss.Alloc("alice")
+	ss.Alloc("bob")
+	a := ss.Alloc("alice")
+	if a.MaxHeadCounters != 4000 || a.MaxPaths != 8000 || a.MaxFragments != 400 {
+		t.Fatalf("shared mode must not divide the budget, got %+v", a)
+	}
+}
+
+func TestShardSetPressure(t *testing.T) {
+	ss := NewShardSet(TableBudget{}, false)
+	ss.Alloc("t")
+	if ss.PressureMilli() != 0 {
+		t.Fatalf("pressure before any run = %d, want 0", ss.PressureMilli())
+	}
+	ss.Release("t", Result{HeadEvictions: 3, PathEvictions: 1})
+	ss.Release("t", Result{})
+	if ss.Evictions() != 4 {
+		t.Fatalf("Evictions = %d, want 4", ss.Evictions())
+	}
+	if ss.PressureMilli() != 2000 {
+		t.Fatalf("PressureMilli = %d, want 2000 (4 evictions / 2 runs)", ss.PressureMilli())
+	}
+}
+
+func TestShardAllocApply(t *testing.T) {
+	cfg := DefaultConfig(SchemeNET, 50)
+	ShardAlloc{MaxHeadCounters: 11, MaxPaths: 22, MaxFragments: 33}.Apply(&cfg)
+	if cfg.MaxHeadCounters != 11 || cfg.MaxPaths != 22 || cfg.MaxFragments != 33 {
+		t.Fatalf("Apply did not install capacities: %+v", cfg)
+	}
+}

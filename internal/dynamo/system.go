@@ -1,8 +1,10 @@
 package dynamo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"netpath/internal/isa"
 	"netpath/internal/path"
@@ -280,6 +282,14 @@ type System struct {
 	// a non-nil value makes Run refuse the program.
 	verifyErr error
 
+	// Cooperative preemption (RunContext). hasDeadline is set only while a
+	// cancellable context drives the run, so Run() pays one dead branch per
+	// dispatcher iteration and nothing per instruction; preempt is armed
+	// asynchronously by context.AfterFunc and polled at dispatch boundaries
+	// and fragment links.
+	hasDeadline bool
+	preempt     atomic.Bool
+
 	// Cache.
 	cache map[int]*Fragment
 	frag  *Fragment
@@ -330,27 +340,11 @@ func New(p *prog.Program, cfg Config) *System {
 		cfg.GovernorEvictLimit = 4096
 	}
 	s := &System{
-		cfg:        cfg,
-		m:          vm.New(p),
-		heads:      newHeadTable(cfg.MaxHeadCounters),
-		armed:      make(map[path.ID]bool),
-		cache:      make(map[int]*Fragment),
-		everCached: make(map[int]bool),
-		opt:        NewOptimizer(),
-		interner:   path.NewInterner(),
-		inj:        cfg.Chaos,
-		black:      newBlacklist(cfg.BlacklistBackoff, cfg.BlacklistMaxAborts),
-		tel:        cfg.Telemetry,
-	}
-	if cfg.MaxPaths > 0 {
-		// A recycled path slot belongs to a new path: forget the old
-		// path's count and arming so they are not inherited.
-		s.interner.SetCapacity(cfg.MaxPaths, func(id path.ID) {
-			if int(id) < len(s.pathCounts) {
-				s.pathCounts[id] = 0
-			}
-			delete(s.armed, id)
-		})
+		cfg: cfg,
+		m:   vm.New(p),
+		opt: NewOptimizer(),
+		inj: cfg.Chaos,
+		tel: cfg.Telemetry,
 	}
 	if cfg.DisableOptimizer {
 		s.opt = &Optimizer{} // all passes off
@@ -362,12 +356,6 @@ func New(p *prog.Program, cfg Config) *System {
 	if cfg.Scheme == SchemePathProfile {
 		s.capBuf = make([]TraceStep, 0, 4*cfg.MaxTraceBranches)
 	}
-	s.res.Program = p.Name
-	s.res.Scheme = cfg.Scheme
-	s.res.Tau = cfg.Tau
-	s.skipEnd = -1
-	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
-	s.tracker.MaxBranches = cfg.MaxTraceBranches
 	s.m.SetSink(s)
 	if h, ok := cfg.Chaos.(interface{ VMFault(*vm.Machine) error }); ok {
 		s.m.SetFaultHook(h.VMFault)
@@ -377,16 +365,78 @@ func New(p *prog.Program, cfg Config) *System {
 	// program, so the many Systems of an experiment grid verify each
 	// program once.
 	s.verifyErr = verifyGate(p)
+	s.resetRunState()
+	return s
+}
+
+// resetRunState (re)initializes every piece of per-run state; New and Reset
+// share it so the two paths cannot drift. The machine itself, the verifier
+// verdict, and the reusable trace buffers are owned by the caller.
+func (s *System) resetRunState() {
+	cfg := &s.cfg
+	s.res = Result{Program: s.m.Prog.Name, Scheme: cfg.Scheme, Tau: cfg.Tau}
+	s.mode = modeInterp
+	s.heads = newHeadTable(cfg.MaxHeadCounters)
+	s.pathCounts = s.pathCounts[:0]
+	s.armed = make(map[path.ID]bool)
+	s.cache = make(map[int]*Fragment)
+	s.everCached = make(map[int]bool)
+	s.interner = path.NewInterner()
+	if cfg.MaxPaths > 0 {
+		// A recycled path slot belongs to a new path: forget the old
+		// path's count and arming so they are not inherited.
+		s.interner.SetCapacity(cfg.MaxPaths, func(id path.ID) {
+			if int(id) < len(s.pathCounts) {
+				s.pathCounts[id] = 0
+			}
+			delete(s.armed, id)
+		})
+	}
+	s.black = newBlacklist(cfg.BlacklistBackoff, cfg.BlacklistMaxAborts)
+	s.skipping = false
+	s.skipEnd = -1
+	s.completed = false
+	s.recording = false
+	s.recBuf = s.recBuf[:0]
+	s.capBuf = s.capBuf[:0]
+	s.capAborted = false
+	s.evictsAtWin = 0
+	s.frag = nil
+	s.fpos = 0
+	s.windowEvents = 0
+	s.windowCreations = 0
+	s.prevCreations = s.prevCreations[:0]
+	s.nativeRedirectCycles = 0
+	s.telLast = telCycleMarks{}
+	s.hasDeadline = false
+	s.preempt.Store(false)
+	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
+	s.tracker.MaxBranches = cfg.MaxTraceBranches
 	if s.verifyErr != nil {
 		if s.tel != nil {
 			s.tel.Inc(telVerifyRejects)
 		}
-		return s
+		return
 	}
 	if cfg.Scheme == SchemeStatic {
-		s.prebuildStatic(p)
+		s.prebuildStatic(s.m.Prog)
 	}
-	return s
+}
+
+// Reset returns the System to its just-constructed state so it can run the
+// same program again: machine registers/memory/PC restored, all profiling
+// tables, caches, heuristics, and result counters cleared, and — when the
+// configured chaos injector is resettable — the fault schedule rewound, so
+// a reset run replays byte-identically to a fresh New. The predecoded
+// micro-op image and the memoized verifier verdict are retained, which is
+// the point: a resident server reuses Systems without re-paying load-time
+// translation.
+func (s *System) Reset() {
+	s.m.Reset()
+	if r, ok := s.inj.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	s.resetRunState()
 }
 
 // Machine exposes the underlying machine (read-only use).
@@ -418,21 +468,58 @@ func (s *System) OnBranch(ev vm.BranchEvent) {
 	}
 }
 
+// DeadlineError reports a run stopped by its context: the wall-clock
+// deadline expired (or the caller canceled) before the guest halted. The
+// Result accompanying it is fully accounted up to the preemption point.
+// Unwrap exposes the context's error, so errors.Is matches
+// context.DeadlineExceeded and context.Canceled.
+type DeadlineError struct {
+	Steps int64 // machine steps executed when the run was stopped
+	Cause error // the context's error
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("dynamo: deadline exceeded after %d steps: %v", e.Steps, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *DeadlineError) Unwrap() error { return e.Cause }
+
 // Run executes the program under Dynamo and returns the result. A machine
 // fault (including injected traps) or the step limit ends the run with a
 // non-nil error, but the Result is fully accounted either way and the
 // machine state is exactly what plain interpretation of the same program
 // (under the same fault schedule) would have produced: Dynamo never
 // diverges semantically and never panics.
-func (s *System) Run() (Result, error) {
+func (s *System) Run() (Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run under a context: when ctx carries a deadline or is
+// cancellable, the run additionally stops — with a *DeadlineError and a
+// fully accounted Result — once ctx is done. Preemption is cooperative,
+// checked at every dispatcher iteration (at most one interpreted
+// instruction apart) and at fragment-link boundaries (at most one fragment
+// body apart), so a hostile guest cannot outrun its wall-clock budget by
+// staying resident in the fragment cache. A background context makes
+// RunContext exactly Run: no timer, no atomic traffic on the step path.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.verifyErr != nil {
 		return s.res, fmt.Errorf("dynamo: refusing unverified program: %w", s.verifyErr)
+	}
+	if s.hasDeadline = ctx.Done() != nil; s.hasDeadline {
+		s.preempt.Store(false)
+		stop := context.AfterFunc(ctx, func() { s.preempt.Store(true) })
+		defer stop()
 	}
 	s.atPathStart(s.m.PC)
 	for !s.m.Halted {
 		if s.cfg.MaxSteps > 0 && s.m.Steps >= s.cfg.MaxSteps {
 			s.finish()
 			return s.res, fmt.Errorf("dynamo: %w after %d steps", vm.ErrStepLimit, s.m.Steps)
+		}
+		if s.hasDeadline && s.preempt.Load() {
+			s.finish()
+			return s.res, &DeadlineError{Steps: s.m.Steps, Cause: context.Cause(ctx)}
 		}
 		var err error
 		if s.mode == modeFragment {
@@ -864,6 +951,12 @@ func (s *System) runFragment() error {
 			pc = npc
 		}
 		if s.mode != modeFragment {
+			return nil
+		}
+		if s.hasDeadline && s.preempt.Load() {
+			// Preempted at a link boundary: surface to the dispatcher, which
+			// raises the deadline error. Without this check a guest spinning
+			// inside linked fragments would never reach a dispatch point.
 			return nil
 		}
 		// Linked transfer: continue in the successor fragment set by

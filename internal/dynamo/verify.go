@@ -19,18 +19,38 @@ import (
 )
 
 // verifyCache memoizes verifyGate verdicts by program identity. Programs
-// are immutable after Freeze, so pointer identity is a sound key.
-var verifyCache sync.Map // *prog.Program → error (possibly nil)
+// are immutable after Freeze, so pointer identity is a sound key. The cache
+// is bounded: a resident server verifies an endless stream of fresh
+// programs, and an unbounded map would both leak and pin every submitted
+// program against garbage collection. Experiment grids (the memoization's
+// beneficiary) hold tens of programs, so a full-drop at the cap never hits
+// them.
+var (
+	verifyMu    sync.Mutex
+	verifyCache = make(map[*prog.Program]error)
+)
+
+// verifyCacheCap bounds verifyCache; crossing it drops the whole cache
+// (verification is cheap relative to a run, staleness is impossible, and a
+// full drop keeps the steady state allocation-free).
+const verifyCacheCap = 4096
 
 // verifyGate returns the static verifier's verdict for p, computing it at
-// most once per program.
+// most once per resident program.
 func verifyGate(p *prog.Program) error {
-	if v, ok := verifyCache.Load(p); ok {
-		err, _ := v.(error)
+	verifyMu.Lock()
+	if err, ok := verifyCache[p]; ok {
+		verifyMu.Unlock()
 		return err
 	}
+	verifyMu.Unlock()
 	err := cfg.VerifyProgram(p)
-	verifyCache.Store(p, err)
+	verifyMu.Lock()
+	if len(verifyCache) >= verifyCacheCap {
+		clear(verifyCache)
+	}
+	verifyCache[p] = err
+	verifyMu.Unlock()
 	return err
 }
 

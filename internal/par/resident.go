@@ -1,0 +1,52 @@
+// Resident pools. MapErr fans a finite grid out and tears the workers down;
+// a server needs the opposite shape — workers that outlive any one request
+// and drain cleanly on shutdown. A Resident pool runs a fixed crew of
+// goroutines against a caller-supplied source: the source owns scheduling
+// policy (netpathd's admission queue round-robins across tenants there),
+// the pool owns only lifecycle, so the fairness logic stays testable
+// without goroutines and the pool stays reusable without policy.
+package par
+
+import "sync"
+
+// Resident is a fixed-width resident worker pool.
+type Resident struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+// StartResident launches n workers (n <= 0 takes the package default,
+// Workers()). Each worker loops: task, ok := source(); a false ok retires
+// the worker. The source must therefore be safe for concurrent calls and is
+// expected to block until work (or shutdown) is available — a blocking
+// queue's Dequeue. Panics in a task are the task's own problem; sources
+// that must survive hostile tasks wrap them (netpathd does).
+func StartResident(n int, source func() (func(), bool)) *Resident {
+	if n <= 0 {
+		n = Workers()
+	}
+	p := &Resident{n: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				task, ok := source()
+				if !ok {
+					return
+				}
+				if task != nil {
+					task()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Resident) Size() int { return p.n }
+
+// Wait blocks until every worker has retired (the source returned false to
+// each). Closing the source's queue first is the caller's drain protocol.
+func (p *Resident) Wait() { p.wg.Wait() }

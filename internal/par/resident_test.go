@@ -1,0 +1,82 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestResidentDrains: every submitted task runs exactly once, and Wait
+// returns only after the source is exhausted.
+func TestResidentDrains(t *testing.T) {
+	const tasks = 1000
+	ch := make(chan func(), tasks)
+	var ran atomic.Int64
+	for i := 0; i < tasks; i++ {
+		ch <- func() { ran.Add(1) }
+	}
+	close(ch)
+	p := StartResident(8, func() (func(), bool) {
+		task, ok := <-ch
+		return task, ok
+	})
+	p.Wait()
+	if got := ran.Load(); got != tasks {
+		t.Fatalf("ran %d tasks, want %d", got, tasks)
+	}
+}
+
+// TestResidentConcurrency: the pool actually runs tasks on n workers, and a
+// blocking source parks workers without busy-spinning.
+func TestResidentConcurrency(t *testing.T) {
+	const n = 4
+	ch := make(chan func())
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	var entered sync.WaitGroup
+	release := make(chan struct{})
+
+	p := StartResident(n, func() (func(), bool) {
+		task, ok := <-ch
+		return task, ok
+	})
+	entered.Add(n)
+	for i := 0; i < n; i++ {
+		ch <- func() {
+			mu.Lock()
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			mu.Unlock()
+			entered.Done()
+			<-release
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		}
+	}
+	entered.Wait() // all n workers are simultaneously inside a task
+	close(release)
+	close(ch)
+	p.Wait()
+	if peak != n {
+		t.Fatalf("peak concurrency %d, want %d", peak, n)
+	}
+	if p.Size() != n {
+		t.Fatalf("Size = %d, want %d", p.Size(), n)
+	}
+}
+
+// TestResidentDefaultWidth: n <= 0 falls back to Workers().
+func TestResidentDefaultWidth(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	ch := make(chan func())
+	close(ch)
+	p := StartResident(0, func() (func(), bool) { task, ok := <-ch; return task, ok })
+	p.Wait()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (Workers default)", p.Size())
+	}
+}

@@ -1,0 +1,105 @@
+// JSON encoding of programs: the wire form netpathd accepts alongside
+// assembly text. The codec is deliberately dumb — it marshals the exported
+// Program fields verbatim — because all trust lives in the decode gate:
+// DecodeJSON re-runs Validate on the unmarshalled image, so a hand-crafted
+// (or fuzzed) submission can never smuggle a structurally invalid program
+// past the invariants the Builder enforces for native construction.
+package prog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netpath/internal/isa"
+)
+
+// progJSON is the wire schema (netpath-prog/v1).
+type progJSON struct {
+	Schema  string      `json:"schema"`
+	Name    string      `json:"name"`
+	Entry   int         `json:"entry"`
+	MemSize int         `json:"mem_size"`
+	InitMem []MemInit   `json:"init_mem,omitempty"`
+	Funcs   []Func      `json:"funcs"`
+	Blocks  []Block     `json:"blocks"`
+	Instrs  []instrJSON `json:"instrs"`
+}
+
+// instrJSON flattens isa.Instr with stable field names.
+type instrJSON struct {
+	Op     uint8 `json:"op"`
+	Cond   uint8 `json:"cond,omitempty"`
+	A      uint8 `json:"a,omitempty"`
+	B      uint8 `json:"b,omitempty"`
+	C      uint8 `json:"c,omitempty"`
+	Imm    int64 `json:"imm,omitempty"`
+	Target int32 `json:"target,omitempty"`
+}
+
+// EncodeSchema is the schema tag of the JSON program encoding.
+const EncodeSchema = "netpath-prog/v1"
+
+// EncodeJSON renders p in the versioned JSON wire form.
+func EncodeJSON(p *Program) ([]byte, error) {
+	e := progJSON{
+		Schema:  EncodeSchema,
+		Name:    p.Name,
+		Entry:   p.Entry,
+		MemSize: p.MemSize,
+		InitMem: p.InitMem,
+		Funcs:   p.Funcs,
+		Blocks:  p.Blocks,
+		Instrs:  make([]instrJSON, len(p.Instrs)),
+	}
+	for i, in := range p.Instrs {
+		e.Instrs[i] = instrJSON{
+			Op: uint8(in.Op), Cond: uint8(in.Cond),
+			A: in.A, B: in.B, C: in.C, Imm: in.Imm, Target: in.Target,
+		}
+	}
+	return json.Marshal(e)
+}
+
+// DecodeJSON parses a JSON-encoded program and validates it. Every
+// structural invariant Validate enforces for built programs holds for the
+// returned program; a submission that fails them is rejected with a
+// descriptive error, never a later interpreter fault.
+func DecodeJSON(data []byte) (*Program, error) {
+	var e progJSON
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("prog: decode: %w", err)
+	}
+	if e.Schema != EncodeSchema {
+		return nil, fmt.Errorf("prog: decode: schema %q, want %q", e.Schema, EncodeSchema)
+	}
+	if e.Name == "" {
+		return nil, fmt.Errorf("prog: decode: empty program name")
+	}
+	const maxWire = 1 << 20 // instructions/blocks; submissions are tiny, bombs are not
+	if len(e.Instrs) > maxWire || len(e.Blocks) > maxWire || len(e.Funcs) > maxWire || len(e.InitMem) > maxWire {
+		return nil, fmt.Errorf("prog: decode: program exceeds %d elements", maxWire)
+	}
+	if e.MemSize > 1<<24 {
+		return nil, fmt.Errorf("prog: decode: mem size %d exceeds %d words", e.MemSize, 1<<24)
+	}
+	p := &Program{
+		Name:    e.Name,
+		Entry:   e.Entry,
+		MemSize: e.MemSize,
+		InitMem: e.InitMem,
+		Funcs:   e.Funcs,
+		Blocks:  e.Blocks,
+		Instrs:  make([]isa.Instr, len(e.Instrs)),
+	}
+	for i, in := range e.Instrs {
+		p.Instrs[i] = isa.Instr{
+			Op: isa.Op(in.Op), Cond: isa.Cond(in.Cond),
+			A: in.A, B: in.B, C: in.C, Imm: in.Imm, Target: in.Target,
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prog: decode: %w", err)
+	}
+	p.Freeze()
+	return p, nil
+}

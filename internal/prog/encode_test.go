@@ -1,0 +1,77 @@
+package prog_test
+
+import (
+	"strings"
+	"testing"
+
+	"netpath/internal/prog"
+	"netpath/internal/randprog"
+	"netpath/internal/vm"
+)
+
+// TestEncodeJSONRoundTrip: encode → decode reproduces a program that runs
+// step-for-step identically to the original.
+func TestEncodeJSONRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randprog.MustGenerate(seed, randprog.Options{})
+		data, err := prog.EncodeJSON(p)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		q, err := prog.DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if q.Name != p.Name || q.Entry != p.Entry || q.MemSize != p.MemSize ||
+			len(q.Instrs) != len(p.Instrs) || len(q.Blocks) != len(p.Blocks) || len(q.Funcs) != len(p.Funcs) {
+			t.Fatalf("seed %d: decoded shape differs", seed)
+		}
+		a, b := vm.New(p), vm.New(q)
+		if err := a.Run(0); err != nil {
+			t.Fatalf("seed %d: original run: %v", seed, err)
+		}
+		if err := b.Run(0); err != nil {
+			t.Fatalf("seed %d: decoded run: %v", seed, err)
+		}
+		if a.Steps != b.Steps || a.Reg != b.Reg {
+			t.Errorf("seed %d: decoded program diverges (steps %d vs %d)", seed, a.Steps, b.Steps)
+		}
+	}
+}
+
+// TestDecodeJSONRejects: malformed wire images come back as errors, never
+// panics and never invalid programs.
+func TestDecodeJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"garbage", "{", "decode"},
+		{"wrong schema", `{"schema":"nope","name":"x"}`, "schema"},
+		{"no name", `{"schema":"netpath-prog/v1","entry":0}`, "name"},
+		{"empty program", `{"schema":"netpath-prog/v1","name":"x"}`, "empty program"},
+		{"negative mem", `{"schema":"netpath-prog/v1","name":"x","mem_size":-1,
+			"funcs":[{"Name":"main","Entry":0,"End":1}],
+			"blocks":[{"Start":0,"End":1,"Func":0}],
+			"instrs":[{"op":26}]}`, "mem size"},
+		{"huge mem", `{"schema":"netpath-prog/v1","name":"x","mem_size":99999999999,
+			"funcs":[{"Name":"main","Entry":0,"End":1}],
+			"blocks":[{"Start":0,"End":1,"Func":0}],
+			"instrs":[{"op":26}]}`, "mem size"},
+		{"bad tiling", `{"schema":"netpath-prog/v1","name":"x",
+			"funcs":[{"Name":"main","Entry":0,"End":2}],
+			"blocks":[{"Start":0,"End":1,"Func":0}],
+			"instrs":[{"op":26},{"op":26}]}`, "cover"},
+	}
+	for _, tc := range cases {
+		_, err := prog.DecodeJSON([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: decode accepted malformed input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

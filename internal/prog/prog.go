@@ -119,6 +119,9 @@ func (p *Program) Validate() error {
 	if p.Entry < 0 || p.Entry >= len(p.Instrs) {
 		return fmt.Errorf("prog %q: entry %d out of range", p.Name, p.Entry)
 	}
+	if p.MemSize < 0 {
+		return fmt.Errorf("prog %q: negative mem size %d", p.Name, p.MemSize)
+	}
 	for addr, in := range p.Instrs {
 		if err := in.Validate(); err != nil {
 			return fmt.Errorf("prog %q @%d: %w", p.Name, addr, err)

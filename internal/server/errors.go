@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// ErrCode enumerates the typed error vocabulary of the API. Every failure a
+// guest or a client can provoke maps to exactly one code and one 4xx/503
+// status; 500 is reserved for recovered panics — a malformed or hostile
+// submission can never produce one (FuzzSubmit pins this).
+type ErrCode string
+
+// API error codes.
+const (
+	// CodeBadRequest: the request envelope itself is malformed (bad JSON,
+	// missing tenant, no program, conflicting program forms).
+	CodeBadRequest ErrCode = "bad_request"
+	// CodeParse: the program body failed to assemble or decode.
+	CodeParse ErrCode = "parse_error"
+	// CodeVerify: the static CFG verifier refused the program at load time.
+	CodeVerify ErrCode = "verify_rejected"
+	// CodeQuota: the program or its requested budgets exceed the tenant's
+	// resource quotas (size, memory, steps, deadline), or the tenant table
+	// is full.
+	CodeQuota ErrCode = "quota_exceeded"
+	// CodeRateLimited: the tenant's token bucket is empty; retry after the
+	// indicated delay.
+	CodeRateLimited ErrCode = "rate_limited"
+	// CodeOverloaded: admission queue full (global or per-tenant share) —
+	// load shed; retry after the indicated delay.
+	CodeOverloaded ErrCode = "overloaded"
+	// CodeDraining: the server is shutting down and admits no new guests.
+	CodeDraining ErrCode = "draining"
+	// CodeDeadline: the guest exceeded its wall-clock deadline and was
+	// preempted.
+	CodeDeadline ErrCode = "deadline"
+	// CodeStepLimit: the guest exhausted its machine-step budget.
+	CodeStepLimit ErrCode = "step_limit"
+	// CodeGuestFault: the guest faulted (memory out of bounds, bad
+	// indirect target, stack overflow, ...); the fault text names the kind
+	// and PC.
+	CodeGuestFault ErrCode = "guest_fault"
+	// CodeInternal: a recovered panic; the request died, the process did
+	// not.
+	CodeInternal ErrCode = "internal"
+)
+
+// apiError is a typed, JSON-renderable request failure.
+type apiError struct {
+	Code       ErrCode `json:"code"`
+	Message    string  `json:"message"`
+	Steps      int64   `json:"steps,omitempty"`         // executed before the failure, when meaningful
+	RetryAfter int     `json:"retry_after_s,omitempty"` // seconds; also the Retry-After header
+	status     int
+}
+
+// errBody is the error response envelope.
+type errBody struct {
+	Error *apiError `json:"error"`
+}
+
+func errf(code ErrCode, status int, format string, args ...any) *apiError {
+	return &apiError{Code: code, Message: fmt.Sprintf(format, args...), status: status}
+}
+
+// write renders the error as its JSON envelope with the right status and,
+// for retryable rejections, a Retry-After header.
+func (e *apiError) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	status := e.status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errBody{Error: e})
+}

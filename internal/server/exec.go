@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime/debug"
+
+	"netpath/internal/chaos"
+	"netpath/internal/dynamo"
+	"netpath/internal/vm"
+)
+
+// runJob executes one admitted guest on a worker goroutine. It is the
+// panic-isolation boundary: whatever a hostile guest (or a server bug)
+// throws, exactly one of j.resp / j.apiErr is set and j.done is closed, the
+// worker survives, and the process keeps serving other tenants.
+func (s *Server) runJob(j *job) {
+	start := s.now()
+	queueWait := start.Sub(j.enqueued)
+	telQueueDepth.Set(int64(s.queue.depth()))
+	telInFlight.Set(s.inFlight.Add(1))
+	defer func() {
+		telInFlight.Set(s.inFlight.Add(-1))
+		if r := recover(); r != nil {
+			telPanics.Inc()
+			s.logf("panic running guest for tenant %s: %v\n%s", j.tenant, r, debug.Stack())
+			j.apiErr = errf(CodeInternal, http.StatusInternalServerError,
+				"internal error; the request was aborted")
+		}
+		close(j.done)
+	}()
+
+	steps, deadline := j.req.budgets(s.cfg.Quotas)
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	degraded := s.degradeLevel() >= degradeInterpOnly
+	var (
+		resp *runResponse
+		err  *apiError
+	)
+	if degraded {
+		resp, err = s.runInterp(ctx, j, steps)
+		if resp != nil {
+			resp.Degraded = true
+		}
+	} else {
+		resp, err = s.runDynamo(ctx, j, steps)
+	}
+	runNS := s.now().Sub(start).Nanoseconds()
+	if resp != nil {
+		resp.QueueNS = queueWait.Nanoseconds()
+		resp.RunNS = runNS
+		j.resp = resp
+	} else {
+		j.apiErr = err
+	}
+	telQueueWait.Observe(queueWait.Microseconds())
+	telRunTime.Observe(runNS / 1e3)
+}
+
+// runDynamo executes the guest under the full NET translation stack, with
+// its table shard allocated from the server's global budget.
+func (s *Server) runDynamo(ctx context.Context, j *job, steps int64) (*runResponse, *apiError) {
+	req := j.req
+	tau := req.Tau
+	if tau == 0 {
+		tau = 50
+	}
+	cfg := dynamo.DefaultConfig(req.scheme, tau)
+	cfg.MaxSteps = steps
+	cfg.Telemetry = s.sink
+	s.shards.Alloc(j.tenant).Apply(&cfg)
+	if req.ChaosSeed != 0 && (req.ChaosTrapPerM > 0 || req.ChaosSoftPerM > 0) {
+		cfg.Chaos = chaos.NewRandom(req.ChaosSeed, chaos.Rates{
+			TrapPerM:        req.ChaosTrapPerM,
+			RecordAbortPerM: req.ChaosSoftPerM,
+			FragAbortPerM:   req.ChaosSoftPerM,
+			CorruptPerM:     req.ChaosSoftPerM,
+			SpikePerM:       req.ChaosSoftPerM,
+		})
+	}
+
+	sys := dynamo.New(req.program, cfg)
+	res, runErr := sys.RunContext(ctx)
+	s.shards.Release(j.tenant, res)
+	if apiErr := s.mapRunError(runErr, res.Steps); apiErr != nil {
+		return nil, apiErr
+	}
+
+	m := sys.Machine()
+	return &runResponse{
+		Tenant:    j.tenant,
+		Name:      req.Name,
+		Scheme:    req.scheme.String(),
+		Mode:      "dynamo",
+		Steps:     res.Steps,
+		Fragments: res.Fragments,
+		Flushes:   res.Flushes,
+		SpeedupPC: 100 * res.Speedup(),
+		CachedPC:  100 * res.CachedFraction(),
+		BailedOut: res.BailedOut,
+		Regs:      append([]int64(nil), m.Reg[:]...),
+	}, nil
+}
+
+// runInterp executes the guest on the bare VM — the degraded mode: no
+// profiling, no translation, no fragment-table pressure, just bounded
+// interpretation. Uses the chunked context-aware step loop so deadlines
+// still preempt.
+func (s *Server) runInterp(ctx context.Context, j *job, steps int64) (*runResponse, *apiError) {
+	m := vm.New(j.req.program)
+	runErr := m.RunContext(ctx, steps)
+	if apiErr := s.mapRunError(runErr, m.Steps); apiErr != nil {
+		return nil, apiErr
+	}
+	return &runResponse{
+		Tenant: j.tenant,
+		Name:   j.req.Name,
+		Scheme: j.req.scheme.String(),
+		Mode:   "interp",
+		Steps:  m.Steps,
+		Regs:   append([]int64(nil), m.Reg[:]...),
+	}, nil
+}
+
+// mapRunError translates VM/dynamo run errors into the typed API vocabulary.
+// nil means the guest halted cleanly.
+func (s *Server) mapRunError(err error, steps int64) *apiError {
+	if err == nil {
+		return nil
+	}
+	var de *dynamo.DeadlineError
+	switch {
+	case errors.As(err, &de):
+		telDeadlines.Inc()
+		e := errf(CodeDeadline, http.StatusRequestTimeout,
+			"guest preempted at wall-clock deadline after %d steps", de.Steps)
+		e.Steps = de.Steps
+		return e
+	case errors.Is(err, vm.ErrPreempted),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		telDeadlines.Inc()
+		e := errf(CodeDeadline, http.StatusRequestTimeout,
+			"guest preempted at wall-clock deadline after %d steps", steps)
+		e.Steps = steps
+		return e
+	case errors.Is(err, vm.ErrStepLimit):
+		telStepLimits.Inc()
+		e := errf(CodeStepLimit, http.StatusUnprocessableEntity,
+			"guest exhausted its %d-step budget", steps)
+		e.Steps = steps
+		return e
+	}
+	var fault *vm.Fault
+	if errors.As(err, &fault) {
+		telGuestFaults.Inc()
+		e := errf(CodeGuestFault, http.StatusUnprocessableEntity, "guest fault: %v", fault)
+		e.Steps = steps
+		return e
+	}
+	// Anything else is a server-side failure (e.g. a dynamo invariant); it
+	// is not the client's fault but it must not masquerade as success.
+	telPanics.Inc()
+	s.logf("unexpected run error for steps=%d: %v", steps, err)
+	return errf(CodeInternal, http.StatusInternalServerError, "internal error: run failed")
+}

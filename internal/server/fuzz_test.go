@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzSubmit pins the submission decoder's hardening contract: an arbitrary
+// request body — truncated JSON, hostile assembly, bogus program documents,
+// absurd numbers — always yields a typed 4xx/503 or a success, never a 5xx
+// and never a panic. Quotas are tiny so the occasional accidentally-valid
+// guest stays cheap.
+func FuzzSubmit(f *testing.F) {
+	cfg := Config{
+		Workers:    2,
+		QueueDepth: 8,
+		Logf:       func(string, ...any) {},
+		Quotas: Quotas{
+			MaxBodyBytes:    1 << 16,
+			MaxInstrs:       512,
+			MaxMemWords:     1 << 12,
+			MaxSteps:        500_000,
+			DefaultSteps:    100_000,
+			MaxDeadline:     time.Second,
+			DefaultDeadline: 200 * time.Millisecond,
+		},
+	}
+	s := New(cfg)
+	handler := s.Handler()
+	f.Cleanup(func() { s.queue.close(); s.pool.Wait() })
+
+	f.Add([]byte(`{"tenant":"a","asm":"func main:\n halt\n"}`))
+	f.Add([]byte(`{"tenant":"a","prog":{"version":"netpath-prog/v1"}}`))
+	f.Add([]byte(`{"tenant":"a","bench":"compress","scale":0.001}`))
+	f.Add([]byte(`{"tenant":"a","asm":"func main:\n movi r0, 0\nl:\n addi r0, r0, 1\n bri.lt r0, 10, l\n halt\n","max_steps":1000}`))
+	f.Add([]byte(`{"tenant":""}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"tenant":"a","asm":"func main:\n halt\n","deadline_ms":-5}`))
+	f.Add([]byte(`{"tenant":"a","asm":"func main:\n halt\n"} trailing`))
+	f.Add([]byte(`{"tenant":"a","prog":{"version":"netpath-prog/v1","name":"x","mem_size":-1,"instrs":[{"op":26}],"funcs":[{"name":"f","entry":0,"end":1}],"blocks":[0]}}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code >= 500 && rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("body %q produced status %d: %s", body, rr.Code, rr.Body.String())
+		}
+		if rr.Code != http.StatusOK {
+			var eb errBody
+			if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Error == nil || eb.Error.Code == "" {
+				t.Fatalf("body %q: status %d without a typed error envelope: %s",
+					body, rr.Code, rr.Body.String())
+			}
+		}
+	})
+}

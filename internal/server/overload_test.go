@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submit posts body to /v1/run without touching testing.T, so concurrent
+// test clients can call it from goroutines and let the main goroutine
+// assert.
+func submit(url string, body any) (code int, hdr http.Header, raw []byte, err error) {
+	var buf []byte
+	switch b := body.(type) {
+	case []byte:
+		buf = b
+	case string:
+		buf = []byte(b)
+	default:
+		if buf, err = json.Marshal(body); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, raw, err
+}
+
+// decodeErrBody decodes the typed error envelope out of a non-200 body.
+func decodeErrBody(raw []byte) *apiError {
+	var eb errBody
+	if json.Unmarshal(raw, &eb) != nil {
+		return nil
+	}
+	return eb.Error
+}
+
+// TestOverloadShedsTyped: with a tiny worker pool and queue, a flood of
+// slow guests forces load shedding. The contract under overload: shed
+// submissions get a well-formed 503 + Retry-After immediately, and every
+// admitted guest still completes within a bounded p99 (deadlines make even
+// hostile guests finite).
+func TestOverloadShedsTyped(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.Workers = 2
+	cfg.QueueDepth = 4
+	cfg.QueueDepthPerTenant = 2
+	_, ts := startServer(t, cfg)
+
+	const (
+		clients   = 5
+		perClient = 4
+	)
+	type outcome struct {
+		code    int
+		retry   string
+		raw     []byte
+		latency time.Duration
+		err     error
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		wg       sync.WaitGroup
+	)
+	// Every request is its own goroutine: the whole flood is concurrent, so
+	// in-flight (2) + queued (4) leaves most of the 20 to shed.
+	for c := 0; c < clients; c++ {
+		tenant := []string{"t0", "t1", "t2", "t3", "t4"}[c]
+		for i := 0; i < perClient; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				code, hdr, raw, err := submit(ts.URL, map[string]any{
+					"tenant": tenant, "asm": spinAsm, "deadline_ms": 150,
+				})
+				mu.Lock()
+				outcomes = append(outcomes, outcome{
+					code: code, retry: hdr.Get("Retry-After"),
+					raw: raw, latency: time.Since(start), err: err,
+				})
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+
+	sheds, admitted := 0, 0
+	var admittedLat []time.Duration
+	for _, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("transport error under overload: %v", o.err)
+		}
+		apiErr := decodeErrBody(o.raw)
+		switch o.code {
+		case http.StatusServiceUnavailable:
+			sheds++
+			if apiErr == nil || apiErr.Code != CodeOverloaded || o.retry == "" {
+				t.Fatalf("shed without typed overloaded error + Retry-After: %d %s", o.code, o.raw)
+			}
+		case http.StatusRequestTimeout:
+			admitted++
+			if apiErr == nil || apiErr.Code != CodeDeadline {
+				t.Fatalf("admitted spin guest ended with %d %s, want typed deadline", o.code, o.raw)
+			}
+			admittedLat = append(admittedLat, o.latency)
+		default:
+			t.Fatalf("unexpected outcome under overload: %d %s", o.code, o.raw)
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("flood of 20 slow guests against 2 workers + depth-4 queue shed nothing")
+	}
+	if admitted == 0 {
+		t.Fatal("everything shed; admission control admitted nothing")
+	}
+	sort.Slice(admittedLat, func(i, j int) bool { return admittedLat[i] < admittedLat[j] })
+	p99 := admittedLat[len(admittedLat)-1]
+	// Worst case: wait behind (queue depth + in-flight) × 150 ms deadlines
+	// plus preemption slack. 10 s is an order of magnitude of headroom —
+	// the assertion catches unbounded waits, not scheduler jitter.
+	if p99 > 10*time.Second {
+		t.Fatalf("admitted p99 latency %v; admitted guests are not bounded under overload", p99)
+	}
+	t.Logf("overload: %d shed, %d admitted, admitted p99 %v", sheds, admitted, p99)
+}
+
+// TestDegradationLadder: sustained shedding demotes the server to
+// interpret-only; a shed-free cool-off restores translation. The clock is
+// injected so the test exercises the ladder, not the wall clock.
+func TestDegradationLadder(t *testing.T) {
+	clock := time.Unix(2000, 0)
+	var clockMu sync.Mutex
+	cfg := quietCfg(t)
+	cfg.TripSheds = 3
+	cfg.TripWindow = time.Minute
+	cfg.CoolOff = time.Minute
+	cfg.Now = func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return clock }
+	s, ts := startServer(t, cfg)
+
+	for i := 0; i < 3; i++ {
+		s.noteShed()
+	}
+	if lvl := s.degradeLevel(); lvl != degradeInterpOnly {
+		t.Fatalf("after %d sheds level = %d, want interp-only", cfg.TripSheds, lvl)
+	}
+
+	code, resp, apiErr, _ := postRun(t, ts.URL, map[string]any{"tenant": "a", "asm": countAsm})
+	if code != http.StatusOK {
+		t.Fatalf("degraded run: %d %+v", code, apiErr)
+	}
+	if resp.Mode != "interp" || !resp.Degraded {
+		t.Fatalf("degraded server ran mode=%q degraded=%v, want interp/degraded", resp.Mode, resp.Degraded)
+	}
+	if resp.Regs[0] != 1000 {
+		t.Fatalf("degraded mode changed the architectural result: r0 = %d", resp.Regs[0])
+	}
+
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	clockMu.Unlock()
+	code, resp, apiErr, _ = postRun(t, ts.URL, map[string]any{"tenant": "a", "asm": countAsm})
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery run: %d %+v", code, apiErr)
+	}
+	if resp.Mode != "dynamo" || resp.Degraded {
+		t.Fatalf("after cool-off mode=%q degraded=%v, want dynamo restored", resp.Mode, resp.Degraded)
+	}
+	if lvl := s.degradeLevel(); lvl != degradeNormal {
+		t.Fatalf("ladder did not recover: level %d", lvl)
+	}
+}

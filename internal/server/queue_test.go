@@ -1,0 +1,115 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func mkJob(tenant string) *job {
+	return &job{tenant: tenant, done: make(chan struct{})}
+}
+
+// TestQueueRoundRobin: with one tenant flooding and another trickling,
+// dequeue alternates tenants instead of serving the flood FIFO.
+func TestQueueRoundRobin(t *testing.T) {
+	q := newQueue(16, 8)
+	for i := 0; i < 3; i++ {
+		if err := q.enqueue(mkJob("flood")); err != nil {
+			t.Fatalf("enqueue flood %d: %+v", i, err)
+		}
+	}
+	if err := q.enqueue(mkJob("trickle")); err != nil {
+		t.Fatalf("enqueue trickle: %+v", err)
+	}
+	var order []string
+	for i := 0; i < 4; i++ {
+		j, ok := q.dequeue()
+		if !ok {
+			t.Fatal("queue reported drained with jobs pending")
+		}
+		order = append(order, j.tenant)
+	}
+	want := []string{"flood", "trickle", "flood", "flood"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueCaps: the global and per-tenant caps shed with typed overload
+// errors carrying Retry-After.
+func TestQueueCaps(t *testing.T) {
+	q := newQueue(4, 2)
+	if err := q.enqueue(mkJob("a")); err != nil {
+		t.Fatalf("first: %+v", err)
+	}
+	if err := q.enqueue(mkJob("a")); err != nil {
+		t.Fatalf("second: %+v", err)
+	}
+	err := q.enqueue(mkJob("a"))
+	if err == nil || err.Code != CodeOverloaded || err.RetryAfter == 0 || err.status != 503 {
+		t.Fatalf("per-tenant cap: %+v, want overloaded 503 with Retry-After", err)
+	}
+	if err := q.enqueue(mkJob("b")); err != nil {
+		t.Fatalf("other tenant blocked by a's share: %+v", err)
+	}
+	if err := q.enqueue(mkJob("c")); err != nil {
+		t.Fatalf("fourth global: %+v", err)
+	}
+	err = q.enqueue(mkJob("d"))
+	if err == nil || err.Code != CodeOverloaded {
+		t.Fatalf("global cap: %+v, want overloaded", err)
+	}
+	if _, _, sheds := q.stats(); sheds != 2 {
+		t.Fatalf("sheds = %d, want 2", sheds)
+	}
+}
+
+// TestQueueCloseDrains: close stops admission with the draining error but
+// buffered jobs still come out; then dequeue reports done.
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(8, 8)
+	q.enqueue(mkJob("a"))
+	q.enqueue(mkJob("b"))
+	q.close()
+	q.close() // idempotent
+	if err := q.enqueue(mkJob("c")); err == nil || err.Code != CodeDraining {
+		t.Fatalf("enqueue after close: %+v, want draining", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.dequeue(); !ok {
+			t.Fatalf("buffered job %d lost in drain", i)
+		}
+	}
+	if _, ok := q.dequeue(); ok {
+		t.Fatal("dequeue returned a job from a drained queue")
+	}
+}
+
+// TestTokenBucket: burst, denial with a sane wait hint, refill.
+func TestTokenBucket(t *testing.T) {
+	ts := &tenantState{name: "x"}
+	now := time.Unix(500, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := ts.allow(2, 3, now); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, wait := ts.allow(2, 3, now)
+	if ok {
+		t.Fatal("4th token granted from an empty bucket")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait hint %v, want (0, 500ms]-ish for rate 2/s", wait)
+	}
+	if ok, _ := ts.allow(2, 3, now.Add(time.Second)); !ok {
+		t.Fatal("token denied after a full refill interval")
+	}
+	// Disabled limiter always admits.
+	for i := 0; i < 100; i++ {
+		if ok, _ := ts.allow(0, 0, now); !ok {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}

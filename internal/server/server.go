@@ -1,0 +1,413 @@
+// Package server is netpathd's engine room: a hardened multi-tenant
+// translation service over the VM → NET → fragment-cache stack. Guests
+// arrive over HTTP, pass the static verifier, wait in a bounded
+// per-tenant-fair admission queue, and execute on a resident worker pool
+// under per-tenant step/deadline/table budgets. The failure philosophy is
+// the paper's "less is more" applied to robustness: every failure mode has
+// one typed, bounded response — shed early (503 + Retry-After), preempt
+// cooperatively (408), degrade to interpretation under sustained overload,
+// and drain cleanly on shutdown. A guest can be slow, hostile, or unlucky;
+// the process stays up and the other tenants keep their shares.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netpath/internal/dynamo"
+	"netpath/internal/par"
+	"netpath/internal/telemetry"
+)
+
+// Degradation ladder levels.
+const (
+	degradeNormal     = 0 // full NET translation
+	degradeInterpOnly = 1 // interpretation only: no profiling, no fragment pressure
+)
+
+// Config tunes the server. Zero fields take defaults.
+type Config struct {
+	// Workers is the resident worker pool width (0 = par.Workers()).
+	Workers int
+	// QueueDepth bounds total buffered guests; QueueDepthPerTenant bounds
+	// one tenant's share of the buffer.
+	QueueDepth          int
+	QueueDepthPerTenant int
+	// MaxTenants bounds the tenant table.
+	MaxTenants int
+	// RatePerSec and Burst configure the per-tenant token bucket
+	// (RatePerSec <= 0 disables rate limiting).
+	RatePerSec float64
+	Burst      float64
+	// Quotas are the per-tenant resource ceilings.
+	Quotas Quotas
+	// Tables is the global fragment/head/path table budget divided among
+	// active tenants; SharedTables grants every tenant the full budget
+	// instead (the throughput-over-isolation configuration).
+	Tables       dynamo.TableBudget
+	SharedTables bool
+
+	// TripSheds sheds within TripWindow trip the ladder to interp-only;
+	// CoolOff without a shed recovers it.
+	TripSheds  int
+	TripWindow time.Duration
+	CoolOff    time.Duration
+
+	// Registry receives telemetry (nil = telemetry.Def).
+	Registry *telemetry.Registry
+	// Logf logs server-side events (nil = log.Printf).
+	Logf func(format string, args ...any)
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = par.Workers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepthPerTenant <= 0 {
+		c.QueueDepthPerTenant = (c.QueueDepth + 3) / 4
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 256
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	if c.Quotas == (Quotas{}) {
+		c.Quotas = DefaultQuotas()
+	} else {
+		c.Quotas = c.Quotas.withDefaults()
+	}
+	if c.Tables == (dynamo.TableBudget{}) {
+		c.Tables = dynamo.DefaultTableBudget()
+	}
+	if c.TripSheds <= 0 {
+		c.TripSheds = 16
+	}
+	if c.TripWindow <= 0 {
+		c.TripWindow = 5 * time.Second
+	}
+	if c.CoolOff <= 0 {
+		c.CoolOff = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Def
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is a running netpathd instance.
+type Server struct {
+	cfg     Config
+	queue   *queue
+	tenants *tenantSet
+	shards  *dynamo.ShardSet
+	pool    *par.Resident
+	mux     *http.ServeMux
+	sink    *telemetry.Sink
+
+	inFlight atomic.Int64
+	draining atomic.Bool
+
+	// Degradation ladder state. sheds holds recent shed times (bounded to
+	// TripSheds); the ladder trips when TripSheds sheds land inside
+	// TripWindow and recovers after CoolOff shed-free.
+	ladderMu sync.Mutex
+	level    atomic.Int32
+	shedTs   []time.Time
+	lastShed time.Time
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a server (not yet listening; see Start, or use Handler directly
+// in tests via httptest).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   newQueue(cfg.QueueDepth, cfg.QueueDepthPerTenant),
+		tenants: newTenantSet(cfg.MaxTenants),
+		shards:  dynamo.NewShardSet(cfg.Tables, cfg.SharedTables),
+		sink:    cfg.Registry.NewSink(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	cfg.Registry.RegisterOn(s.mux)
+	s.pool = par.StartResident(cfg.Workers, func() (func(), bool) {
+		j, ok := s.queue.dequeue()
+		if !ok {
+			return nil, false
+		}
+		return func() { s.runJob(j) }, true
+	})
+	return s
+}
+
+// Handler exposes the full mux (API + health + telemetry) for embedding and
+// httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in a background goroutine, returning the bound
+// address (so ":0" callers can discover the port).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the server: admission closes immediately (new submissions
+// get typed 503 draining errors), buffered and in-flight guests run to
+// completion, workers retire, the listener closes, and the final telemetry
+// snapshot is flushed to w (nil skips the flush). ctx bounds the wait for
+// in-flight guests; on expiry the HTTP server is torn down regardless.
+func (s *Server) Shutdown(ctx context.Context, w interface{ Write([]byte) (int, error) }) error {
+	s.draining.Store(true)
+	s.queue.close()
+
+	done := make(chan struct{})
+	go func() { s.pool.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("server: drain interrupted: %w", context.Cause(ctx))
+	}
+
+	if s.httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := s.httpSrv.Shutdown(shCtx); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("server: http shutdown: %w", err)
+		}
+	}
+	if w != nil {
+		if err := s.cfg.Registry.WriteJSON(w); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("server: snapshot flush: %w", err)
+		}
+	}
+	return drainErr
+}
+
+func (s *Server) now() time.Time                  { return s.cfg.Now() }
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+func (s *Server) degradeLevel() int32             { return s.level.Load() }
+
+// noteShed feeds the degradation ladder: sustained shedding means the
+// machine cannot keep up with translation overhead on top of execution, so
+// the server demotes itself to interpretation — serving every admitted guest
+// slower beats serving none.
+func (s *Server) noteShed() {
+	now := s.now()
+	s.ladderMu.Lock()
+	defer s.ladderMu.Unlock()
+	s.lastShed = now
+	cutoff := now.Add(-s.cfg.TripWindow)
+	ts := s.shedTs[:0]
+	for _, t := range s.shedTs {
+		if t.After(cutoff) {
+			ts = append(ts, t)
+		}
+	}
+	s.shedTs = append(ts, now)
+	if len(s.shedTs) >= s.cfg.TripSheds && s.level.Load() == degradeNormal {
+		s.level.Store(degradeInterpOnly)
+		telDegradeLevel.Set(degradeInterpOnly)
+		s.logf("degradation ladder tripped: %d sheds in %v; demoting to interpret-only",
+			len(s.shedTs), s.cfg.TripWindow)
+	}
+}
+
+// maybeRecover climbs back to normal after a shed-free cool-off. Called on
+// the submission path so recovery needs no background ticker.
+func (s *Server) maybeRecover() {
+	if s.level.Load() == degradeNormal {
+		return
+	}
+	now := s.now()
+	s.ladderMu.Lock()
+	defer s.ladderMu.Unlock()
+	if s.level.Load() != degradeNormal && now.Sub(s.lastShed) > s.cfg.CoolOff {
+		s.level.Store(degradeNormal)
+		s.shedTs = s.shedTs[:0]
+		telDegradeLevel.Set(degradeNormal)
+		s.logf("degradation ladder recovered: %v shed-free; restoring translation", s.cfg.CoolOff)
+	}
+}
+
+// handleRun is the submission path: decode → tenant/rate gate → resolve
+// (parse + quota + verify) → enqueue → wait → respond.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	telSubmits.Inc()
+	s.maybeRecover()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Quotas.MaxBodyBytes)
+	req, apiErr := decodeRequest(r.Body)
+	if apiErr == nil {
+		apiErr = req.validate()
+	}
+	if apiErr != nil {
+		telRejected.Inc()
+		apiErr.write(w)
+		return
+	}
+
+	tenant, ok := s.tenants.get(req.Tenant)
+	if !ok {
+		telRejected.Inc()
+		errf(CodeQuota, http.StatusUnprocessableEntity,
+			"tenant table full (%d tenants); no new tenants admitted", s.cfg.MaxTenants).write(w)
+		return
+	}
+	tenant.submitted.Add(1)
+	telTenants.Set(int64(s.tenants.count()))
+
+	if allowed, wait := tenant.allow(s.cfg.RatePerSec, s.cfg.Burst, s.now()); !allowed {
+		tenant.rateLimits.Add(1)
+		telRateLimited.Inc()
+		e := errf(CodeRateLimited, http.StatusTooManyRequests,
+			"tenant %s rate limited; retry after %v", req.Tenant, wait.Round(time.Millisecond))
+		e.RetryAfter = int(wait/time.Second) + 1
+		e.write(w)
+		return
+	}
+
+	if apiErr := req.resolve(s.cfg.Quotas); apiErr != nil {
+		telRejected.Inc()
+		apiErr.write(w)
+		return
+	}
+
+	j := &job{tenant: req.Tenant, req: req, enqueued: s.now(), done: make(chan struct{})}
+	if apiErr := s.queue.enqueue(j); apiErr != nil {
+		tenant.shed.Add(1)
+		telShed.Inc()
+		if apiErr.Code == CodeOverloaded {
+			s.noteShed()
+		}
+		apiErr.write(w)
+		return
+	}
+	tenant.admitted.Add(1)
+	telAdmitted.Inc()
+	telQueueDepth.Set(int64(s.queue.depth()))
+
+	// Wait for the worker. The job always completes — deadlines preempt
+	// runaway guests — so waiting without a select on r.Context() is safe;
+	// a vanished client just gets its response written to a dead socket.
+	<-j.done
+	if j.apiErr != nil {
+		switch j.apiErr.Code {
+		case CodeDeadline:
+			tenant.deadlines.Add(1)
+		case CodeGuestFault, CodeStepLimit:
+			tenant.faults.Add(1)
+		}
+		j.apiErr.write(w)
+		return
+	}
+	tenant.completed.Add(1)
+	telCompleted.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.resp)
+}
+
+// handleHealthz: liveness — the process is up and the mux is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz: readiness — admitting new guests. Draining flips it so load
+// balancers stop routing here before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+// statuszTenant is one tenant's row in the /statusz document.
+type statuszTenant struct {
+	Name       string `json:"name"`
+	Submitted  int64  `json:"submitted"`
+	Admitted   int64  `json:"admitted"`
+	Completed  int64  `json:"completed"`
+	Shed       int64  `json:"shed"`
+	RateLimits int64  `json:"rate_limited"`
+	Faults     int64  `json:"faults"`
+	Deadlines  int64  `json:"deadlines"`
+}
+
+// statuszDoc is the /statusz JSON document.
+type statuszDoc struct {
+	Draining       bool            `json:"draining"`
+	DegradeLevel   int32           `json:"degrade_level"`
+	QueueDepth     int             `json:"queue_depth"`
+	QueueHighWater int             `json:"queue_high_water"`
+	Sheds          int64           `json:"sheds"`
+	InFlight       int64           `json:"inflight"`
+	Workers        int             `json:"workers"`
+	ActiveShards   int             `json:"active_shards"`
+	TableEvictions int64           `json:"table_evictions"`
+	Tenants        []statuszTenant `json:"tenants"`
+}
+
+// handleStatusz: operator-facing JSON snapshot of admission and ladder state.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	depth, high, sheds := s.queue.stats()
+	doc := statuszDoc{
+		Draining:       s.draining.Load(),
+		DegradeLevel:   s.level.Load(),
+		QueueDepth:     depth,
+		QueueHighWater: high,
+		Sheds:          sheds,
+		InFlight:       s.inFlight.Load(),
+		Workers:        s.pool.Size(),
+		ActiveShards:   s.shards.Tenants(),
+		TableEvictions: s.shards.Evictions(),
+	}
+	for _, t := range s.tenants.all() {
+		doc.Tenants = append(doc.Tenants, statuszTenant{
+			Name:       t.name,
+			Submitted:  t.submitted.Load(),
+			Admitted:   t.admitted.Load(),
+			Completed:  t.completed.Load(),
+			Shed:       t.shed.Load(),
+			RateLimits: t.rateLimits.Load(),
+			Faults:     t.faults.Load(),
+			Deadlines:  t.deadlines.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netpath/internal/asm"
+	"netpath/internal/prog"
+)
+
+// Guests used across the tests.
+const (
+	// countAsm halts after a short counted loop, leaving the count in r0.
+	countAsm = `
+func main:
+    movi r0, 0
+loop:
+    addi r0, r0, 1
+    bri.lt r0, 1000, loop
+    halt
+`
+	// spinAsm runs ~1e12 iterations — effectively forever, but with a
+	// statically visible exit edge so the verifier admits it. Deadline and
+	// step-budget tests hang guests with it.
+	spinAsm = `
+func main:
+    movi r0, 1
+spin:
+    addi r0, r0, 1
+    bri.lt r0, 1000000000000, spin
+    halt
+`
+	// faultAsm loads far outside its 4-word memory: a guaranteed runtime
+	// fault the static verifier cannot see.
+	faultAsm = `
+.mem 4
+func main:
+    movi r0, 1000
+    load r1, [r0+0]
+    halt
+`
+	// hangAsm is an obviously infinite counterless loop — the verifier
+	// rejects it at load time (ClassInfiniteLoop).
+	hangAsm = `
+func main:
+loop:
+    jmp loop
+`
+)
+
+// quietCfg returns a test config that logs through t and keeps runs short.
+func quietCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Workers:    2,
+		QueueDepth: 16,
+		Logf:       t.Logf,
+	}
+}
+
+// startServer builds a Server plus an httptest front end and registers
+// cleanup. Telemetry instruments live in the process-global registry, so no
+// per-test registry is needed (duplicate mux patterns would panic).
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx, nil)
+	})
+	return s, ts
+}
+
+// postRun submits body (marshalled if not []byte) and returns the status,
+// the decoded success response, and the decoded error (one of which is nil).
+func postRun(t *testing.T, url string, body any) (int, *runResponse, *apiError, http.Header) {
+	t.Helper()
+	var buf []byte
+	switch b := body.(type) {
+	case []byte:
+		buf = b
+	case string:
+		buf = []byte(b)
+	default:
+		var err error
+		buf, err = json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var rr runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("decode success body: %v", err)
+		}
+		return resp.StatusCode, &rr, nil, resp.Header
+	}
+	var eb errBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil {
+		t.Fatalf("status %d with undecodable error body (err=%v)", resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil, eb.Error, resp.Header
+}
+
+// TestRunAsmRoundTrip: an assembled guest executes under full translation
+// and the response carries its architectural result.
+func TestRunAsmRoundTrip(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	code, resp, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "alice", "asm": countAsm,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, err %+v", code, apiErr)
+	}
+	if resp.Mode != "dynamo" || resp.Degraded {
+		t.Fatalf("mode %q degraded=%v, want dynamo/undegraded", resp.Mode, resp.Degraded)
+	}
+	if resp.Steps == 0 || len(resp.Regs) == 0 || resp.Regs[0] != 1000 {
+		t.Fatalf("steps=%d regs=%v, want r0=1000", resp.Steps, resp.Regs)
+	}
+}
+
+// TestRunEncodedProg: the netpath-prog/v1 wire form round-trips through the
+// server and matches the asm form's result.
+func TestRunEncodedProg(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	p, err := asm.Parse("count", countAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := prog.EncodeJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, resp, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "bob", "prog": json.RawMessage(doc),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, err %+v", code, apiErr)
+	}
+	if resp.Regs[0] != 1000 {
+		t.Fatalf("r0 = %d, want 1000", resp.Regs[0])
+	}
+}
+
+// TestRunBench: built-in workloads are submittable by name.
+func TestRunBench(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	code, resp, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "carol", "bench": "compress", "scale": 0.005,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, err %+v", code, apiErr)
+	}
+	if resp.Name != "compress" || resp.Steps == 0 {
+		t.Fatalf("resp %+v, want compress with steps > 0", resp)
+	}
+}
+
+// TestTypedRejections: every malformed or over-quota submission maps to its
+// documented code and 4xx status — never a 5xx.
+func TestTypedRejections(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	cases := []struct {
+		name     string
+		body     any
+		wantCode ErrCode
+		wantHTTP int
+	}{
+		{"garbage", "{nope", CodeBadRequest, 400},
+		{"trailing", `{"tenant":"a","asm":"func main:\n halt\n"} {}`, CodeBadRequest, 400},
+		{"unknown field", map[string]any{"tenant": "a", "asm": countAsm, "wat": 1}, CodeBadRequest, 400},
+		{"missing tenant", map[string]any{"asm": countAsm}, CodeBadRequest, 400},
+		{"bad tenant", map[string]any{"tenant": "a b\nc", "asm": countAsm}, CodeBadRequest, 400},
+		{"no program", map[string]any{"tenant": "a"}, CodeBadRequest, 400},
+		{"two programs", map[string]any{"tenant": "a", "asm": countAsm, "bench": "compress"}, CodeBadRequest, 400},
+		{"bad scheme", map[string]any{"tenant": "a", "asm": countAsm, "scheme": "jit"}, CodeBadRequest, 400},
+		{"negative steps", map[string]any{"tenant": "a", "asm": countAsm, "max_steps": -1}, CodeBadRequest, 400},
+		{"bad scale", map[string]any{"tenant": "a", "bench": "compress", "scale": 2.0}, CodeBadRequest, 400},
+		{"unknown bench", map[string]any{"tenant": "a", "bench": "doom"}, CodeBadRequest, 400},
+		{"parse error", map[string]any{"tenant": "a", "asm": "func main:\n frobnicate r0\n"}, CodeParse, 400},
+		{"bad prog doc", map[string]any{"tenant": "a", "prog": json.RawMessage(`{"version":"bogus"}`)}, CodeParse, 400},
+		{"verify rejected", map[string]any{"tenant": "a", "asm": hangAsm}, CodeVerify, 422},
+		{"steps over quota", map[string]any{"tenant": "a", "asm": countAsm, "max_steps": int64(1) << 60}, CodeQuota, 422},
+		{"deadline over quota", map[string]any{"tenant": "a", "asm": countAsm, "deadline_ms": 1 << 30}, CodeQuota, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, apiErr, _ := postRun(t, ts.URL, tc.body)
+			if code != tc.wantHTTP || apiErr == nil || apiErr.Code != tc.wantCode {
+				t.Fatalf("got status %d code %v, want %d %s (err %+v)",
+					code, codeOf(apiErr), tc.wantHTTP, tc.wantCode, apiErr)
+			}
+		})
+	}
+}
+
+func codeOf(e *apiError) ErrCode {
+	if e == nil {
+		return ""
+	}
+	return e.Code
+}
+
+// TestBodyTooLarge: MaxBytesReader rejections surface as a quota error, not
+// a connection reset or a 5xx.
+func TestBodyTooLarge(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.Quotas = DefaultQuotas()
+	cfg.Quotas.MaxBodyBytes = 512
+	_, ts := startServer(t, cfg)
+	big := map[string]any{"tenant": "a", "asm": countAsm + strings.Repeat("; pad\n", 200)}
+	code, _, apiErr, _ := postRun(t, ts.URL, big)
+	if code != http.StatusRequestEntityTooLarge || apiErr.Code != CodeQuota {
+		t.Fatalf("got %d %v, want 413 quota_exceeded", code, codeOf(apiErr))
+	}
+}
+
+// TestDeadlinePreemption: a spinning guest is preempted at its wall-clock
+// deadline with the typed deadline error, under both translation and the
+// degraded interpreter.
+func TestDeadlinePreemption(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	start := time.Now()
+	code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "alice", "asm": spinAsm, "deadline_ms": 100,
+	})
+	elapsed := time.Since(start)
+	if code != http.StatusRequestTimeout || apiErr.Code != CodeDeadline {
+		t.Fatalf("got %d %v, want 408 deadline", code, codeOf(apiErr))
+	}
+	if apiErr.Steps == 0 {
+		t.Fatalf("deadline error carries no step count: %+v", apiErr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("preemption took %v; cooperative yield is broken", elapsed)
+	}
+}
+
+// TestStepLimit: a spinning guest under a step budget stops with the typed
+// step-limit error.
+func TestStepLimit(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "alice", "asm": spinAsm, "max_steps": 20000,
+	})
+	if code != http.StatusUnprocessableEntity || apiErr.Code != CodeStepLimit {
+		t.Fatalf("got %d %v, want 422 step_limit", code, codeOf(apiErr))
+	}
+}
+
+// TestGuestFault: a runtime memory fault maps to the typed guest-fault
+// error, not a 5xx.
+func TestGuestFault(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{
+		"tenant": "alice", "asm": faultAsm,
+	})
+	if code != http.StatusUnprocessableEntity || apiErr.Code != CodeGuestFault {
+		t.Fatalf("got %d %v, want 422 guest_fault", code, codeOf(apiErr))
+	}
+	if !strings.Contains(apiErr.Message, "fault") {
+		t.Fatalf("fault message %q names no fault", apiErr.Message)
+	}
+}
+
+// TestRateLimit: the token bucket rejects the burst-exhausting submission
+// with 429 and a Retry-After hint, and refills with the (injected) clock.
+func TestRateLimit(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	cfg := quietCfg(t)
+	cfg.RatePerSec = 1
+	cfg.Burst = 2
+	cfg.Now = func() time.Time { return clock }
+	_, ts := startServer(t, cfg)
+
+	body := map[string]any{"tenant": "alice", "asm": countAsm}
+	for i := 0; i < 2; i++ {
+		if code, _, apiErr, _ := postRun(t, ts.URL, body); code != http.StatusOK {
+			t.Fatalf("burst submission %d: %d %+v", i, code, apiErr)
+		}
+	}
+	code, _, apiErr, hdr := postRun(t, ts.URL, body)
+	if code != http.StatusTooManyRequests || apiErr.Code != CodeRateLimited {
+		t.Fatalf("got %d %v, want 429 rate_limited", code, codeOf(apiErr))
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	clock = clock.Add(3 * time.Second)
+	if code, _, apiErr, _ := postRun(t, ts.URL, body); code != http.StatusOK {
+		t.Fatalf("after refill: %d %+v", code, apiErr)
+	}
+}
+
+// TestTenantTableBound: the tenant table refuses fresh tenants past the cap
+// with a typed quota error; existing tenants keep working.
+func TestTenantTableBound(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.MaxTenants = 2
+	_, ts := startServer(t, cfg)
+	for _, tenant := range []string{"a", "b"} {
+		if code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{"tenant": tenant, "asm": countAsm}); code != 200 {
+			t.Fatalf("tenant %s: %d %+v", tenant, code, apiErr)
+		}
+	}
+	code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{"tenant": "c", "asm": countAsm})
+	if code != http.StatusUnprocessableEntity || apiErr.Code != CodeQuota {
+		t.Fatalf("third tenant: got %d %v, want 422 quota_exceeded", code, codeOf(apiErr))
+	}
+	if code, _, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "a", "asm": countAsm}); code != 200 {
+		t.Fatalf("existing tenant rejected after table filled: %d", code)
+	}
+}
+
+// TestDrainRejectsAndReadyz: during shutdown new submissions get the typed
+// draining 503 and /readyz flips, while /healthz stays alive.
+func TestDrainRejectsAndReadyz(t *testing.T) {
+	cfg := quietCfg(t)
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drain an idle server; handler stays mounted on the httptest listener.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var snap bytes.Buffer
+	if err := s.Shutdown(ctx, &snap); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !json.Valid(snap.Bytes()) {
+		t.Fatalf("final snapshot is not valid JSON: %.80s", snap.String())
+	}
+
+	code, _, apiErr, hdr := postRun(t, ts.URL, map[string]any{"tenant": "a", "asm": countAsm})
+	if code != http.StatusServiceUnavailable || apiErr.Code != CodeDraining {
+		t.Fatalf("got %d %v, want 503 draining", code, codeOf(apiErr))
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("draining 503 without Retry-After")
+	}
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d while draining, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}
+
+// TestStatuszAndMetrics: the operator endpoints serve on the same mux as the
+// API and reflect the runs above.
+func TestStatuszAndMetrics(t *testing.T) {
+	_, ts := startServer(t, quietCfg(t))
+	if code, _, apiErr, _ := postRun(t, ts.URL, map[string]any{"tenant": "ops", "asm": countAsm}); code != 200 {
+		t.Fatalf("warm-up run: %d %+v", code, apiErr)
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc statuszDoc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /statusz: %v", err)
+	}
+	found := false
+	for _, tn := range doc.Tenants {
+		if tn.Name == "ops" && tn.Completed >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/statusz does not show tenant ops completed: %+v", doc)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := sb.String()
+	for _, want := range []string{"netpath_server_submits_total", "netpath_server_completed_total", "netpath_dynamo_frag_enters_total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+}

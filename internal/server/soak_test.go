@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"netpath/internal/dynamo"
+)
+
+// TestChaosSoakConcurrent is the chaos-under-concurrency soak: N tenants
+// hammer one server with a seeded mix of healthy guests, chaos-injected
+// guests, spinners, faulters, and malformed junk, while tiny table budgets
+// force eviction pressure and a tiny queue forces overload. The contract
+// under all of it, checked with -race in CI:
+//
+//   - every response is a success or a typed 4xx/503 — never a 5xx, never
+//     a transport error, never a worker panic;
+//   - the server then drains gracefully and flushes a valid final snapshot.
+func TestChaosSoakConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := quietCfg(t)
+	cfg.Workers = 4
+	cfg.QueueDepth = 8
+	cfg.QueueDepthPerTenant = 3
+	cfg.Tables = dynamo.TableBudget{HeadCounters: 1 << 10, Paths: 1 << 12, Fragments: 256}
+	cfg.Quotas = DefaultQuotas()
+	cfg.Quotas.DefaultSteps = 3_000_000
+	cfg.Quotas.DefaultDeadline = 2 * time.Second
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	panicsBefore := telPanics.Value()
+
+	const (
+		tenants    = 6
+		perTenant  = 8
+		benchScale = 0.003
+	)
+	// One request body per (tenant, iteration), cycling through the threat
+	// mix; chaos seeds vary per submission so runs do not share schedules.
+	mkBody := func(tenant string, i int) any {
+		switch i % 5 {
+		case 0: // healthy translated guest
+			return map[string]any{"tenant": tenant, "asm": countAsm}
+		case 1: // benchmark under soft chaos: aborts, corruptions, spikes
+			return map[string]any{
+				"tenant": tenant, "bench": "compress", "scale": benchScale,
+				"chaos_seed": int64(1000 + i), "chaos_soft_per_m": 200,
+			}
+		case 2: // benchmark under trap chaos: injected machine faults
+			return map[string]any{
+				"tenant": tenant, "bench": "li", "scale": benchScale,
+				"chaos_seed": int64(2000 + i), "chaos_trap_per_m": 5,
+			}
+		case 3: // hostile spinner, bounded by a short deadline
+			return map[string]any{"tenant": tenant, "asm": spinAsm, "deadline_ms": 80}
+		default: // malformed junk
+			return []byte(fmt.Sprintf(`{"tenant":%q,"asm":`, tenant))
+		}
+	}
+
+	type outcome struct {
+		code int
+		raw  []byte
+		err  error
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		wg       sync.WaitGroup
+	)
+	for tn := 0; tn < tenants; tn++ {
+		tenant := fmt.Sprintf("soak-%d", tn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				code, _, raw, err := submit(ts.URL, mkBody(tenant, i))
+				mu.Lock()
+				outcomes = append(outcomes, outcome{code: code, raw: raw, err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	counts := map[int]int{}
+	for _, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("transport error during soak: %v", o.err)
+		}
+		counts[o.code]++
+		if o.code >= 500 && o.code != http.StatusServiceUnavailable {
+			t.Fatalf("soak produced a %d: %s", o.code, o.raw)
+		}
+		if o.code != http.StatusOK {
+			if apiErr := decodeErrBody(o.raw); apiErr == nil || apiErr.Code == "" {
+				t.Fatalf("status %d without a typed error body: %s", o.code, o.raw)
+			}
+		}
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatal("soak completed no guest successfully")
+	}
+	t.Logf("soak outcomes by status: %v; table evictions %d, pressure %d milli",
+		counts, s.shards.Evictions(), s.shards.PressureMilli())
+
+	if got := telPanics.Value(); got != panicsBefore {
+		t.Fatalf("soak recovered %d worker panics; hardened paths must not panic", got-panicsBefore)
+	}
+
+	// Graceful drain with the final snapshot flush.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var snap bytes.Buffer
+	if err := s.Shutdown(ctx, &snap); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(snap.Bytes(), &doc); err != nil {
+		t.Fatalf("final snapshot is not valid JSON: %v", err)
+	}
+	if _, ok := doc["counters"]; !ok {
+		t.Fatalf("final snapshot has no counters section: %v", doc)
+	}
+}

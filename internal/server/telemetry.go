@@ -1,0 +1,44 @@
+package server
+
+import "netpath/internal/telemetry"
+
+// The server's own instruments, registered alongside the VM/dynamo set in the
+// process-wide registry so one /metrics scrape covers both layers. Request
+// handling is cold relative to the guest step loop, so these write through
+// plain instrument methods rather than per-worker Sinks.
+var (
+	telSubmits = telemetry.NewCounter("server_submits_total",
+		"Guest submissions received (before admission).")
+	telAdmitted = telemetry.NewCounter("server_admitted_total",
+		"Guest submissions admitted to the run queue.")
+	telShed = telemetry.NewCounter("server_shed_total",
+		"Submissions rejected by load shedding (queue full or draining).")
+	telRateLimited = telemetry.NewCounter("server_rate_limited_total",
+		"Submissions rejected by a tenant token bucket.")
+	telRejected = telemetry.NewCounter("server_rejected_total",
+		"Submissions rejected before admission (parse, verify, quota).")
+	telCompleted = telemetry.NewCounter("server_completed_total",
+		"Guest runs that finished and returned a result.")
+	telDeadlines = telemetry.NewCounter("server_deadline_total",
+		"Guest runs preempted at their wall-clock deadline.")
+	telStepLimits = telemetry.NewCounter("server_step_limit_total",
+		"Guest runs stopped at their machine-step budget.")
+	telGuestFaults = telemetry.NewCounter("server_guest_fault_total",
+		"Guest runs ended by a machine fault.")
+	telPanics = telemetry.NewCounter("server_panics_total",
+		"Worker panics recovered (request died, process survived).")
+
+	telQueueDepth = telemetry.NewGauge("server_queue_depth",
+		"Guests currently buffered in the admission queue.")
+	telInFlight = telemetry.NewGauge("server_inflight",
+		"Guests currently executing on workers.")
+	telDegradeLevel = telemetry.NewGauge("server_degrade_level",
+		"Degradation ladder level: 0 normal, 1 interpret-only.")
+	telTenants = telemetry.NewGauge("server_tenants",
+		"Tenants known to the server.")
+
+	telQueueWait = telemetry.NewHistogram("server_queue_wait_us",
+		"Microseconds a guest waited in the admission queue.")
+	telRunTime = telemetry.NewHistogram("server_run_us",
+		"Microseconds a guest spent executing.")
+)

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Quotas bounds what one submission may ask of the machine. Zero fields
+// take defaults; the ceilings are hard — a request asking beyond them is a
+// typed quota rejection, not a clamp, so tenants learn their limits instead
+// of silently getting less than they asked for.
+type Quotas struct {
+	// MaxBodyBytes caps the HTTP request body.
+	MaxBodyBytes int64
+	// MaxInstrs caps program length in instructions.
+	MaxInstrs int
+	// MaxMemWords caps guest memory.
+	MaxMemWords int
+	// MaxSteps is the per-run machine-step ceiling; DefaultSteps applies
+	// when a submission does not ask.
+	MaxSteps     int64
+	DefaultSteps int64
+	// MaxDeadline is the per-run wall-clock ceiling; DefaultDeadline
+	// applies when a submission does not ask.
+	MaxDeadline     time.Duration
+	DefaultDeadline time.Duration
+}
+
+// DefaultQuotas returns the stock per-tenant resource governor settings.
+func DefaultQuotas() Quotas {
+	return Quotas{
+		MaxBodyBytes:    1 << 20,
+		MaxInstrs:       1 << 16,
+		MaxMemWords:     1 << 20,
+		MaxSteps:        200_000_000,
+		DefaultSteps:    50_000_000,
+		MaxDeadline:     30 * time.Second,
+		DefaultDeadline: 5 * time.Second,
+	}
+}
+
+func (q Quotas) withDefaults() Quotas {
+	d := DefaultQuotas()
+	if q.MaxBodyBytes <= 0 {
+		q.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if q.MaxInstrs <= 0 {
+		q.MaxInstrs = d.MaxInstrs
+	}
+	if q.MaxMemWords <= 0 {
+		q.MaxMemWords = d.MaxMemWords
+	}
+	if q.MaxSteps <= 0 {
+		q.MaxSteps = d.MaxSteps
+	}
+	if q.DefaultSteps <= 0 || q.DefaultSteps > q.MaxSteps {
+		q.DefaultSteps = min64(d.DefaultSteps, q.MaxSteps)
+	}
+	if q.MaxDeadline <= 0 {
+		q.MaxDeadline = d.MaxDeadline
+	}
+	if q.DefaultDeadline <= 0 || q.DefaultDeadline > q.MaxDeadline {
+		q.DefaultDeadline = minDur(d.DefaultDeadline, q.MaxDeadline)
+	}
+	return q
+}
+
+// tenantState is one tenant's admission and accounting state.
+type tenantState struct {
+	name string
+
+	// Token bucket (mu-guarded; refilled lazily on each allow check).
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	// Lifetime stats, exported on /statusz.
+	submitted  atomic.Int64
+	admitted   atomic.Int64
+	completed  atomic.Int64
+	shed       atomic.Int64
+	rateLimits atomic.Int64
+	faults     atomic.Int64
+	deadlines  atomic.Int64
+}
+
+// allow takes one token if available; otherwise reports how long until one
+// accrues. rate <= 0 disables limiting.
+func (t *tenantState) allow(rate, burst float64, now time.Time) (bool, time.Duration) {
+	if rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = burst
+	} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens += dt * rate
+		if t.tokens > burst {
+			t.tokens = burst
+		}
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - t.tokens) / rate * float64(time.Second))
+	return false, wait
+}
+
+// tenantSet owns the tenant table. It is bounded: a submission flood with
+// ever-fresh tenant names must not grow server memory without limit, so
+// past the cap new tenants are refused with a quota error (existing tenants
+// are unaffected).
+type tenantSet struct {
+	mu  sync.Mutex
+	m   map[string]*tenantState
+	max int
+}
+
+func newTenantSet(max int) *tenantSet {
+	return &tenantSet{m: make(map[string]*tenantState), max: max}
+}
+
+// get returns the tenant's state, creating it if the table has room.
+func (ts *tenantSet) get(name string) (*tenantState, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t, ok := ts.m[name]; ok {
+		return t, true
+	}
+	if len(ts.m) >= ts.max {
+		return nil, false
+	}
+	t := &tenantState{name: name}
+	ts.m[name] = t
+	return t, true
+}
+
+// count returns the tenant table size.
+func (ts *tenantSet) count() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.m)
+}
+
+// all returns the tenants sorted by name (for stable /statusz output).
+func (ts *tenantSet) all() []*tenantState {
+	ts.mu.Lock()
+	out := make([]*tenantState, 0, len(ts.m))
+	for _, t := range ts.m {
+		out = append(out, t)
+	}
+	ts.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

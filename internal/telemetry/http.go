@@ -21,9 +21,12 @@ import (
 	"strconv"
 )
 
-// Handler returns the registry's HTTP mux.
-func (r *Registry) Handler() http.Handler {
-	mux := http.NewServeMux()
+// RegisterOn mounts the registry's scrape routes on an external mux, so a
+// host service (cmd/netpathd) serves telemetry and its own API from one
+// listener. The routes are exactly the standalone server's; registering two
+// registries on one mux is a caller error (duplicate patterns panic, as
+// net/http always does).
+func (r *Registry) RegisterOn(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -45,6 +48,13 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the registry's HTTP mux (the standalone-server form of
+// RegisterOn).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	r.RegisterOn(mux)
 	return mux
 }
 

@@ -1,0 +1,56 @@
+// Context-aware execution for resident services. A server cannot afford a
+// guest that never yields, so RunContext slices the batched run loop into
+// bounded chunks and polls the context between them: the hot loop stays
+// exactly Run's (no per-instruction check), and cancellation latency is
+// bounded by one chunk of steps.
+package vm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// preemptChunk is the number of steps executed between context polls; at the
+// engine's measured ~10 ns/step this bounds cancellation latency well under
+// a millisecond.
+const preemptChunk = 1 << 16
+
+// ErrPreempted wraps the context error when RunContext stops a run early.
+var ErrPreempted = errors.New("vm: run preempted")
+
+// RunContext executes like Run(maxSteps) but additionally stops when ctx is
+// done, returning an error wrapping both ErrPreempted and ctx's error (so
+// errors.Is works against context.DeadlineExceeded and context.Canceled).
+// The machine is left at a clean instruction boundary and may be resumed.
+//
+// The loop body runs once per 2^16 steps and the fmt path once per run, at
+// preemption — cold relative to the step loop it wraps.
+//
+//netpathvet:cold
+func (m *Machine) RunContext(ctx context.Context, maxSteps int64) error {
+	if ctx.Done() == nil {
+		return m.Run(maxSteps)
+	}
+	for !m.Halted {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w after %d steps: %w", ErrPreempted, m.Steps, err)
+		}
+		budget := m.Steps + preemptChunk
+		chunked := true
+		if maxSteps > 0 && maxSteps <= budget {
+			budget, chunked = maxSteps, false
+		}
+		err := m.Run(budget)
+		if err == nil {
+			// Run returns nil both on halt and (for an already-halted
+			// machine) immediately; the loop condition distinguishes.
+			continue
+		}
+		if chunked && errors.Is(err, ErrStepLimit) {
+			continue // chunk boundary, not the caller's budget
+		}
+		return err
+	}
+	return nil
+}

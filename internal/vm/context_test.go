@@ -1,0 +1,91 @@
+package vm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"netpath/internal/randprog"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+// TestRunContextBackground: a context with no deadline takes the plain Run
+// path and produces identical results.
+func TestRunContextBackground(t *testing.T) {
+	p := randprog.MustGenerate(3, randprog.Options{})
+	ref := vm.New(p)
+	if err := ref.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := vm.New(p)
+	if err := m.RunContext(context.Background(), 0); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if m.Steps != ref.Steps || m.Reg != ref.Reg {
+		t.Errorf("RunContext diverges from Run: steps %d vs %d", m.Steps, ref.Steps)
+	}
+}
+
+// TestRunContextCancel: a canceled context stops the run with a typed,
+// resumable error, and the machine resumes to the exact reference state.
+func TestRunContextCancel(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := vm.New(p)
+	if err := ref.Run(0); err != nil {
+		t.Fatalf("ref run: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := vm.New(p)
+	err = m.RunContext(ctx, 0)
+	if !errors.Is(err, vm.ErrPreempted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrPreempted wrapping context.Canceled", err)
+	}
+	if m.Halted {
+		t.Fatal("preempted machine must not be halted")
+	}
+	// Resume with a fresh context: final state must match the reference.
+	if err := m.RunContext(context.Background(), 0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if m.Steps != ref.Steps || m.Reg != ref.Reg {
+		t.Errorf("resumed run diverges: steps %d vs %d", m.Steps, ref.Steps)
+	}
+}
+
+// TestRunContextDeadline: an already-expired deadline preempts promptly and
+// reports DeadlineExceeded; the step budget still binds underneath.
+func TestRunContextDeadline(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	m := vm.New(p)
+	if err := m.RunContext(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+
+	m2 := vm.New(p)
+	if err := m2.RunContext(context.Background(), 100); !errors.Is(err, vm.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	if m2.Steps != 100 {
+		t.Errorf("Steps = %d, want 100 (budget must bind exactly)", m2.Steps)
+	}
+}
