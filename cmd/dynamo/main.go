@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-maxsteps n] [-v] [benchmark ...]
+//	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-maxsteps n] [-v]
+//	       [-tier2] [-tier2-workers n] [-tier2-threshold n] [benchmark ...]
 package main
 
 import (
@@ -31,6 +32,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print the full cycle breakdown")
 	noopt := flag.Bool("noopt", false, "disable the trace optimizer (ablation)")
 	nolink := flag.Bool("nolink", false, "disable fragment linking (ablation)")
+	tier2 := flag.Bool("tier2", false, "enable background superblock compilation (tier-2 execution)")
+	tier2Workers := flag.Int("tier2-workers", 1, "tier-2 compile worker count")
+	tier2Queue := flag.Int("tier2-queue", 64, "tier-2 compile queue capacity")
+	tier2Threshold := flag.Int64("tier2-threshold", 0, "fragment completions before tier-2 promotion (0 = engine default)")
 	fragments := flag.Int("fragments", 0, "print the top N resident fragments after the run")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address and enable collection")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server (and process) alive this long after the work completes")
@@ -62,6 +67,12 @@ func main() {
 		log.Fatalf("unknown scheme %q", *schemeFlag)
 	}
 
+	var t2c *dynamo.Tier2Compiler
+	if *tier2 {
+		t2c = dynamo.NewTier2Compiler(*tier2Workers, *tier2Queue)
+		defer t2c.Close()
+	}
+
 	names := flag.Args()
 	if len(names) == 0 {
 		names = workload.Names()
@@ -78,6 +89,8 @@ func main() {
 		cfg := dynamo.DefaultConfig(scheme, *tau)
 		cfg.DisableOptimizer = *noopt
 		cfg.DisableLinking = *nolink
+		cfg.Tier2 = t2c
+		cfg.Tier2Threshold = *tier2Threshold
 		if telemetry.Active() {
 			cfg.Telemetry = telemetry.Def.NewSink()
 		}
@@ -114,6 +127,14 @@ func printBreakdown(r dynamo.Result) {
 		r.InterpInstrs, r.FragInstrs, 100*r.CachedFraction(), r.ElimInstrs, r.NativeInstrs)
 	fmt.Printf("  cache:  %d fragments, %d flushes, enters %d, linked %d, exits %d\n",
 		r.Fragments, r.Flushes, r.FragEnters, r.LinkedJumps, r.FragExits)
+	if r.T2Promotions > 0 || r.T2Enters > 0 {
+		pct := 0.0
+		if r.Steps > 0 {
+			pct = 100 * float64(r.T2Instrs) / float64(r.Steps)
+		}
+		fmt.Printf("  tier2:  %d promoted, %d superblock entries, %d instrs (%.2f%% of run), %d guard bounces, %d deopts\n",
+			r.T2Promotions, r.T2Enters, r.T2Instrs, pct, r.T2GuardFails, r.T2Deopts)
+	}
 	if r.BailedOut {
 		fmt.Printf("  bail-out at step %d\n", r.BailStep)
 	}

@@ -9,9 +9,11 @@ import (
 	"netpath/internal/benchjson"
 	"netpath/internal/dynamo"
 	"netpath/internal/experiments"
+	"netpath/internal/isa"
 	"netpath/internal/metrics"
 	"netpath/internal/par"
 	"netpath/internal/path"
+	"netpath/internal/prog"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
 	"netpath/internal/staticpred"
@@ -200,6 +202,103 @@ func runBenchSuite(scale float64, out string) error {
 		}
 	})
 
+	// Tier pair: the same full mini-Dynamo NET run (τ=50) with and without
+	// the background superblock compiler, on ijpeg — the suite's dominant-
+	// inner-path workload (the paper's 93.3% hot flow), where tier 2's
+	// fused superblocks cover the most steps. One compile worker: the
+	// baseline host is single-core, so the worker time-slices against the
+	// guest and extra workers only add scheduling churn. The tier-2 entry's
+	// speedup metric is the headline number for the tiered-execution work;
+	// its allocs/op is gated (promotion is the only allocating tier-2
+	// mutator path, entered once per threshold crossing).
+	tbm, err := workload.ByName("ijpeg")
+	if err != nil {
+		return err
+	}
+	tp, err := tbm.Build(scale)
+	if err != nil {
+		return err
+	}
+	t2c := dynamo.NewTier2Compiler(1, 256)
+	defer t2c.Close()
+	tierRun := func(b *testing.B, tc *dynamo.Tier2Compiler) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := dynamo.DefaultConfig(dynamo.SchemeNET, 50)
+			cfg.Tier2 = tc
+			cfg.Tier2Threshold = 8
+			if _, err := dynamo.New(tp, cfg).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	t1e := benchjson.FromResult("net_replay_tier1",
+		testing.Benchmark(func(b *testing.B) { tierRun(b, nil) }))
+	rep.Add(t1e)
+	fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op\n", t1e.Name, t1e.NsPerOp, t1e.AllocsPerOp)
+	t2e := benchjson.FromResult("net_replay_tier2",
+		testing.Benchmark(func(b *testing.B) { tierRun(b, t2c) }))
+	if t2e.NsPerOp > 0 {
+		t2e.Metrics = map[string]float64{"speedup_vs_tier1": t1e.NsPerOp / t2e.NsPerOp}
+	}
+	rep.Add(t2e)
+	fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op  (x%.2f vs tier1)\n",
+		t2e.Name, t2e.NsPerOp, t2e.AllocsPerOp, t2e.Metrics["speedup_vs_tier1"])
+
+	micro("compile_queue", func(b *testing.B) {
+		// Promotion-to-publication round trip: a tiny hot loop is promoted on
+		// its first completion; the op under measurement is the enqueue, the
+		// background compile, and the atomic publication becoming visible.
+		lp := buildBenchLoop()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tc := dynamo.NewTier2Compiler(1, 4)
+			cfg := dynamo.DefaultConfig(dynamo.SchemeNET, 5)
+			cfg.Tier2 = tc
+			cfg.Tier2Threshold = 1
+			cfg.MaxSteps = 2000
+			_, _ = dynamo.New(lp, cfg).Run() // stops on the step limit after promoting
+			for tc.Compiled()+tc.Rejected() < 1 {
+				runtime.Gosched()
+			}
+			tc.Close()
+		}
+	})
+	micro("fused_dispatch", func(b *testing.B) {
+		// One warmed superblock entry: entry-guard check plus the fused host
+		// micro-op loop. This is the tier-2 inner loop the 0-alloc gate pins.
+		lp := buildBenchLoop()
+		m := vm.New(lp)
+		for m.Steps < 2 { // past the prologue, at the loop head
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var spec []vm.SBStep
+		for len(spec) < 3 { // AddI ; AddI ; BrI (taken)
+			pc := m.PC
+			in := m.InstrAt(pc)
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+			spec = append(spec, vm.SBStep{In: in, PC: int32(pc), Next: int32(m.PC)})
+		}
+		sb, _, err := vm.CompileSuperblock(spec, lp.Len())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !sb.GuardsPass(m) {
+				b.Fatal("entry guards failed")
+			}
+			if x := m.RunSuperblock(sb); !x.Completed {
+				b.Fatal("superblock did not complete")
+			}
+		}
+	})
+
 	// Telemetry overhead pair: the same mini-Dynamo run with the sink off and
 	// on. The committed ns/op pair documents the enabled-path cost (the
 	// acceptance bar is <= 5% overhead); allocs/op must be identical.
@@ -231,4 +330,21 @@ func runBenchSuite(scale float64, out string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benchmark entries to %s\n", len(rep.Entries), out)
 	return nil
+}
+
+// buildBenchLoop is a counting loop with two ALU ops per iteration — the
+// minimal tier-2 target used by the compile_queue and fused_dispatch
+// micros. The trip count is effectively unbounded so the dispatch micro can
+// re-enter its superblock b.N times without the loop ever exiting.
+func buildBenchLoop() *prog.Program {
+	b := prog.NewBuilder("benchloop")
+	b.SetMemSize(4)
+	f := b.Func("main")
+	f.MovI(0, 0)
+	f.Label("loop")
+	f.AddI(0, 0, 1)
+	f.AddI(2, 2, 3)
+	f.BrI(isa.Lt, 0, 1<<62, "loop")
+	f.Halt()
+	return b.MustBuild()
 }

@@ -9,6 +9,7 @@
 //
 //	netpathd [-addr :8092] [-workers n] [-queue n] [-rate r] [-burst b]
 //	         [-max-tenants n] [-shared-tables] [-snapshot-out file]
+//	         [-tier2] [-tier2-workers n] [-tier2-queue n] [-tier2-threshold n]
 //
 // Endpoints:
 //
@@ -50,6 +51,10 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-tenant submissions/sec token bucket rate (0 = unlimited)")
 	burst := flag.Float64("burst", 10, "token bucket burst")
 	sharedTables := flag.Bool("shared-tables", false, "give every tenant the full table budget instead of a per-tenant shard")
+	tier2 := flag.Bool("tier2", false, "enable background superblock compilation (tier-2 execution)")
+	tier2Workers := flag.Int("tier2-workers", 1, "tier-2 compile worker count")
+	tier2Queue := flag.Int("tier2-queue", 64, "tier-2 compile queue capacity")
+	tier2Threshold := flag.Int64("tier2-threshold", 0, "fragment completions before tier-2 promotion (0 = engine default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight guests on shutdown")
 	snapshotOut := flag.String("snapshot-out", "", "write the final telemetry snapshot to this file on drain (- = stdout)")
 	flag.Parse()
@@ -65,6 +70,10 @@ func main() {
 		RatePerSec:          *rate,
 		Burst:               *burst,
 		SharedTables:        *sharedTables,
+		Tier2:               *tier2,
+		Tier2Workers:        *tier2Workers,
+		Tier2Queue:          *tier2Queue,
+		Tier2Threshold:      *tier2Threshold,
 		Logf:                log.Printf,
 	})
 	bound, err := srv.Start(*addr)

@@ -1,4 +1,4 @@
-// Command netpathvet is the repository's custom lint pass. It enforces two
+// Command netpathvet is the repository's custom lint pass. It enforces three
 // invariants the standard toolchain cannot know about:
 //
 //   - sinkcheck: *telemetry.Sink methods are not nil-safe by design (the
@@ -7,6 +7,11 @@
 //   - hotalloc: packages tagged hot-path (internal/vm, internal/path,
 //     internal/telemetry) must not call fmt or the allocating strings/strconv
 //     helpers outside functions marked cold.
+//   - dispatchpure: functions annotated //netpathvet:dispatch (the tier-1
+//     fragment loop, the tier-2 guard check and fused micro-op loop) must not
+//     acquire mutexes, touch channels, select, close, or spawn goroutines —
+//     the mutator never stalls; blocking work lives in the promotion slow
+//     path and the background compiler.
 //
 // Usage:
 //

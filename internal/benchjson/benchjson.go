@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -55,12 +56,15 @@ func NewReport(scale float64, workers int) *Report {
 	}
 }
 
-// FromResult converts a testing.Benchmark result into an entry.
+// FromResult converts a testing.Benchmark result into an entry. NsPerOp is
+// rounded to a whole nanosecond: sub-nanosecond digits are measurement
+// noise, and keeping them out of the committed baseline stops meaningless
+// float churn in its diffs.
 func FromResult(name string, r testing.BenchmarkResult) Entry {
 	return Entry{
 		Name:        name,
 		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		NsPerOp:     math.Round(float64(r.T.Nanoseconds()) / float64(r.N)),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}

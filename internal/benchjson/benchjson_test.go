@@ -39,6 +39,19 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFromResultRoundsNsPerOp: the committed baseline must hold whole
+// nanoseconds — sub-ns digits are noise and churn diffs.
+func TestFromResultRoundsNsPerOp(t *testing.T) {
+	r := testing.BenchmarkResult{N: 3, T: 1000} // 333.33... ns/op
+	e := FromResult("rounding", r)
+	if e.NsPerOp != 333 {
+		t.Errorf("NsPerOp = %v, want 333 (rounded)", e.NsPerOp)
+	}
+	if e.NsPerOp != float64(int64(e.NsPerOp)) {
+		t.Errorf("NsPerOp = %v is not integral", e.NsPerOp)
+	}
+}
+
 func TestReadRejectsWrongSchema(t *testing.T) {
 	if _, err := Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
 		t.Fatal("wrong schema accepted")

@@ -1,6 +1,8 @@
 package dynamo
 
 import (
+	"sync/atomic"
+
 	"netpath/internal/isa"
 )
 
@@ -51,6 +53,25 @@ type Fragment struct {
 	// Aborts counts injected execution faults in this fragment; reaching
 	// Config.DemoteAfterAborts demotes it back to interpretation.
 	Aborts int64
+
+	// Tier-2 state (see tier2.go). t2 is the published superblock — the ONLY
+	// fragment field a background compile worker writes, and it is atomic;
+	// everything below it is mutator-only, so publication is a single
+	// release/acquire pair with no locks on the dispatch path.
+	t2 atomic.Pointer[t2Block]
+	// t2Queued marks a compile job in flight (set at enqueue, cleared only
+	// by deopt, which requires a published block — so at most one job per
+	// fragment is ever outstanding).
+	t2Queued bool
+	// t2Next is the completion count at which promotion is (re)attempted;
+	// deopts push it out exponentially.
+	t2Next int64
+	// t2Deopts counts torn-down superblocks (drives the backoff shift).
+	t2Deopts int64
+	// t2Enters/t2Short drive the deopt heuristic: entries vs. unproductive
+	// entries (entry-guard failures and first-half divergences).
+	t2Enters int64
+	t2Short  int64
 }
 
 // Len returns the trace length in instructions.

@@ -40,11 +40,18 @@ const (
 	minShardFrags = 16
 )
 
-// ShardAlloc is one tenant's current table capacities.
+// ShardAlloc is one tenant's current table capacities, plus its handle on
+// the shared tier-2 compile service (nil when tier 2 is disabled).
 type ShardAlloc struct {
 	MaxHeadCounters int
 	MaxPaths        int
 	MaxFragments    int
+
+	// Tier2 is the set-wide background compiler; Tenant keys the tenant's
+	// jobs in its round-robin queue, so one tenant's hot loop cannot
+	// monopolize the compile budget.
+	Tier2  *Tier2Compiler
+	Tenant string
 }
 
 // Apply installs the shard capacities into a run configuration.
@@ -52,6 +59,8 @@ func (a ShardAlloc) Apply(cfg *Config) {
 	cfg.MaxHeadCounters = a.MaxHeadCounters
 	cfg.MaxPaths = a.MaxPaths
 	cfg.MaxFragments = a.MaxFragments
+	cfg.Tier2 = a.Tier2
+	cfg.Tier2Tenant = a.Tenant
 }
 
 // shardStats accumulates one tenant's pressure history.
@@ -69,6 +78,7 @@ type ShardSet struct {
 	budget  TableBudget
 	shared  bool
 	tenants map[string]*shardStats
+	tier2   *Tier2Compiler
 
 	runs      int64
 	evictions int64
@@ -121,7 +131,19 @@ func (ss *ShardSet) Alloc(tenant string) ShardAlloc {
 		MaxHeadCounters: maxInt(minShardHeads, ss.budget.HeadCounters/n),
 		MaxPaths:        maxInt(minShardPaths, ss.budget.Paths/n),
 		MaxFragments:    maxInt(minShardFrags, ss.budget.Fragments/n),
+		Tier2:           ss.tier2,
+		Tenant:          tenant,
 	}
+}
+
+// SetTier2 attaches a background superblock compiler to the set: every
+// subsequent Alloc hands it out with the tenant's key, so all tenants share
+// the compile workers under round-robin fairness. Call before serving; the
+// caller owns the compiler's lifecycle (Close after the Systems drain).
+func (ss *ShardSet) SetTier2(c *Tier2Compiler) {
+	ss.mu.Lock()
+	ss.tier2 = c
+	ss.mu.Unlock()
 }
 
 // Release reports a finished run's table behaviour back to the set: CLOCK

@@ -122,6 +122,29 @@ type Config struct {
 	// (0 = default, <0 = disabled). Eviction thrash means the working set
 	// no longer fits the tables, so profiling is wasted work.
 	GovernorEvictLimit int
+
+	// Tier2 enables background superblock compilation when non-nil: hot
+	// fragments are lowered off-thread on this compiler (typically shared
+	// across many Systems) and swapped in by atomic publication. See
+	// tier2.go. nil (the default) disables tier 2 entirely.
+	Tier2 *Tier2Compiler
+	// Tier2Threshold is the completion count that promotes a fragment to
+	// tier 2 (0 = default 16).
+	Tier2Threshold int64
+	// Tier2MaxGuest caps a superblock's guest length across linked
+	// fragments (0 = default 4096).
+	Tier2MaxGuest int
+	// Tier2MinFlow gates promotion on path-flow dominance: a fragment is
+	// compiled only once it carries at least 1/Tier2MinFlow of the run's
+	// path events. Lukewarm fragments are never worth a compile — on a
+	// single-core host the background compiler time-slices against the
+	// guest, so every wasted compile is stolen mutator time (the paper's
+	// thesis applied to tiering: optimize less, gain more). 0 = default
+	// 64; 1 disables the gate (any fragment past Tier2Threshold compiles).
+	Tier2MinFlow int64
+	// Tier2Tenant keys this System's jobs in the compiler's tenant-fair
+	// queue ("" is a valid shared key).
+	Tier2Tenant string
 }
 
 // DefaultConfig returns the configuration used for Figure 5.
@@ -185,6 +208,13 @@ type Result struct {
 	// BailReason names the heuristic that gave up ("" if none):
 	// "low-reuse", "path-budget", or "evict-thrash" (resource governor).
 	BailReason string
+
+	// Tier-2 counters (all zero unless Config.Tier2 is set).
+	T2Promotions int64 // fragments enqueued for background compilation
+	T2Enters     int64 // superblock executions started (guards passed)
+	T2Instrs     int64 // guest instructions executed inside superblocks
+	T2GuardFails int64 // dispatches bounced by the hoisted entry guards
+	T2Deopts     int64 // published superblocks torn down (shortfall storms)
 
 	// Robustness counters (all zero without fault injection).
 	RecordAborts     int64  // trace recordings / path captures aborted
@@ -296,6 +326,13 @@ type System struct {
 	fpos  int
 	opt   *Optimizer
 
+	// Tier-2 (nil t2c disables; see tier2.go). Cached off cfg so the
+	// dispatch-loop checks are single field loads.
+	t2c         *Tier2Compiler
+	t2Threshold int64
+	t2MaxGuest  int
+	t2MinFlow   int64
+
 	// Flush heuristic. Only fragments at addresses never cached before
 	// count toward the spike window: a genuine phase change brings new
 	// code, while post-flush re-recording of known addresses must not
@@ -339,12 +376,25 @@ func New(p *prog.Program, cfg Config) *System {
 	if cfg.GovernorEvictLimit == 0 {
 		cfg.GovernorEvictLimit = 4096
 	}
+	if cfg.Tier2Threshold <= 0 {
+		cfg.Tier2Threshold = 16
+	}
+	if cfg.Tier2MaxGuest <= 0 {
+		cfg.Tier2MaxGuest = 4096
+	}
+	if cfg.Tier2MinFlow <= 0 {
+		cfg.Tier2MinFlow = 64
+	}
 	s := &System{
-		cfg: cfg,
-		m:   vm.New(p),
-		opt: NewOptimizer(),
-		inj: cfg.Chaos,
-		tel: cfg.Telemetry,
+		cfg:         cfg,
+		m:           vm.New(p),
+		opt:         NewOptimizer(),
+		inj:         cfg.Chaos,
+		tel:         cfg.Telemetry,
+		t2c:         cfg.Tier2,
+		t2Threshold: cfg.Tier2Threshold,
+		t2MaxGuest:  cfg.Tier2MaxGuest,
+		t2MinFlow:   cfg.Tier2MinFlow,
 	}
 	if cfg.DisableOptimizer {
 		s.opt = &Optimizer{} // all passes off
@@ -896,12 +946,36 @@ func (s *System) bail(reason string) {
 // dispatcher, the software analogue of Dynamo's fragment linking. Only
 // reached when no injector and no fault hook are installed, so the hot loop
 // is: budget compare, ExecAt, successor compare.
+//
+//netpathvet:dispatch
 func (s *System) runFragment() error {
 	m := s.m
 	limit := s.cfg.MaxSteps
 	pc := m.PC
 	for {
 		fr := s.frag
+		if s.t2c != nil && s.fpos == 0 {
+			// A published superblock supersedes the step array when entering
+			// at the head. The atomic load is the entire publication
+			// protocol: the background compiler stores, dispatch loads.
+			if blk := fr.t2.Load(); blk != nil && blk.sb != nil {
+				ran, err := s.runTier2(fr, blk)
+				if err != nil {
+					return err
+				}
+				if ran {
+					if s.mode != modeFragment {
+						return nil
+					}
+					if s.hasDeadline && s.preempt.Load() {
+						return nil
+					}
+					pc = m.PC
+					continue
+				}
+				// Budget-gated or guard-bounced: run this entry on tier 1.
+			}
+		}
 		code := fr.code
 		last := len(code) - 1
 		fpos := s.fpos
@@ -937,6 +1011,9 @@ func (s *System) runFragment() error {
 				fr.Completions++
 				s.res.PathEvents++
 				s.onPathEvent()
+				if s.t2c != nil {
+					s.maybePromote(fr)
+				}
 				s.leaveFragment(npc, true)
 				break
 			}
@@ -1048,10 +1125,16 @@ func (s *System) stepFragmentSlow() error {
 	}
 	actual := s.m.PC
 	if s.fpos == len(s.frag.Steps)-1 {
-		// Fragment completed: its end is a path boundary.
+		// Fragment completed: its end is a path boundary. Promotion still
+		// runs under chaos — background compilation and publication proceed
+		// while this System stays on the precise slow path, which never
+		// dispatches through a published block (see RunContext).
 		s.frag.Completions++
 		s.res.PathEvents++
 		s.onPathEvent()
+		if s.t2c != nil {
+			s.maybePromote(s.frag)
+		}
 		s.leaveFragment(actual, true)
 		return nil
 	}

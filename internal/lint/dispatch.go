@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// dispatchBlockingMethods lists the method names whose call on any receiver
+// is treated as lock acquisition or release. The check is syntactic — there
+// is no type information to confirm the receiver is a sync.Mutex — but the
+// repo convention is that these names are used only by the sync package's
+// lockers, so a false positive just means a confusingly named method got
+// called in a dispatch loop, which deserves the second look anyway.
+var dispatchBlockingMethods = map[string]bool{
+	"Lock": true, "Unlock": true,
+	"RLock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true,
+}
+
+// DispatchPure flags potentially blocking or scheduling operations inside
+// functions whose doc comment carries the //netpathvet:dispatch directive:
+// mutex acquisition/release, channel sends and receives, select statements,
+// close calls, and go statements. Dispatch loops (the tier-1 fragment loop,
+// tier-2 guard check and fused micro-op loop) must never stall the mutator:
+// anything that can park the goroutine — or hand the scheduler an excuse to
+// deschedule it — belongs in the promotion slow path or the background
+// compiler, both of which are separate, unannotated functions.
+//
+// The rule is intra-function: calls out of an annotated function are not
+// followed. That is deliberate — the slow path is reached from the dispatch
+// loop by design (maybePromote enqueues on a mutex-guarded queue), and the
+// boundary between "annotated loop" and "called helper" is exactly the
+// boundary between the always-hot and the once-per-promotion code.
+var DispatchPure = &Analyzer{
+	Name: "dispatchpure",
+	Doc:  "no mutex, channel, select, close, or go statements in //netpathvet:dispatch functions",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDispatchDirective(fn) {
+					continue
+				}
+				checkDispatchBody(pass, fn)
+			}
+		}
+		return nil
+	},
+}
+
+// hasDispatchDirective reports whether fn's doc comment carries the
+// //netpathvet:dispatch directive.
+func hasDispatchDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == "//netpathvet:dispatch" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDispatchBody walks fn's body, including nested function literals —
+// a closure constructed in the dispatch loop runs on the dispatch goroutine,
+// so it is held to the same standard.
+func checkDispatchBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send in dispatch function %s (move it to the promotion slow path or the background compiler)", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(),
+					"channel receive in dispatch function %s (move it to the promotion slow path or the background compiler)", name)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(),
+				"select statement in dispatch function %s (move it to the promotion slow path or the background compiler)", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement in dispatch function %s (spawn workers at construction, not per dispatch)", name)
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					pass.Reportf(n.Pos(),
+						"close call in dispatch function %s (channel shutdown belongs to the compiler's Close path)", name)
+				}
+			case *ast.SelectorExpr:
+				if dispatchBlockingMethods[fun.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"%s call in dispatch function %s (lock on the slow path and publish through an atomic instead)", fun.Sel.Name, name)
+				}
+			}
+		}
+		return true
+	})
+}

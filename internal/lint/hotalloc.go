@@ -108,7 +108,7 @@ func hotAllocExempt(fn *ast.FuncDecl) bool {
 
 // Analyzers returns the full netpathvet suite in a stable order.
 func Analyzers() []*Analyzer {
-	all := []*Analyzer{SinkCheck, HotAlloc}
+	all := []*Analyzer{SinkCheck, HotAlloc, DispatchPure}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }

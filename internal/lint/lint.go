@@ -10,13 +10,16 @@
 // checker documents the approximation it makes in place of type information
 // and the repo convention that makes the approximation sound.
 //
-// Suppression directives, checked by the individual analyzers:
+// Directives, checked by the individual analyzers:
 //
 //	//netpathvet:cold       on a function's doc comment — the function is a
 //	                        cold path (error construction, dump formatting);
 //	                        hotalloc skips it.
 //	//netpathvet:cold-file  anywhere in a file — the whole file is cold
 //	                        (exporters, HTTP handlers, progress printing).
+//	//netpathvet:dispatch   on a function's doc comment — the function is a
+//	                        dispatch loop; dispatchpure forbids mutex,
+//	                        channel, select, close, and go operations in it.
 package lint
 
 import (

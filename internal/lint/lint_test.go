@@ -91,6 +91,18 @@ func TestHotAllocFixture(t *testing.T) {
 	}
 }
 
+func TestDispatchPureFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "dispatchfixture")
+	want := wantLines(t, filepath.Join(dir, "dispatch.go"))
+	got := runFixture(t, DispatchPure, dir, "fixture/dispatchfixture")
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+	if !equalInts(got, want) {
+		t.Errorf("dispatchpure flagged lines %v, want %v", got, want)
+	}
+}
+
 // TestHotAllocIgnoresColdPackages: the same fixture linted under an import
 // path that is not in the hot list must produce nothing.
 func TestHotAllocIgnoresColdPackages(t *testing.T) {

@@ -1,0 +1,71 @@
+// Package dispatchfixture is a lint test fixture for the dispatchpure
+// analyzer: every blocking or scheduling construct inside the annotated
+// functions below carries the want marker and must be flagged; the same
+// constructs in unannotated functions must not.
+package dispatchfixture
+
+import "sync"
+
+type engine struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	done  chan struct{}
+}
+
+// dispatchLoop is the fixture's stand-in for a fragment dispatch loop.
+//
+//netpathvet:dispatch
+func (e *engine) dispatchLoop(n int) int {
+	e.mu.Lock()   // want
+	e.mu.Unlock() // want
+	e.rw.RLock()  // want
+	if e.mu.TryLock() { // want
+		e.mu.Unlock() // want
+	}
+	e.rw.RUnlock() // want
+	e.queue <- n   // want
+	v := <-e.queue // want
+	select { // want
+	case e.queue <- v: // want: the nested send is flagged on its own line too
+	default:
+	}
+	go func() { // want
+		e.queue <- v // want: a closure spawned here still runs dispatch-side code
+	}()
+	close(e.done) // want
+	return v
+}
+
+// dispatchClosure: function literals built inside an annotated function run
+// on the dispatch goroutine and are held to the same rule.
+//
+//netpathvet:dispatch
+func (e *engine) dispatchClosure() func() {
+	return func() {
+		e.mu.Lock() // want
+	}
+}
+
+// slowPath is unannotated: the same operations are the promotion slow path
+// by design and must not be flagged.
+func (e *engine) slowPath(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.queue <- n:
+	default:
+	}
+	go func() { <-e.done }()
+	close(e.queue)
+}
+
+// pureDispatch is annotated but clean; nothing to report.
+//
+//netpathvet:dispatch
+func (e *engine) pureDispatch(a, b int) int {
+	if a < b {
+		return b
+	}
+	return a
+}

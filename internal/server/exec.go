@@ -72,6 +72,7 @@ func (s *Server) runDynamo(ctx context.Context, j *job, steps int64) (*runRespon
 	cfg.MaxSteps = steps
 	cfg.Telemetry = s.sink
 	s.shards.Alloc(j.tenant).Apply(&cfg)
+	cfg.Tier2Threshold = s.cfg.Tier2Threshold
 	if req.ChaosSeed != 0 && (req.ChaosTrapPerM > 0 || req.ChaosSoftPerM > 0) {
 		cfg.Chaos = chaos.NewRandom(req.ChaosSeed, chaos.Rates{
 			TrapPerM:        req.ChaosTrapPerM,

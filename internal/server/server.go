@@ -54,6 +54,18 @@ type Config struct {
 	Tables       dynamo.TableBudget
 	SharedTables bool
 
+	// Tier2 turns on background superblock compilation: hot fragments are
+	// promoted onto a bounded compile queue shared by all tenants
+	// (round-robin, so one tenant's hot loop cannot monopolize it) and
+	// executed as fused superblocks once published. Tier2Workers and
+	// Tier2Queue size the compile pool (defaults: 1 worker, 64 jobs);
+	// Tier2Threshold is the completions-per-fragment promotion bar
+	// (default: the dynamo package's).
+	Tier2          bool
+	Tier2Workers   int
+	Tier2Queue     int
+	Tier2Threshold int64
+
 	// TripSheds sheds within TripWindow trip the ladder to interp-only;
 	// CoolOff without a shed recovers it.
 	TripSheds  int
@@ -119,6 +131,7 @@ type Server struct {
 	queue   *queue
 	tenants *tenantSet
 	shards  *dynamo.ShardSet
+	tier2   *dynamo.Tier2Compiler
 	pool    *par.Resident
 	mux     *http.ServeMux
 	sink    *telemetry.Sink
@@ -148,6 +161,10 @@ func New(cfg Config) *Server {
 		tenants: newTenantSet(cfg.MaxTenants),
 		shards:  dynamo.NewShardSet(cfg.Tables, cfg.SharedTables),
 		sink:    cfg.Registry.NewSink(),
+	}
+	if cfg.Tier2 {
+		s.tier2 = dynamo.NewTier2Compiler(cfg.Tier2Workers, cfg.Tier2Queue)
+		s.shards.SetTier2(s.tier2)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -198,6 +215,11 @@ func (s *Server) Shutdown(ctx context.Context, w interface{ Write([]byte) (int, 
 	case <-done:
 	case <-ctx.Done():
 		drainErr = fmt.Errorf("server: drain interrupted: %w", context.Cause(ctx))
+	}
+	if s.tier2 != nil {
+		// After the run workers drain: no mutator is left to observe a
+		// late publication, and Close joins the compile workers.
+		s.tier2.Close()
 	}
 
 	if s.httpSrv != nil {

@@ -155,6 +155,11 @@ type Machine struct {
 	stack     []int64
 	sink      Sink
 	faultHook FaultHook
+
+	// sbx parks the exit state of a stopped superblock. It lives here rather
+	// than on the RunSuperblock frame so superblock handlers take no escaping
+	// arguments (the tier-2 dispatch path must not allocate).
+	sbx sbExec
 }
 
 // New creates a machine for p with memory initialized from p.InitMem and the
