@@ -5,7 +5,14 @@
 // Usage:
 //
 //	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-maxsteps n] [-v]
-//	       [-tier2] [-tier2-workers n] [-tier2-threshold n] [benchmark ...]
+//	       [-tier2] [-tier2-workers n] [-tier2-threshold n]
+//	       [-snapshot-in f] [-snapshot-out f] [-snapshot-every n] [benchmark ...]
+//
+// -snapshot-in warm-starts each benchmark from a persisted profile snapshot
+// (captured by an earlier -snapshot-out run, possibly fleet-merged with
+// pathdump merge); -snapshot-out captures the profiling state the run paid
+// for, and -snapshot-every additionally captures mid-run so short-lived
+// phases survive cache flushes.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"netpath/internal/dynamo"
+	"netpath/internal/snapshot"
 	"netpath/internal/telemetry"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
@@ -37,6 +45,9 @@ func main() {
 	tier2Queue := flag.Int("tier2-queue", 64, "tier-2 compile queue capacity")
 	tier2Threshold := flag.Int64("tier2-threshold", 0, "fragment completions before tier-2 promotion (0 = engine default)")
 	fragments := flag.Int("fragments", 0, "print the top N resident fragments after the run")
+	snapIn := flag.String("snapshot-in", "", "warm-start from the profile snapshot file (matched by program fingerprint)")
+	snapOut := flag.String("snapshot-out", "", "write a profile snapshot file at exit")
+	snapEvery := flag.Int("snapshot-every", 0, "with -snapshot-out: also capture every n path events, merged into the output (0 = exit only)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address and enable collection")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server (and process) alive this long after the work completes")
 	flag.Parse()
@@ -73,6 +84,16 @@ func main() {
 		defer t2c.Close()
 	}
 
+	var warmFile *snapshot.File
+	if *snapIn != "" {
+		var err error
+		warmFile, err = snapshot.ReadFile(*snapIn, snapshot.DefaultLimits())
+		if err != nil {
+			log.Fatalf("-snapshot-in: %v", err)
+		}
+	}
+	var outSnaps []*snapshot.Snapshot
+
 	names := flag.Args()
 	if len(names) == 0 {
 		names = workload.Names()
@@ -97,14 +118,31 @@ func main() {
 		if *maxSteps > 0 {
 			cfg.MaxSteps = *maxSteps
 		}
+		var midSnaps []*snapshot.Snapshot
+		if *snapOut != "" && *snapEvery > 0 {
+			cfg.ProbeEvery = *snapEvery
+			cfg.Probe = func(s *dynamo.System) { midSnaps = append(midSnaps, s.Snapshot("")) }
+		}
 		start := time.Now()
 		sys := dynamo.New(p, cfg)
+		if warmFile != nil {
+			if err := restoreFrom(sys, warmFile, p.Fingerprint(), cfg.Scheme.String()); err != nil {
+				log.Fatalf("%s: -snapshot-in: %v", name, err)
+			}
+		}
 		res, err := sys.Run()
 		if errors.Is(err, vm.ErrStepLimit) {
 			log.Fatalf("%s: %v — the program did not halt within -maxsteps=%d; raise the limit or pass -maxsteps=0", name, err, *maxSteps)
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if warmFile != nil {
+			fmt.Printf("warm-start: restored %d fragments, %d heads, %d paths, %d tier-2 for %s\n",
+				res.RestoredFragments, res.RestoredHeads, res.RestoredPaths, res.RestoredT2, name)
+		}
+		if *snapOut != "" {
+			outSnaps = append(outSnaps, mergeCaptures(append(midSnaps, sys.Snapshot(""))))
 		}
 		fmt.Printf("%s  [%.2fs]\n", res, time.Since(start).Seconds())
 		if *verbose {
@@ -117,6 +155,49 @@ func main() {
 			fmt.Print(sys.DumpCache(*fragments))
 		}
 	}
+
+	if *snapOut != "" {
+		if err := snapshot.WriteFile(*snapOut, snapshot.NewFile(outSnaps...)); err != nil {
+			log.Fatalf("-snapshot-out: %v", err)
+		}
+		log.Printf("wrote %d profile snapshot(s) to %s", len(outSnaps), *snapOut)
+	}
+}
+
+// restoreFrom warm-starts sys from the snapshots in f matching the program
+// fingerprint and the configured scheme, fleet-merged. Snapshots exported
+// from a multi-tenant server keep their tenant labels; the local CLI accepts
+// any of them, so tenants are normalized away before the merge. A file with
+// no matching snapshot leaves the system cold, with a notice.
+func restoreFrom(sys *dynamo.System, f *snapshot.File, fp uint64, scheme string) error {
+	var match []*snapshot.Snapshot
+	for _, sn := range f.Snapshots {
+		if sn.Fingerprint == fp && sn.Scheme == scheme {
+			c := *sn
+			c.Tenant = ""
+			match = append(match, &c)
+		}
+	}
+	if len(match) == 0 {
+		log.Printf("warm-start: no snapshot matches fingerprint %#x scheme %s; starting cold", fp, scheme)
+		return nil
+	}
+	merged, err := snapshot.MergeAll(match)
+	if err != nil {
+		return err
+	}
+	return sys.Restore(merged)
+}
+
+// mergeCaptures folds a run's mid-run captures and exit snapshot into one
+// profile; capture errors cannot occur (same system, same group key), so a
+// merge failure here is a bug worth crashing on.
+func mergeCaptures(snaps []*snapshot.Snapshot) *snapshot.Snapshot {
+	merged, err := snapshot.MergeAll(snaps)
+	if err != nil {
+		log.Fatalf("snapshot merge: %v", err)
+	}
+	return merged
 }
 
 func printBreakdown(r dynamo.Result) {

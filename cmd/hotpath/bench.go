@@ -325,6 +325,35 @@ func runBenchSuite(scale float64, out string) error {
 	fmt.Fprintf(os.Stderr, "bench %-16s %12.0f ns/op  %6d allocs/op  (%+.1f%% vs off)\n",
 		on.Name, on.NsPerOp, on.AllocsPerOp, 100*on.Metrics["overhead_vs_off"])
 
+	// Time-to-peak pair per benchmark: guest steps until the windowed cache
+	// coverage reaches 90% of the cold run's steady state, cold (empty cache)
+	// vs warm (restored from the cold run's profile snapshot). One run each —
+	// the measurement is a step count on a deterministic guest, not a timing,
+	// so Iterations is honestly 1 and ns/op is meaningless here.
+	ttp, err := experiments.RunTimeToPeak(nil, scale, 50)
+	if err != nil {
+		return err
+	}
+	for _, r := range ttp {
+		rep.Add(benchjson.Entry{
+			Name: "time_to_peak_cold_" + r.Bench, Iterations: 1,
+			Metrics: map[string]float64{
+				"steps_to_peak":   float64(r.ColdSteps),
+				"steady_coverage": r.SteadyCov,
+			},
+		})
+		rep.Add(benchjson.Entry{
+			Name: "time_to_peak_warm_" + r.Bench, Iterations: 1,
+			Metrics: map[string]float64{
+				"steps_to_peak":   float64(r.WarmSteps),
+				"steady_coverage": r.SteadyCov,
+				"ratio_vs_cold":   r.Ratio,
+			},
+		})
+		fmt.Fprintf(os.Stderr, "bench time_to_peak %-10s cold %10d steps   warm %10d steps  (x%.3f, %d frags restored)\n",
+			r.Bench, r.ColdSteps, r.WarmSteps, r.Ratio, r.Restored)
+	}
+
 	if err := benchjson.WriteFile(out, rep); err != nil {
 		return err
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hotpath [-scale f] [-tau n] [-parallel n] table1|table2|fig2|fig3|fig4|fig5|static|phases|chaos|all
+//	hotpath [-scale f] [-tau n] [-parallel n] table1|table2|fig2|fig3|fig4|fig5|static|phases|timetopeak|chaos|all
 //
 // Tables 1-2 and Figures 2-4 use the abstract metrics (Section 5); Figure 5
 // runs the mini-Dynamo concrete evaluation (Section 6); phases runs the
@@ -77,7 +77,7 @@ func main() {
 
 	cmds := flag.Args()
 	if len(cmds) == 0 && *benchOut == "" {
-		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] [-parallel n] [-bench-out f.json] table1|table2|fig2|fig3|fig4|fig5|static|phases|boa|ablation|hardware|chaos|all")
+		fmt.Fprintln(os.Stderr, "usage: hotpath [-scale f] [-parallel n] [-bench-out f.json] table1|table2|fig2|fig3|fig4|fig5|static|phases|boa|ablation|hardware|timetopeak|chaos|all")
 		os.Exit(2)
 	}
 
@@ -207,6 +207,12 @@ func main() {
 			fmt.Println(experiments.AblationReport(bps, *tau))
 		case "hardware":
 			out, err := experiments.HardwareReport(*scale, *tau)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		case "timetopeak":
+			out, err := experiments.TimeToPeakReport(*scale, *tau)
 			if err != nil {
 				log.Fatal(err)
 			}

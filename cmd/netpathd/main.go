@@ -8,7 +8,8 @@
 // Usage:
 //
 //	netpathd [-addr :8092] [-workers n] [-queue n] [-rate r] [-burst b]
-//	         [-max-tenants n] [-shared-tables] [-snapshot-out file]
+//	         [-max-tenants n] [-shared-tables] [-telemetry-out file]
+//	         [-snapshot-in file] [-snapshot-out file] [-snapshot-store n]
 //	         [-tier2] [-tier2-workers n] [-tier2-queue n] [-tier2-threshold n]
 //
 // Endpoints:
@@ -23,7 +24,16 @@
 //
 // SIGTERM/SIGINT starts a graceful drain: admission closes with typed 503s,
 // in-flight and queued guests finish, the final telemetry snapshot is
-// written to -snapshot-out (if set), and the process exits 0.
+// written to -telemetry-out (if set), the resident profile store is written
+// to -snapshot-out (if set), and the process exits 0.
+//
+// With -snapshot-store n, the daemon keeps up to n per-(tenant, program,
+// scheme) profile snapshots resident: each completed run merges its profile
+// back, and each admitted run warm-starts from its own tenant's entry.
+// -snapshot-in seeds the store at boot from a profile file (a previous
+// drain's -snapshot-out, possibly fleet-merged with pathdump merge);
+// -snapshot-every rewrites -snapshot-out periodically so a crash loses at
+// most that interval of profiling.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"netpath/internal/server"
+	"netpath/internal/snapshot"
 	"netpath/internal/telemetry"
 )
 
@@ -56,7 +67,11 @@ func main() {
 	tier2Queue := flag.Int("tier2-queue", 64, "tier-2 compile queue capacity")
 	tier2Threshold := flag.Int64("tier2-threshold", 0, "fragment completions before tier-2 promotion (0 = engine default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight guests on shutdown")
-	snapshotOut := flag.String("snapshot-out", "", "write the final telemetry snapshot to this file on drain (- = stdout)")
+	telemetryOut := flag.String("telemetry-out", "", "write the final telemetry snapshot to this file on drain (- = stdout)")
+	snapStore := flag.Int("snapshot-store", 0, "keep up to n resident profile snapshots for warm-starting tenant re-runs (0 = disabled)")
+	snapIn := flag.String("snapshot-in", "", "seed the profile store from this snapshot file at boot (requires -snapshot-store)")
+	snapOut := flag.String("snapshot-out", "", "write the resident profile store to this file on drain (requires -snapshot-store)")
+	snapEvery := flag.Duration("snapshot-every", 0, "with -snapshot-out: also rewrite the profile file at this interval (0 = drain only)")
 	flag.Parse()
 
 	telemetry.SetActive(true)
@@ -74,8 +89,26 @@ func main() {
 		Tier2Workers:        *tier2Workers,
 		Tier2Queue:          *tier2Queue,
 		Tier2Threshold:      *tier2Threshold,
+		SnapshotLimit:       *snapStore,
 		Logf:                log.Printf,
 	})
+	if *snapIn != "" {
+		if *snapStore <= 0 {
+			log.Fatal("-snapshot-in requires -snapshot-store > 0")
+		}
+		f, err := snapshot.ReadFile(*snapIn, snapshot.DefaultLimits())
+		if err != nil {
+			log.Fatalf("-snapshot-in: %v", err)
+		}
+		n, err := srv.ImportSnapshots(f)
+		if err != nil {
+			log.Fatalf("-snapshot-in: %v", err)
+		}
+		log.Printf("seeded profile store with %d snapshot(s) from %s", n, *snapIn)
+	}
+	if *snapOut != "" && *snapStore <= 0 {
+		log.Fatal("-snapshot-out requires -snapshot-store > 0")
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -83,20 +116,46 @@ func main() {
 	log.Printf("serving on http://%s (workers=%d queue=%d rate=%.1f/s)",
 		bound, *workers, *queueDepth, *rate)
 
+	writeProfiles := func() {
+		f := srv.ExportSnapshots()
+		if err := snapshot.WriteFile(*snapOut, f); err != nil {
+			log.Printf("snapshot-out: %v", err)
+			return
+		}
+		log.Printf("wrote %d profile snapshot(s) to %s", len(f.Snapshots), *snapOut)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	got := <-sig
+	var got os.Signal
+	if *snapOut != "" && *snapEvery > 0 {
+		// Periodic rewrite bounds profiling loss to one interval on a
+		// crash; the drain path below still writes the final state.
+		tick := time.NewTicker(*snapEvery)
+		defer tick.Stop()
+	wait:
+		for {
+			select {
+			case got = <-sig:
+				break wait
+			case <-tick.C:
+				writeProfiles()
+			}
+		}
+	} else {
+		got = <-sig
+	}
 	log.Printf("received %v; draining (timeout %s)", got, *drainTimeout)
 
 	var out io.Writer
-	switch *snapshotOut {
+	switch *telemetryOut {
 	case "":
 	case "-":
 		out = os.Stdout
 	default:
-		f, err := os.Create(*snapshotOut)
+		f, err := os.Create(*telemetryOut)
 		if err != nil {
-			log.Printf("snapshot-out: %v (skipping flush)", err)
+			log.Printf("telemetry-out: %v (skipping flush)", err)
 		} else {
 			defer f.Close()
 			out = f
@@ -107,6 +166,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx, out); err != nil {
 		log.Fatalf("drain: %v", err)
+	}
+	if *snapOut != "" {
+		writeProfiles()
 	}
 	log.Printf("drained cleanly")
 }

@@ -5,8 +5,8 @@
 //     guard would cost a branch on every disabled-telemetry counter write),
 //     so every call site must be dominated by its own nil check.
 //   - hotalloc: packages tagged hot-path (internal/vm, internal/path,
-//     internal/telemetry) must not call fmt or the allocating strings/strconv
-//     helpers outside functions marked cold.
+//     internal/telemetry, internal/snapshot) must not call fmt or the
+//     allocating strings/strconv helpers outside functions marked cold.
 //   - dispatchpure: functions annotated //netpathvet:dispatch (the tier-1
 //     fragment loop, the tier-2 guard check and fused micro-op loop) must not
 //     acquire mutexes, touch channels, select, close, or spawn goroutines —

@@ -6,11 +6,18 @@
 //
 //	pathdump [-scale f] [-top n] [-hot frac] [-verify] [benchmark ...]
 //	pathdump cfg [-scale f] [-fn name] benchmark ...
+//	pathdump merge -o out.json snap.json ...
 //
 // The cfg subcommand emits one function's control-flow graph as Graphviz
 // DOT, with the static predictor's maximum-likelihood hot-path edges
 // highlighted in red; -verify runs the static verifier over each program
 // and prints its report before the summary.
+//
+// The merge subcommand is the fleet aggregator for profile snapshots: it
+// reads N netpath-snap/v1 files (per-shard -snapshot-out exports), groups
+// their snapshots by (tenant, program fingerprint, scheme), flow-weight
+// merges each group, and writes one file whose profiles warm-start the whole
+// fleet's next generation.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"netpath/internal/cfg"
 	"netpath/internal/profile"
 	"netpath/internal/prog"
+	"netpath/internal/snapshot"
 	"netpath/internal/staticpred"
 	"netpath/internal/workload"
 )
@@ -41,6 +49,9 @@ func main() {
 func run(args []string, w io.Writer) error {
 	if len(args) > 0 && args[0] == "cfg" {
 		return runCFG(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], w)
 	}
 	fs := flag.NewFlagSet("pathdump", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
@@ -106,6 +117,67 @@ func runCFG(args []string, w io.Writer) error {
 		if err := cfg.WriteDOT(w, g, hl); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runMerge implements the merge subcommand: fleet-merge N snapshot files
+// into one. Snapshots group by (tenant, fingerprint, scheme); each group
+// merges commutatively, so shard order and capture order don't matter. The
+// output keeps groups in first-seen order for a stable, diffable file.
+func runMerge(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pathdump merge", flag.ContinueOnError)
+	out := fs.String("o", "", "output snapshot file (required)")
+	quiet := fs.Bool("q", false, "suppress the per-group summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("merge wants -o out.json")
+	}
+	ins := fs.Args()
+	if len(ins) == 0 {
+		return fmt.Errorf("merge wants at least one input snapshot file")
+	}
+	lim := snapshot.DefaultLimits()
+	groups := map[snapshot.Key][]*snapshot.Snapshot{}
+	var order []snapshot.Key
+	for _, path := range ins {
+		f, err := snapshot.ReadFile(path, lim)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, sn := range f.Snapshots {
+			k := sn.GroupKey()
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], sn)
+		}
+	}
+	merged := snapshot.NewFile()
+	for _, k := range order {
+		sn, err := snapshot.MergeAll(groups[k])
+		if err != nil {
+			return err
+		}
+		sn.Clamp(lim)
+		merged.Snapshots = append(merged.Snapshots, sn)
+		if !*quiet {
+			tenant := k.Tenant
+			if tenant == "" {
+				tenant = "-"
+			}
+			fmt.Fprintf(w, "%-12s %#016x %-4s  %d input(s) -> heads=%d traces=%d paths=%d flow=%d\n",
+				tenant, k.Fingerprint, k.Scheme, len(groups[k]),
+				len(sn.Heads), len(sn.Traces), len(sn.Paths), sn.Flow)
+		}
+	}
+	if err := snapshot.WriteFile(*out, merged); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(w, "wrote %d merged profile(s) to %s\n", len(merged.Snapshots), *out)
 	}
 	return nil
 }

@@ -8,8 +8,10 @@
 package netpath_test
 
 import (
+	"errors"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 
@@ -201,6 +203,73 @@ func TestTier2DispatchZeroAllocGate(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("tier-2 dispatch path: %v allocs/op, must be 0", n)
+	}
+}
+
+// TestRestoreDispatchZeroAlloc pins the warm-start promise: once Restore has
+// pre-installed a profile's fragments, the steady-state dispatch loop
+// allocates exactly as much as it would cold — nothing. AllocsPerRun cannot
+// express "one long run" (the restore and table setup are legitimate one-time
+// allocations), so the gate compares the process Mallocs delta of two warm
+// runs that differ only in step budget: the extra steps must add zero
+// allocations.
+func TestRestoreDispatchZeroAlloc(t *testing.T) {
+	b := prog.NewBuilder("gate_restore")
+	b.SetMemSize(4)
+	f := b.Func("main")
+	f.MovI(0, 0)
+	f.Label("loop")
+	f.AddI(0, 0, 1)
+	f.AddI(2, 2, 3)
+	f.BrI(isa.Lt, 0, 1<<62, "loop")
+	f.Halt()
+	lp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold run collects the profile the warm runs restore from.
+	coldCfg := dynamo.DefaultConfig(dynamo.SchemeNET, 50)
+	coldCfg.MaxSteps = 1 << 16
+	coldSys := dynamo.New(lp, coldCfg)
+	if _, err := coldSys.Run(); err != nil && !errors.Is(err, vm.ErrStepLimit) {
+		t.Fatal(err)
+	}
+	snap := coldSys.Snapshot("")
+
+	warmMallocs := func(steps int64) uint64 {
+		cfg := dynamo.DefaultConfig(dynamo.SchemeNET, 50)
+		cfg.MaxSteps = steps
+		sys := dynamo.New(lp, cfg)
+		if err := sys.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := sys.Run()
+		runtime.ReadMemStats(&after)
+		if err != nil && !errors.Is(err, vm.ErrStepLimit) {
+			t.Fatal(err)
+		}
+		if res.RestoredFragments == 0 {
+			t.Fatal("warm run restored no fragments; the gate is not measuring a warm dispatch")
+		}
+		return after.Mallocs - before.Mallocs
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	short := warmMallocs(1 << 17)
+	long := warmMallocs(1 << 20)
+	// Both runs pay the same fixed Run() overhead (result bookkeeping, step
+	// chunking); the long run executes ~900k extra steps entirely inside
+	// restored fragments. A handful of mallocs of slack absorbs runtime
+	// background noise without hiding a real per-event leak.
+	if long > short+16 {
+		t.Errorf("restored dispatch allocated: %d mallocs for %d steps vs %d for %d steps (+%d)",
+			long, int64(1<<20), short, int64(1<<17), long-short)
+	} else {
+		t.Logf("restored dispatch: %d vs %d mallocs (Δ=%d) across an 8× step budget", short, long, int64(long)-int64(short))
 	}
 }
 

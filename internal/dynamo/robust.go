@@ -164,6 +164,37 @@ func (b *blacklist) allow(head int) bool {
 	return true
 }
 
+// seed imports persisted abort state for head (snapshot restore): the entry
+// jumps straight to the given abort count with the backoff abort() would
+// have left after the last one. Imports never lower an existing count.
+func (b *blacklist) seed(head int, aborts int) {
+	if aborts <= 0 {
+		return
+	}
+	e := b.entries[head]
+	if e == nil {
+		e = &blacklistEntry{}
+		b.entries[head] = e
+	}
+	if aborts <= e.aborts {
+		return
+	}
+	e.aborts = aborts
+	shift := uint(aborts - 1)
+	if shift > 16 {
+		shift = 16
+	}
+	e.wait = b.backoff << shift
+}
+
+// barred reports whether head is permanently blacklisted, without consuming
+// a backoff credit the way allow does. Restore uses it to decide which
+// persisted traces may be installed.
+func (b *blacklist) barred(head int) bool {
+	e := b.entries[head]
+	return e != nil && b.maxAborts > 0 && e.aborts >= b.maxAborts
+}
+
 // permanent returns the number of permanently blacklisted heads.
 func (b *blacklist) permanent() int {
 	n := 0

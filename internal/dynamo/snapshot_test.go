@@ -1,0 +1,342 @@
+package dynamo
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+	"netpath/internal/snapshot"
+	"netpath/internal/vm"
+	"netpath/internal/workload"
+)
+
+// buildNestedLoop is a deterministic two-level loop whose inner path is
+// identical on every iteration — the shape where an interrupted-and-restored
+// run must converge to exactly the fragment cache of an uninterrupted one,
+// independent of where the interruption lands.
+func buildNestedLoop(t *testing.T, outer, inner int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("nested")
+	b.SetMemSize(8)
+	f := b.Func("main")
+	f.MovI(0, 0)
+	f.Label("outer")
+	f.MovI(1, 0)
+	f.Label("inner")
+	f.AddI(2, 2, 1)
+	f.AddI(1, 1, 1)
+	f.BrI(isa.Lt, 1, inner, "inner")
+	f.AddI(0, 0, 1)
+	f.BrI(isa.Lt, 0, outer, "outer")
+	f.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// replayConfig disables the cumulative heuristics (flush window, bail-out)
+// whose arithmetic depends on absolute path-event counts, which a
+// split-into-two-processes run cannot preserve; everything else is default.
+func replayConfig(scheme Scheme, tau int64) Config {
+	cfg := DefaultConfig(scheme, tau)
+	cfg.FlushWindow = 0
+	cfg.BailoutAfter = 0
+	return cfg
+}
+
+// cacheImage flattens the fragment cache to a comparable form: sorted
+// (start, steps) pairs.
+type fragImage struct {
+	Start int
+	Steps []snapshot.Step
+}
+
+func cacheImage(s *System) []fragImage {
+	var out []fragImage
+	for start, fr := range s.cache {
+		img := fragImage{Start: start}
+		for _, st := range fr.Steps {
+			img.Steps = append(img.Steps, snapshot.Step{PC: st.PC, Next: st.Next})
+		}
+		out = append(out, img)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TestSnapshotReplayEquivalence is the warm-start contract: interrupt a cold
+// run at an arbitrary step, snapshot it, Restore into a fresh System, run to
+// completion — and the final fragment cache must be exactly what one
+// uninterrupted run produces, along with identical architectural state.
+func TestSnapshotReplayEquivalence(t *testing.T) {
+	p := buildNestedLoop(t, 400, 25)
+
+	full := New(p, replayConfig(SchemeNET, 5))
+	if _, err := full.Run(); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	want := cacheImage(full)
+	if len(want) == 0 {
+		t.Fatal("uninterrupted run cached nothing; test program too cold")
+	}
+
+	for _, cut := range []int64{97, 1003, 5000} {
+		cold := New(p, replayConfig(SchemeNET, 5))
+		cold.cfg.MaxSteps = cut
+		if _, err := cold.Run(); !errors.Is(err, vm.ErrStepLimit) {
+			t.Fatalf("cut %d: err = %v, want step limit", cut, err)
+		}
+		snap := cold.Snapshot("")
+
+		warm := New(p, replayConfig(SchemeNET, 5))
+		if err := warm.Restore(snap); err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		if _, err := warm.Run(); err != nil {
+			t.Fatalf("cut %d: warm run: %v", cut, err)
+		}
+		if got := cacheImage(warm); !reflect.DeepEqual(got, want) {
+			t.Errorf("cut %d: warm fragment cache differs from uninterrupted run:\n got %+v\nwant %+v",
+				cut, got, want)
+		}
+		if warm.Machine().Reg != full.Machine().Reg {
+			t.Errorf("cut %d: architectural state differs after warm run", cut)
+		}
+	}
+}
+
+// TestRestoreWarmStart: a restored System must start hot — fragments
+// installed before the first guest instruction, interpreted instructions
+// collapsing versus the cold run, and persisted tier-2 decisions re-enqueued
+// so superblock coverage arrives within the first flush window rather than
+// after re-learning.
+func TestRestoreWarmStart(t *testing.T) {
+	p := buildHotLoop(t, 60_000)
+
+	tc := NewTier2Compiler(1, 16)
+	defer tc.Close()
+	cfg := DefaultConfig(SchemeNET, 5)
+	cfg.Tier2 = tc
+	cfg.Tier2Threshold = 4
+	cold := New(p, cfg)
+	coldRes, err := cold.Run()
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	snap := cold.Snapshot("")
+	if len(snap.Traces) == 0 {
+		t.Fatal("cold run snapshot has no traces")
+	}
+	hasT2 := false
+	for _, tr := range snap.Traces {
+		hasT2 = hasT2 || tr.Tier2
+	}
+	if !hasT2 {
+		t.Fatal("cold run promoted nothing; snapshot carries no tier-2 decision")
+	}
+
+	tc2 := NewTier2Compiler(1, 16)
+	defer tc2.Close()
+	cfg2 := cfg
+	cfg2.Tier2 = tc2
+	warm := New(p, cfg2)
+	if err := warm.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if warm.res.RestoredFragments == 0 || warm.res.RestoredHeads == 0 {
+		t.Fatalf("nothing restored: %+v", warm.res)
+	}
+	if warm.res.RestoredT2 == 0 {
+		t.Fatal("persisted tier-2 decision was not re-enqueued at restore")
+	}
+	// The compile was enqueued before the first guest instruction; give the
+	// background worker its publication window, then run.
+	waitTier2(t, tc2, 1)
+	warmRes, err := warm.Run()
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warmRes.T2Enters == 0 {
+		t.Error("warm run never entered the pre-promoted superblock")
+	}
+	if warmRes.InterpInstrs*2 > coldRes.InterpInstrs {
+		t.Errorf("warm run interpreted %d instrs, want ≤ half of cold %d",
+			warmRes.InterpInstrs, coldRes.InterpInstrs)
+	}
+	if warm.Machine().Reg != cold.Machine().Reg {
+		t.Error("warm run architectural state differs from cold run")
+	}
+}
+
+// TestRestoreRejects pins the refusal cases: live system, wrong program,
+// wrong scheme — each a typed error, each leaving the System cold but
+// runnable.
+func TestRestoreRejects(t *testing.T) {
+	p := buildNestedLoop(t, 10, 10)
+	good := New(p, replayConfig(SchemeNET, 5))
+	if _, err := good.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := good.Snapshot("")
+
+	live := New(p, replayConfig(SchemeNET, 5))
+	if _, err := live.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Restore(snap); !errors.Is(err, ErrRestoreLive) {
+		t.Errorf("restore into live system: err = %v, want ErrRestoreLive", err)
+	}
+
+	other := buildHotLoop(t, 100)
+	sys := New(other, replayConfig(SchemeNET, 5))
+	if err := sys.Restore(snap); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("cross-program restore: err = %v, want ErrFingerprintMismatch", err)
+	}
+
+	pp := New(p, replayConfig(SchemePathProfile, 5))
+	if err := pp.Restore(snap); !errors.Is(err, ErrSchemeMismatch) {
+		t.Errorf("cross-scheme restore: err = %v, want ErrSchemeMismatch", err)
+	}
+	// A refused Restore must leave the System cold but fully runnable.
+	if _, err := pp.Run(); err != nil {
+		t.Errorf("run after refused restore: %v", err)
+	}
+}
+
+// TestRestoreRespectsBlacklist: a head the collecting fleet permanently
+// blacklisted must be neither counted nor re-installed by Restore.
+func TestRestoreRespectsBlacklist(t *testing.T) {
+	p := buildNestedLoop(t, 50, 20)
+	cold := New(p, replayConfig(SchemeNET, 5))
+	if _, err := cold.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cold.Snapshot("")
+	if len(snap.Traces) == 0 {
+		t.Fatal("no traces to poison")
+	}
+	victim := snap.Traces[0].Start
+	snap.Blacklist = append(snap.Blacklist, snapshot.BlackEntry{Addr: victim, Aborts: 99})
+
+	warm := New(p, replayConfig(SchemeNET, 5))
+	if err := warm.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if warm.cache[victim] != nil {
+		t.Error("blacklisted head's trace was installed anyway")
+	}
+	for i, k := range warm.heads.keys {
+		if k == victim && warm.heads.vals[i] > 0 {
+			t.Error("blacklisted head's counter was seeded anyway")
+		}
+	}
+}
+
+// TestRestorePathProfile: persisted path counters re-arm under the
+// PathProfile scheme — counts survive, armed paths emit on first completion.
+func TestRestorePathProfile(t *testing.T) {
+	p := buildNestedLoop(t, 200, 25)
+	cold := New(p, replayConfig(SchemePathProfile, 5))
+	if _, err := cold.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cold.Snapshot("")
+	if len(snap.Paths) == 0 {
+		t.Fatal("PathProfile snapshot carries no path counts")
+	}
+
+	warm := New(p, replayConfig(SchemePathProfile, 5))
+	if err := warm.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if warm.res.RestoredPaths == 0 {
+		t.Fatal("no path counters restored")
+	}
+	warmRes, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := cold.res
+	if warmRes.InterpInstrs >= coldRes.InterpInstrs {
+		t.Errorf("warm PathProfile run interpreted %d instrs, cold %d: no warm-up win",
+			warmRes.InterpInstrs, coldRes.InterpInstrs)
+	}
+}
+
+// TestSnapshotCodecRoundTrip drives a real benchmark's profile through the
+// full pipeline: run → Snapshot → encode → decode under the System's own
+// limits → Restore — the exact path cmd/dynamo takes across a restart.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := New(p, DefaultConfig(SchemeNET, 50))
+	if _, err := cold.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cold.Snapshot("tenant-a")
+
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, snapshot.NewFile(snap)); err != nil {
+		t.Fatal(err)
+	}
+	warm := New(p, DefaultConfig(SchemeNET, 50))
+	file, err := snapshot.Decode(&buf, warm.SnapshotLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Snapshots) != 1 || !reflect.DeepEqual(file.Snapshots[0], snap) {
+		t.Fatal("snapshot did not survive the codec")
+	}
+	if err := warm.Restore(file.Snapshots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if warm.res.RestoredFragments == 0 {
+		t.Fatal("nothing restored after codec round trip")
+	}
+	if _, err := warm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Machine().Reg != cold.Machine().Reg {
+		t.Error("architectural state differs after snapshot round trip")
+	}
+}
+
+// TestSnapshotMergeAcrossRuns: merging snapshots from two runs of the same
+// program and restoring the merge must warm-start at least as well as either
+// input alone (join semantics: the merge dominates both inputs).
+func TestSnapshotMergeAcrossRuns(t *testing.T) {
+	p := buildNestedLoop(t, 300, 25)
+	s1 := New(p, replayConfig(SchemeNET, 5))
+	s1.cfg.MaxSteps = 2000
+	if _, err := s1.Run(); !errors.Is(err, vm.ErrStepLimit) {
+		t.Fatal(err)
+	}
+	s2 := New(p, replayConfig(SchemeNET, 5))
+	if _, err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := snapshot.Merge(s1.Snapshot(""), s2.Snapshot(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(p, replayConfig(SchemeNET, 5))
+	if err := warm.Restore(merged); err != nil {
+		t.Fatal(err)
+	}
+	if warm.res.RestoredFragments < s2.res.Fragments {
+		t.Errorf("merge restored %d fragments, full run had %d",
+			warm.res.RestoredFragments, s2.res.Fragments)
+	}
+}

@@ -145,6 +145,16 @@ type Config struct {
 	// Tier2Tenant keys this System's jobs in the compiler's tenant-fair
 	// queue ("" is a valid shared key).
 	Tier2Tenant string
+
+	// Probe, when non-nil and ProbeEvery > 0, is called synchronously every
+	// ProbeEvery path events with the live System. It runs inline with the
+	// guest (including inside fragment dispatch, at fragment boundaries), so
+	// probes must be cheap and must not re-enter Run. Used by the
+	// time-to-peak experiment to sample coverage curves and by the CLIs for
+	// periodic snapshot saves. nil costs one predictable branch per path
+	// event.
+	Probe      func(*System)
+	ProbeEvery int
 }
 
 // DefaultConfig returns the configuration used for Figure 5.
@@ -196,6 +206,7 @@ type Result struct {
 	FragInstrs   int64
 	ElimInstrs   int64 // fragment instructions optimized away
 	PathEvents   int64
+	CacheEvents  int64 // path events completed inside the fragment cache
 
 	Fragments   int // fragments created (across flushes)
 	Flushes     int
@@ -215,6 +226,13 @@ type Result struct {
 	T2Instrs     int64 // guest instructions executed inside superblocks
 	T2GuardFails int64 // dispatches bounced by the hoisted entry guards
 	T2Deopts     int64 // published superblocks torn down (shortfall storms)
+
+	// Warm-start counters (all zero unless Restore ran; see snapshot.go).
+	RestoredHeads     int // head counters pre-seeded from a snapshot
+	RestoredFragments int // fragments pre-installed from persisted traces
+	RestoredPaths     int // path-profile counters pre-seeded
+	RestoredT2        int // persisted tier-2 decisions re-enqueued at restore
+	RestoredBlacklist int // blacklist entries imported
 
 	// Robustness counters (all zero without fault injection).
 	RecordAborts     int64  // trace recordings / path captures aborted
@@ -869,8 +887,12 @@ func (s *System) flush() {
 	}
 }
 
-// onPathEvent drives the flush and bail-out heuristics.
+// onPathEvent drives the flush and bail-out heuristics (and the optional
+// coverage probe).
 func (s *System) onPathEvent() {
+	if s.cfg.ProbeEvery > 0 && s.cfg.Probe != nil && s.res.PathEvents%int64(s.cfg.ProbeEvery) == 0 {
+		s.cfg.Probe(s)
+	}
 	if s.cfg.FlushWindow > 0 {
 		s.windowEvents++
 		if s.windowEvents >= s.cfg.FlushWindow {
@@ -1010,6 +1032,7 @@ func (s *System) runFragment() error {
 				m.PC = npc
 				fr.Completions++
 				s.res.PathEvents++
+				s.res.CacheEvents++
 				s.onPathEvent()
 				if s.t2c != nil {
 					s.maybePromote(fr)
@@ -1131,6 +1154,7 @@ func (s *System) stepFragmentSlow() error {
 		// dispatches through a published block (see RunContext).
 		s.frag.Completions++
 		s.res.PathEvents++
+		s.res.CacheEvents++
 		s.onPathEvent()
 		if s.t2c != nil {
 			s.maybePromote(s.frag)

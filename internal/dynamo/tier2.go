@@ -482,6 +482,7 @@ func (s *System) t2Boundaries(blk *t2Block, n int, exitPC int, exit bool) {
 		}
 		b.fr.Completions++
 		s.res.PathEvents++
+		s.res.CacheEvents++
 		s.onPathEvent()
 		s.maybePromote(b.fr)
 	}

@@ -1,0 +1,289 @@
+// Time-to-peak: how many guest steps a mini-Dynamo needs before the
+// fragment cache carries its steady-state share of the execution — measured
+// cold (empty cache, the predictor learns from scratch) and warm (the same
+// System restored from the cold run's profile snapshot before the first
+// guest instruction). The warm/cold ratio is the headline number for the
+// persistent-snapshot work: how much of the cold-start interpretation tax a
+// fleet-merged profile refunds.
+package experiments
+
+import (
+	"fmt"
+
+	"netpath/internal/dynamo"
+	"netpath/internal/par"
+	"netpath/internal/prog"
+	"netpath/internal/snapshot"
+	"netpath/internal/tables"
+	"netpath/internal/workload"
+
+	"context"
+)
+
+// TimeToPeakBenches is the default benchmark set: the two acceptance
+// workloads (ijpeg's dominant inner path and compress's skewed hot set) plus
+// two contrasting shapes — li's call-heavy flow and deltablue's small
+// object-graph kernel.
+var TimeToPeakBenches = []string{"compress", "ijpeg", "li", "deltablue"}
+
+// timeToPeakProbeEvery is the sampling grain: one coverage point per this
+// many path events. Fine enough that a warm run's peak registers within a
+// small fraction of the cold run's ramp (the measured ratio's floor is one
+// probe), coarse enough that probing never dominates the run.
+const timeToPeakProbeEvery = 64
+
+// peakWindowProbes is the coverage-window width in probes. Coverage is
+// judged over a rolling window of this many probes (256 path events), not a
+// single probe: one probe's window is narrow enough that a transient
+// all-cached stretch during the cold ramp would count as "peak" long before
+// the predictor has actually learned the hot set.
+const peakWindowProbes = 4
+
+// peakFraction: "at peak" means the windowed cached-coverage reaches this
+// fraction of the run's steady-state coverage.
+const peakFraction = 0.9
+
+// collectTau is the trace-selection threshold of the profile-collecting run:
+// 1, the record-everything limit. A live system sets τ high because every
+// selected trace costs translation time the run may never earn back —
+// that is the paper's "less is more" tradeoff, and it is an *online*
+// tradeoff. A persisted profile amortizes the selection cost across every
+// process that ever restores it, so the fleet collector can afford to keep
+// every trace — including the short-lived start-up loops that never reach a
+// production τ before their phase ends, which are exactly the traces a
+// warm-start needs to cover the first window. The capacity judgment moves
+// from collection time to import time: Restore clamps the profile to the
+// consuming shard's table budget, flow-heaviest first.
+const collectTau = 1
+
+// TimeToPeakResult is one benchmark's cold-vs-warm comparison. Steps counts
+// guest branch steps (System.Machine().Steps units); coverage is the
+// fraction of path events served from the fragment cache (tier 1 and tier 2
+// both) within one rolling probe window — the system's hit rate on hot-path
+// opportunities, which is what profiling buys and what a warm-start
+// pre-pays. (Instruction-domain coverage would conflate learning with the
+// guest's own straight-line phases, which no cache can cover.)
+type TimeToPeakResult struct {
+	Bench       string
+	SteadyCov   float64 // cold run's steady-state windowed coverage
+	ColdSteps   int64   // guest steps until the cold run reaches peak
+	WarmSteps   int64   // guest steps until the restored run reaches the SAME target
+	ColdTotal   int64   // cold run's total guest steps (context for the above)
+	Ratio       float64 // WarmSteps / ColdSteps
+	Restored    int     // fragments pre-installed by Restore
+	RestoredT2  int     // tier-2 promotions re-enqueued by Restore
+	WarmPeakCov float64 // coverage of the window where the warm run peaked
+}
+
+// covPoint is one probe sample: cumulative counters at a path-event
+// boundary.
+type covPoint struct {
+	steps   int64 // guest steps executed
+	entered int64 // path starts that entered the fragment cache
+	events  int64 // path events observed, all engines
+}
+
+// window returns the cached-coverage fraction of the window ending at p,
+// starting at prev (the zero covPoint for the first window). Enters are
+// counted at path starts and events at path ends, so a window boundary can
+// split the two by one; clamp rather than report an over-unity hit rate.
+func (p covPoint) window(prev covPoint) float64 {
+	de := p.events - prev.events
+	if de <= 0 {
+		return 0
+	}
+	c := float64(p.entered-prev.entered) / float64(de)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// windowAt returns the rolling-window coverage ending at probe i: the
+// cached fraction over the last peakWindowProbes probes (from the run's
+// start while the window is still filling).
+func windowAt(curve []covPoint, i int) float64 {
+	prev := covPoint{}
+	if i >= peakWindowProbes {
+		prev = curve[i-peakWindowProbes]
+	}
+	return curve[i].window(prev)
+}
+
+// captureProbe reports whether to capture a profile snapshot at probe n
+// during a collecting run: every power-of-two probe early (short early
+// phases flush out of the cache fast — an exit-only snapshot would miss
+// them entirely) and every 64th probe thereafter. The captures are merged
+// into one profile: exactly the fleet-merge a population of processes at
+// different lifecycle points produces.
+func captureProbe(n int) bool {
+	return n&(n-1) == 0 || n%64 == 0
+}
+
+// runCurve executes p once under NET (τ=tau) sampling a coverage curve at
+// probe boundaries; when snap is non-nil the System is restored from it
+// before the first guest instruction; when collect is true, periodic
+// snapshots (plus one at exit) are captured and merged into the returned
+// profile. Returns the curve, the merged snapshot (nil unless collect), and
+// the run result.
+func runCurve(p *prog.Program, tau int64, snap *snapshot.Snapshot, collect bool) ([]covPoint, *snapshot.Snapshot, dynamo.Result, error) {
+	cfg := dynamo.DefaultConfig(dynamo.SchemeNET, tau)
+	var curve []covPoint
+	var snaps []*snapshot.Snapshot
+	cfg.ProbeEvery = timeToPeakProbeEvery
+	cfg.Probe = func(s *dynamo.System) {
+		steps, _, _ := s.LiveStats()
+		events, entered := s.LiveEvents()
+		curve = append(curve, covPoint{steps: steps, entered: entered, events: events})
+		if collect && captureProbe(len(curve)) {
+			snaps = append(snaps, s.Snapshot(""))
+		}
+	}
+	sink := dynamoSink(&cfg)
+	sys := dynamo.New(p, cfg)
+	if snap != nil {
+		if err := sys.Restore(snap); err != nil {
+			return nil, nil, dynamo.Result{}, err
+		}
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, nil, res, err
+	}
+	// Close the curve with the run's final state: short runs may end between
+	// probes, and the tail window anchors the steady-state estimate.
+	steps, _, _ := sys.LiveStats()
+	events, entered := sys.LiveEvents()
+	if n := len(curve); n == 0 || curve[n-1].events != events {
+		curve = append(curve, covPoint{steps: steps, entered: entered, events: events})
+	}
+	var merged *snapshot.Snapshot
+	if collect {
+		snaps = append(snaps, sys.Snapshot(""))
+		if merged, err = snapshot.MergeAll(snaps); err != nil {
+			return nil, nil, res, err
+		}
+	}
+	cellDone(sink)
+	return curve, merged, res, nil
+}
+
+// steadyCoverage estimates the run's steady-state cached coverage: the mean
+// windowed coverage over the final quarter of the curve, where the hot set
+// has long been selected and the windows measure pure steady execution.
+func steadyCoverage(curve []covPoint) float64 {
+	n := len(curve)
+	if n == 0 {
+		return 0
+	}
+	start := n - n/4
+	if start >= n {
+		start = n - 1
+	}
+	var sum float64
+	var windows int
+	for i := start; i < n; i++ {
+		sum += windowAt(curve, i)
+		windows++
+	}
+	return sum / float64(windows)
+}
+
+// stepsToPeak returns the guest-step count of the first probe window whose
+// coverage reaches target, plus that window's coverage. A run that never
+// reaches the target reports its final step count (the honest worst case:
+// "peak" was the end of the run).
+func stepsToPeak(curve []covPoint, target float64) (int64, float64) {
+	for i, p := range curve {
+		if c := windowAt(curve, i); c >= target {
+			return p.steps, c
+		}
+	}
+	if n := len(curve); n > 0 {
+		return curve[n-1].steps, windowAt(curve, n-1)
+	}
+	return 0, 0
+}
+
+// RunTimeToPeak measures cold and warm time-to-peak for the named
+// benchmarks (nil = TimeToPeakBenches) at the given scale. Per benchmark:
+// a cold run samples its coverage curve and is snapshotted at exit; a fresh
+// System is restored from that snapshot and re-run under the same probe; both
+// runs are scored against the COLD run's steady-state coverage, so the warm
+// number answers "how fast does a restored process reach the performance the
+// cold process eventually earned". Benchmarks fan out over the par pool.
+func RunTimeToPeak(names []string, scale float64, tau int64) ([]TimeToPeakResult, error) {
+	if names == nil {
+		names = TimeToPeakBenches
+	}
+	planCells(3 * len(names))
+	return par.MapErr(context.Background(), len(names),
+		func(_ context.Context, i int) (TimeToPeakResult, error) {
+			name := names[i]
+			b, err := workload.ByName(name)
+			if err != nil {
+				return TimeToPeakResult{}, err
+			}
+			p, err := b.Build(scale)
+			if err != nil {
+				return TimeToPeakResult{}, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+
+			coldCurve, _, coldRes, err := runCurve(p, tau, nil, false)
+			if err != nil {
+				return TimeToPeakResult{}, fmt.Errorf("experiments: %s cold: %w", name, err)
+			}
+			// The profile comes from a separate collecting run at the fleet's
+			// lower selection threshold (see collectTau) — the "previous
+			// processes" whose merged profile warms the measured run.
+			_, snap, _, err := runCurve(p, collectTau, nil, true)
+			if err != nil {
+				return TimeToPeakResult{}, fmt.Errorf("experiments: %s collect: %w", name, err)
+			}
+
+			steady := steadyCoverage(coldCurve)
+			target := peakFraction * steady
+			coldSteps, _ := stepsToPeak(coldCurve, target)
+
+			warmCurve, _, warmRes, err := runCurve(p, tau, snap, false)
+			if err != nil {
+				return TimeToPeakResult{}, fmt.Errorf("experiments: %s warm: %w", name, err)
+			}
+			warmSteps, warmCov := stepsToPeak(warmCurve, target)
+
+			r := TimeToPeakResult{
+				Bench:       name,
+				SteadyCov:   steady,
+				ColdSteps:   coldSteps,
+				WarmSteps:   warmSteps,
+				ColdTotal:   coldRes.Steps,
+				Restored:    warmRes.RestoredFragments,
+				RestoredT2:  warmRes.RestoredT2,
+				WarmPeakCov: warmCov,
+			}
+			if coldSteps > 0 {
+				r.Ratio = float64(warmSteps) / float64(coldSteps)
+			}
+			return r, nil
+		})
+}
+
+// TimeToPeakReport renders the cold-vs-warm table.
+func TimeToPeakReport(scale float64, tau int64) (string, error) {
+	results, err := RunTimeToPeak(nil, scale, tau)
+	if err != nil {
+		return "", err
+	}
+	t := tables.New("Benchmark", "steady cov", "cold steps", "warm steps",
+		"warm/cold", "restored frags", "restored t2")
+	for _, r := range results {
+		t.Row(r.Bench,
+			tables.Pct(100*r.SteadyCov),
+			tables.Count(r.ColdSteps),
+			tables.Count(r.WarmSteps),
+			fmt.Sprintf("%.3f", r.Ratio),
+			r.Restored, r.RestoredT2)
+	}
+	return fmt.Sprintf("Time to peak: guest steps until windowed cache coverage reaches %.0f%% of cold steady state (NET τ=%d)\n",
+		100*peakFraction, tau) + t.String(), nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+// TestRunTimeToPeak locks the experiment's headline property at a small
+// scale: the restored run reaches the cold run's steady-state coverage in a
+// small fraction of the cold run's guest steps.
+func TestRunTimeToPeak(t *testing.T) {
+	results, err := RunTimeToPeak([]string{"compress"}, 0.05, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.SteadyCov < 0.5 {
+		t.Errorf("steady coverage = %.3f, want a mostly-cached steady state", r.SteadyCov)
+	}
+	if r.Restored == 0 {
+		t.Error("warm run restored no fragments")
+	}
+	if r.ColdSteps <= 0 || r.WarmSteps <= 0 {
+		t.Fatalf("degenerate peaks: cold %d, warm %d", r.ColdSteps, r.WarmSteps)
+	}
+	// The acceptance bar for the committed benchmark entries is 25%; at test
+	// scale allow 50% so a noisy tiny workload cannot flake the suite while a
+	// real warm-start regression still fails.
+	if ratio := float64(r.WarmSteps) / float64(r.ColdSteps); ratio > 0.5 {
+		t.Errorf("warm/cold = %.3f, want <= 0.5 (warm %d steps, cold %d steps)",
+			ratio, r.WarmSteps, r.ColdSteps)
+	}
+}
+
+// TestStepsToPeak pins the rolling-window crossing logic on a synthetic
+// curve.
+func TestStepsToPeak(t *testing.T) {
+	// 64-event probes; coverage ramps 0, 0.25, 0.5, 1.0, 1.0, 1.0 ...
+	curve := []covPoint{
+		{steps: 100, entered: 0, events: 64},
+		{steps: 200, entered: 16, events: 128},
+		{steps: 300, entered: 48, events: 192},
+		{steps: 400, entered: 112, events: 256},
+		{steps: 500, entered: 176, events: 320},
+		{steps: 600, entered: 240, events: 384},
+		{steps: 700, entered: 304, events: 448},
+		{steps: 800, entered: 368, events: 512},
+	}
+	// Rolling 4-probe windows: the window ending at curve[6] spans events
+	// 192..448 with 256 entered → coverage 1.0; the one at curve[5] spans
+	// 128..384 with 224/256 = 0.875.
+	steps, cov := stepsToPeak(curve, 0.9)
+	if steps != 700 {
+		t.Errorf("stepsToPeak = %d, want 700 (cov %.3f)", steps, cov)
+	}
+	if cov != 1.0 {
+		t.Errorf("crossing coverage = %.3f, want 1.0", cov)
+	}
+	// Unreachable target falls back to the final probe.
+	steps, _ = stepsToPeak(curve, 2.0)
+	if steps != 800 {
+		t.Errorf("unreachable target: steps = %d, want last probe 800", steps)
+	}
+	if s, c := stepsToPeak(nil, 0.5); s != 0 || c != 0 {
+		t.Errorf("empty curve: got %d, %.3f", s, c)
+	}
+}
+
+// TestSteadyCoverage: the estimate averages the final quarter's windows.
+func TestSteadyCoverage(t *testing.T) {
+	var curve []covPoint
+	// 16 probes: first half cold (no coverage), second half fully cached.
+	var entered int64
+	for i := 1; i <= 16; i++ {
+		if i > 8 {
+			entered += 64
+		}
+		curve = append(curve, covPoint{steps: int64(i * 100), entered: entered, events: int64(i * 64)})
+	}
+	if got := steadyCoverage(curve); got != 1.0 {
+		t.Errorf("steadyCoverage = %.3f, want 1.0 (final quarter is fully cached)", got)
+	}
+	if got := steadyCoverage(nil); got != 0 {
+		t.Errorf("steadyCoverage(nil) = %.3f, want 0", got)
+	}
+}

@@ -7,14 +7,16 @@ import (
 )
 
 // DefaultHotPackages lists the import paths whose steady-state code must not
-// allocate: the interpreter step loop, the path tracker/interner, and the
-// telemetry write path. The alloc gates in gate_test.go pin these at
+// allocate: the interpreter step loop, the path tracker/interner, the
+// telemetry write path, and the snapshot merge/clamp algebra (netpathd runs
+// it on every completed guest). The alloc gates in gate_test.go pin these at
 // 0 allocs/op; this analyzer catches the regression at review time instead
 // of bench time.
 var DefaultHotPackages = []string{
 	"netpath/internal/vm",
 	"netpath/internal/path",
 	"netpath/internal/telemetry",
+	"netpath/internal/snapshot",
 }
 
 // hotBanned maps package name → banned function set. Every fmt entry point

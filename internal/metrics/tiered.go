@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/snapshot"
+	"netpath/internal/staticpred"
+)
+
+// TieredPoint is one three-tier evaluation: the overall Point plus the
+// per-tier split of hits and noise, so a report can say not just how well
+// the blended predictor did, but which tier each prediction came from —
+// static prior, persisted fleet profile, or the run's own live learning.
+type TieredPoint struct {
+	Point
+	// Tiers indexes by predict.TierStatic/TierPersisted/TierLive. Flow and
+	// HotFlow are shared (the stream is one stream); Profiled is only
+	// meaningful on the live tier (the priors never profile).
+	Tiers [3]Point
+}
+
+// PersistedIDs maps a profile snapshot onto the profile's path-ID space: the
+// path IDs a restored System would have pre-armed (persisted path counters
+// at or past the snapshot's τ) or pre-installed (a persisted trace at the
+// path's head). Paths the profile never interned — code this run does not
+// reach — resolve to nothing, exactly as a restored fragment nobody enters
+// predicts nothing.
+func PersistedIDs(pr *profile.Profile, snap *snapshot.Snapshot) []path.ID {
+	seen := map[path.ID]bool{}
+	var out []path.ID
+	add := func(id path.ID) {
+		if id >= 0 && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, p := range snap.Paths {
+		if p.Count < snap.Tau {
+			continue
+		}
+		add(pr.Paths.Lookup(string(p.Key)))
+	}
+	if len(snap.Traces) > 0 {
+		byHead := map[int]bool{}
+		for _, t := range snap.Traces {
+			byHead[t.Start] = true
+		}
+		for id := 0; id < pr.Paths.NumPaths(); id++ {
+			if byHead[pr.Paths.Head(path.ID(id))] {
+				add(path.ID(id))
+			}
+		}
+	}
+	return out
+}
+
+// NewTieredPredictor assembles the three-tier static → persisted → live
+// predictor for a profile: the static prior from program analysis, the
+// persisted tier from snap (nil for none), and a live NET predictor with
+// delay tau behind both.
+func NewTieredPredictor(pr *profile.Profile, snap *snapshot.Snapshot, tau int64) *predict.Tiered {
+	var static []path.ID
+	if sp, err := staticpred.Predict(pr); err == nil {
+		static = sp.PrePredicted()
+	}
+	var persisted []path.ID
+	if snap != nil {
+		persisted = PersistedIDs(pr, snap)
+	}
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	return predict.NewTiered(static, persisted, predict.NewNET(tau, head))
+}
+
+// TieredFactory returns a Factory building the three-tier predictor per
+// delay; the static and persisted sets are resolved once and shared.
+func TieredFactory(pr *profile.Profile, snap *snapshot.Snapshot) Factory {
+	var static []path.ID
+	if sp, err := staticpred.Predict(pr); err == nil {
+		static = sp.PrePredicted()
+	}
+	var persisted []path.ID
+	if snap != nil {
+		persisted = PersistedIDs(pr, snap)
+	}
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	return func(tau int64) predict.Predictor {
+		return predict.NewTiered(static, persisted, predict.NewNET(tau, head))
+	}
+}
+
+// EvaluateTiered replays the stream through a tiered predictor, scoring the
+// blend overall (identically to Evaluate) and attributing every hit, every
+// noise event, and every prediction to the tier that made it.
+func EvaluateTiered(pr *profile.Profile, hs *profile.HotSet, t *predict.Tiered, tau int64) TieredPoint {
+	tp := TieredPoint{Point: Point{
+		Scheme:  t.Name(),
+		Tau:     tau,
+		Flow:    pr.Flow,
+		HotFlow: hs.Flow,
+	}}
+	for i := range tp.Tiers {
+		tp.Tiers[i] = Point{Tau: tau, Flow: pr.Flow, HotFlow: hs.Flow}
+	}
+	tp.Tiers[predict.TierStatic].Scheme = "static"
+	tp.Tiers[predict.TierPersisted].Scheme = "persisted"
+	tp.Tiers[predict.TierLive].Scheme = "live"
+
+	for _, id := range t.PrePredicted() {
+		tier := t.TierOf(id)
+		hot := int(id) < len(hs.IsHot) && hs.IsHot[id]
+		if hot {
+			tp.PredictedHot++
+			tp.Tiers[tier].PredictedHot++
+		} else {
+			tp.PredictedCold++
+			tp.Tiers[tier].PredictedCold++
+		}
+	}
+	for _, id := range pr.Stream {
+		if t.IsPredicted(id) {
+			tier := t.TierOf(id)
+			if hs.IsHot[id] {
+				tp.Hits++
+				tp.Tiers[tier].Hits++
+			} else {
+				tp.Noise++
+				tp.Tiers[tier].Noise++
+			}
+			continue
+		}
+		tp.Profiled++
+		tp.Tiers[predict.TierLive].Profiled++
+		if t.Observe(id) {
+			if hs.IsHot[id] {
+				tp.PredictedHot++
+				tp.Tiers[predict.TierLive].PredictedHot++
+			} else {
+				tp.PredictedCold++
+				tp.Tiers[predict.TierLive].PredictedCold++
+			}
+		}
+	}
+	tp.CounterSpace = t.CounterSpace()
+	tp.Tiers[predict.TierLive].CounterSpace = t.CounterSpace()
+	return tp
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"testing"
+
+	"netpath/internal/path"
+	"netpath/internal/predict"
+	"netpath/internal/profile"
+	"netpath/internal/snapshot"
+)
+
+// TestEvaluateTieredAttribution pins the per-tier split with hand-computable
+// numbers: path 0 persisted+hot, path 1 live-learned+hot, path 2 cold and
+// never predicted.
+func TestEvaluateTieredAttribution(t *testing.T) {
+	stream := append(append(rep(0, 100), rep(1, 60)...), rep(2, 3)...)
+	pr := mkProfile([]int{1, 2, 3}, stream)
+	hs := &profile.HotSet{IsHot: []bool{true, true, false}, Count: 2, Flow: 160}
+
+	head := func(id path.ID) int { return pr.Paths.Head(id) }
+	tiered := predict.NewTiered(nil, []path.ID{0}, predict.NewNET(10, head))
+	tp := EvaluateTiered(pr, hs, tiered, 10)
+
+	// Path 0: persisted before the stream → all 100 executions hit, tier
+	// persisted; pre-predicted accounting: 1 hot.
+	per := tp.Tiers[predict.TierPersisted]
+	if per.Hits != 100 || per.Noise != 0 || per.PredictedHot != 1 {
+		t.Errorf("persisted tier = %+v, want 100 hits, 1 predicted hot", per)
+	}
+	// Path 1: NET with τ=10 at head 2 → 10 profiled, 50 hits, tier live.
+	// Path 2: 3 executions never reach τ → 3 profiled, no prediction.
+	live := tp.Tiers[predict.TierLive]
+	if live.Hits != 50 || live.Profiled != 13 || live.PredictedHot != 1 || live.PredictedCold != 0 {
+		t.Errorf("live tier = %+v, want 50 hits / 13 profiled / 1 hot", live)
+	}
+	if st := tp.Tiers[predict.TierStatic]; st.Hits != 0 || st.Noise != 0 {
+		t.Errorf("static tier = %+v, want empty", st)
+	}
+	// The overall point must equal the tier sums and match plain Evaluate on
+	// an identical fresh predictor.
+	if tp.Hits != per.Hits+live.Hits || tp.Profiled != live.Profiled {
+		t.Errorf("overall %+v does not sum tiers", tp.Point)
+	}
+	fresh := predict.NewTiered(nil, []path.ID{0}, predict.NewNET(10, head))
+	flat := Evaluate(pr, hs, fresh, 10)
+	if flat.Hits != tp.Hits || flat.Noise != tp.Noise || flat.Profiled != tp.Profiled ||
+		flat.PredictedHot != tp.PredictedHot || flat.PredictedCold != tp.PredictedCold {
+		t.Errorf("EvaluateTiered overall %+v differs from Evaluate %+v", tp.Point, flat)
+	}
+}
+
+// TestTierOfPriority: overlapping tiers attribute to the highest-priority
+// one (static < persisted < live).
+func TestTierOfPriority(t *testing.T) {
+	head := func(id path.ID) int { return 1 }
+	tiered := predict.NewTiered([]path.ID{0, 1}, []path.ID{1, 2}, predict.NewNET(1, head))
+	if got := tiered.TierOf(0); got != predict.TierStatic {
+		t.Errorf("TierOf(0) = %d, want static", got)
+	}
+	if got := tiered.TierOf(1); got != predict.TierStatic {
+		t.Errorf("TierOf(1) = %d, want static (overlap resolves up)", got)
+	}
+	if got := tiered.TierOf(2); got != predict.TierPersisted {
+		t.Errorf("TierOf(2) = %d, want persisted", got)
+	}
+	if got := tiered.TierOf(3); got != predict.TierNone {
+		t.Errorf("TierOf(3) = %d, want none", got)
+	}
+	tiered.Observe(3) // τ=1: first observation predicts
+	if got := tiered.TierOf(3); got != predict.TierLive {
+		t.Errorf("TierOf(3) after observe = %d, want live", got)
+	}
+	if n := tiered.PredictedCount(); n != 4 {
+		t.Errorf("PredictedCount = %d, want 4 (union, not sum)", n)
+	}
+}
+
+// TestPersistedIDs: snapshot path counts past τ and trace heads both map
+// into the profile's ID space; unknown keys resolve to nothing.
+func TestPersistedIDs(t *testing.T) {
+	pr := mkProfile([]int{1, 2, 3}, []int{0, 1, 2})
+	snap := &snapshot.Snapshot{
+		Tau: 10,
+		Paths: []snapshot.PathCount{
+			{Key: []byte("p0"), Start: 1, Branches: 1, Count: 50}, // past τ → in
+			{Key: []byte("p1"), Start: 2, Branches: 1, Count: 3},  // below τ → out
+			{Key: []byte("zz"), Start: 9, Branches: 1, Count: 99}, // unknown key → out
+		},
+		Traces: []snapshot.Trace{
+			{Start: 3, Flow: 40, Steps: []snapshot.Step{{PC: 3, Next: 4}}}, // head of path 2
+			{Start: 7, Flow: 10, Steps: []snapshot.Step{{PC: 7, Next: 8}}}, // head of nothing
+		},
+	}
+	ids := PersistedIDs(pr, snap)
+	want := map[path.ID]bool{0: true, 2: true}
+	if len(ids) != len(want) {
+		t.Fatalf("PersistedIDs = %v, want exactly %v", ids, want)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected persisted id %d", id)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package predict
+
+import "netpath/internal/path"
+
+// Prediction tiers, in priority order. A path predicted by more than one
+// tier is attributed to the earliest: static knowledge needs no profile at
+// all, persisted knowledge needed a past run, live knowledge is paid for in
+// this run's profiling phase.
+const (
+	TierStatic    = 0 // internal/staticpred's profile-free prior
+	TierPersisted = 1 // paths carried in from a profile snapshot
+	TierLive      = 2 // the run's own online predictor
+	TierNone      = -1
+)
+
+// Tiered is the three-tier static → persisted → live predictor: two
+// ahead-of-time predicted sets layered in front of an online scheme. The
+// static tier is the prior for code no run has ever profiled; the persisted
+// tier carries the fleet's accumulated profile; the live tier learns
+// whatever both priors missed. Observations flow only to the live tier —
+// the priors are fixed at construction, exactly as a restored fragment
+// cache is fixed at process start.
+type Tiered struct {
+	static    predictedSet
+	persisted predictedSet
+	live      Predictor
+}
+
+// NewTiered builds a tiered predictor: static and persisted are the
+// ahead-of-time predicted path sets (either may be empty), live is the
+// online scheme layered behind them (typically NET).
+func NewTiered(static, persisted []path.ID, live Predictor) *Tiered {
+	t := &Tiered{live: live}
+	for _, id := range static {
+		t.static.add(id)
+	}
+	for _, id := range persisted {
+		t.persisted.add(id)
+	}
+	return t
+}
+
+// Name implements Predictor.
+func (t *Tiered) Name() string { return "tiered(" + t.live.Name() + ")" }
+
+// IsPredicted implements Predictor: the union of the three tiers.
+func (t *Tiered) IsPredicted(id path.ID) bool {
+	return t.static.IsPredicted(id) || t.persisted.IsPredicted(id) || t.live.IsPredicted(id)
+}
+
+// TierOf returns which tier predicts id (TierNone if unpredicted),
+// attributing overlaps to the highest-priority tier.
+func (t *Tiered) TierOf(id path.ID) int {
+	switch {
+	case t.static.IsPredicted(id):
+		return TierStatic
+	case t.persisted.IsPredicted(id):
+		return TierPersisted
+	case t.live.IsPredicted(id):
+		return TierLive
+	}
+	return TierNone
+}
+
+// Observe implements Predictor: unpredicted executions train the live tier
+// only.
+func (t *Tiered) Observe(id path.ID) bool { return t.live.Observe(id) }
+
+// PredictedCount implements Predictor. Tiers can overlap (the same path
+// known statically and persisted), so the count walks the union rather than
+// summing the tiers.
+func (t *Tiered) PredictedCount() int {
+	n := t.live.PredictedCount()
+	seen := func(id path.ID) bool { return t.live.IsPredicted(id) }
+	for id, p := range t.persisted.set {
+		if p && !seen(path.ID(id)) {
+			n++
+		}
+	}
+	for id, p := range t.static.set {
+		if p && !seen(path.ID(id)) && !t.persisted.IsPredicted(path.ID(id)) {
+			n++
+		}
+	}
+	return n
+}
+
+// CounterSpace implements Predictor: the priors are sets, not counters; only
+// the live tier spends counter space.
+func (t *Tiered) CounterSpace() int { return t.live.CounterSpace() }
+
+// PrePredicted returns every path the priors predict before the first
+// execution; the metrics evaluator uses it to account ahead-of-time
+// predictions (hot = correctly pre-predicted, cold = pre-predicted noise).
+func (t *Tiered) PrePredicted() []path.ID {
+	var out []path.ID
+	for id, p := range t.static.set {
+		if p {
+			out = append(out, path.ID(id))
+		}
+	}
+	for id, p := range t.persisted.set {
+		if p && !t.static.IsPredicted(path.ID(id)) {
+			out = append(out, path.ID(id))
+		}
+	}
+	return out
+}
+
+// Reset implements Predictor: the live tier clears; the priors are
+// construction-time facts and persist (a process restart rebuilds them from
+// the same snapshot and static analysis).
+func (t *Tiered) Reset() { t.live.Reset() }
+
+var _ Predictor = (*Tiered)(nil)

@@ -45,7 +45,8 @@ type Program struct {
 	// Entry is the address execution starts at.
 	Entry int
 
-	blockAt []int32 // address -> block index, built lazily by Freeze
+	blockAt     []int32 // address -> block index, built lazily by Freeze
+	fingerprint uint64  // content hash, built alongside blockAt
 }
 
 // MemInit is one initial memory word.
@@ -69,6 +70,46 @@ func (p *Program) Freeze() {
 			p.blockAt[a] = int32(bi)
 		}
 	}
+	p.fingerprint = p.computeFingerprint()
+}
+
+// Fingerprint returns a content hash of the executable image: instruction
+// words, entry point, memory size, and initial memory. Profile snapshots
+// carry it so a persisted profile can never be restored into a different
+// program (same name, different code). Block/function structure is not
+// hashed — it is derived metadata over the same instruction words.
+func (p *Program) Fingerprint() uint64 {
+	if p.blockAt == nil {
+		p.Freeze()
+	}
+	return p.fingerprint
+}
+
+func (p *Program) computeFingerprint() uint64 {
+	// FNV-1a, word-at-a-time over the fields that define execution.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		mix(uint64(in.Op) | uint64(in.Cond)<<8 | uint64(in.A)<<16 | uint64(in.B)<<24 | uint64(in.C)<<32)
+		mix(uint64(in.Imm))
+		mix(uint64(int64(in.Target)))
+	}
+	mix(uint64(int64(p.Entry)))
+	mix(uint64(int64(p.MemSize)))
+	mix(uint64(len(p.InitMem)))
+	for _, mi := range p.InitMem {
+		mix(uint64(int64(mi.Addr)))
+		mix(uint64(mi.Value))
+	}
+	return h
 }
 
 // BlockAt returns the index of the block containing address addr, or -1.

@@ -302,3 +302,43 @@ func TestMustBuildPanics(t *testing.T) {
 	}()
 	NewBuilder("bad").MustBuild()
 }
+
+func TestFingerprint(t *testing.T) {
+	a := buildLoop(t)
+	b := buildLoop(t)
+	if a.Fingerprint() == 0 {
+		t.Fatal("fingerprint should not be zero for a real program")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical programs must share a fingerprint")
+	}
+	// Any executable difference must change the hash: code...
+	c := buildLoop(t)
+	c.Instrs = append([]isa.Instr(nil), c.Instrs...)
+	c.Instrs[1].Imm++
+	c.Freeze()
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("instruction change did not change fingerprint")
+	}
+	// ...entry point...
+	d := buildLoop(t)
+	d.Entry++
+	d.Freeze()
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Fatal("entry change did not change fingerprint")
+	}
+	// ...and initial memory.
+	e := buildLoop(t)
+	e.InitMem = append(e.InitMem, MemInit{Addr: 1, Value: 7})
+	e.Freeze()
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Fatal("memory init change did not change fingerprint")
+	}
+	// Name is metadata, not code: it does not affect the fingerprint.
+	f := buildLoop(t)
+	f.Name = "other"
+	f.Freeze()
+	if f.Fingerprint() != a.Fingerprint() {
+		t.Fatal("name change should not change fingerprint")
+	}
+}

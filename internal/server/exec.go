@@ -84,10 +84,37 @@ func (s *Server) runDynamo(ctx context.Context, j *job, steps int64) (*runRespon
 	}
 
 	sys := dynamo.New(req.program, cfg)
+	// Warm-start from the tenant's stored profile, keyed strictly by
+	// (tenant, program fingerprint, scheme): another tenant's profile for
+	// the same bytes is invisible here. A failed restore (e.g. a chaos
+	// configuration that rejects pre-seeding) just starts the run cold.
+	var key snapKey
+	if s.snaps != nil {
+		key = snapKey{tenant: j.tenant, fp: req.program.Fingerprint(), scheme: req.scheme.String()}
+		if sn := s.snaps.get(key); sn != nil {
+			if err := sys.Restore(sn); err != nil {
+				s.logf("snapshot restore for tenant %s: %v (running cold)", j.tenant, err)
+			} else {
+				telSnapRestored.Inc()
+			}
+		}
+	}
 	res, runErr := sys.RunContext(ctx)
 	s.shards.Release(j.tenant, res)
 	if apiErr := s.mapRunError(runErr, res.Steps); apiErr != nil {
 		return nil, apiErr
+	}
+	if s.snaps != nil {
+		// Merge the run's profile back under the same key, clamped to the
+		// shard's table budget so the stored profile never outgrows what a
+		// later shard of this tenant could import.
+		sn := sys.Snapshot(j.tenant)
+		sn.Clamp(sys.SnapshotLimits())
+		if err := s.snaps.put(key, sn); err != nil {
+			s.logf("snapshot merge-back for tenant %s: %v", j.tenant, err)
+		} else {
+			telSnapMerged.Inc()
+		}
 	}
 
 	m := sys.Machine()
@@ -102,6 +129,7 @@ func (s *Server) runDynamo(ctx context.Context, j *job, steps int64) (*runRespon
 		SpeedupPC: 100 * res.Speedup(),
 		CachedPC:  100 * res.CachedFraction(),
 		BailedOut: res.BailedOut,
+		Restored:  res.RestoredFragments,
 		Regs:      append([]int64(nil), m.Reg[:]...),
 	}, nil
 }

@@ -66,6 +66,14 @@ type Config struct {
 	Tier2Queue     int
 	Tier2Threshold int64
 
+	// SnapshotLimit enables the persistent-profile store: completed runs
+	// merge their profile into a bounded per-(tenant, program, scheme) store
+	// and later runs of the same key warm-start from it. The value bounds
+	// the number of distinct stored profiles (FIFO eviction); 0 disables the
+	// store entirely (the default — warm-starting trades memory for
+	// cold-start latency, and the operator opts in).
+	SnapshotLimit int
+
 	// TripSheds sheds within TripWindow trip the ladder to interp-only;
 	// CoolOff without a shed recovers it.
 	TripSheds  int
@@ -132,6 +140,7 @@ type Server struct {
 	tenants *tenantSet
 	shards  *dynamo.ShardSet
 	tier2   *dynamo.Tier2Compiler
+	snaps   *snapStore // nil when Config.SnapshotLimit == 0
 	pool    *par.Resident
 	mux     *http.ServeMux
 	sink    *telemetry.Sink
@@ -165,6 +174,9 @@ func New(cfg Config) *Server {
 	if cfg.Tier2 {
 		s.tier2 = dynamo.NewTier2Compiler(cfg.Tier2Workers, cfg.Tier2Queue)
 		s.shards.SetTier2(s.tier2)
+	}
+	if cfg.SnapshotLimit > 0 {
+		s.snaps = newSnapStore(cfg.SnapshotLimit)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+
+	"netpath/internal/snapshot"
+	"netpath/internal/telemetry"
+)
+
+var (
+	telSnapStored = telemetry.NewGauge("server_snapshots_resident",
+		"profile snapshots resident in the server store")
+	telSnapEvicted = telemetry.NewCounter("server_snapshots_evicted_total",
+		"profile snapshots evicted from the bounded store (FIFO)")
+	telSnapRestored = telemetry.NewCounter("server_snapshots_restored_total",
+		"guest runs warm-started from a stored profile")
+	telSnapMerged = telemetry.NewCounter("server_snapshots_merged_total",
+		"run profiles merged back into the store")
+)
+
+// snapKey identifies a stored profile: the tenant, the program image, and
+// the prediction scheme its counters were collected under. The tenant is
+// part of the key on purpose — profiles are behavioural fingerprints of a
+// tenant's workload, so one tenant's profile must never warm (or even be
+// observable through timing by) another tenant's runs, even for a
+// byte-identical program.
+type snapKey struct {
+	tenant string
+	fp     uint64
+	scheme string
+}
+
+// snapStore is the server's bounded in-memory profile store. Each completed
+// run's profile joins the store under its key (the CRDT merge, so re-runs
+// and concurrent workers commute); each admitted run warm-starts from its
+// key's entry when one exists. The store is FIFO-bounded by distinct keys:
+// a population of tenants × programs cannot grow it without bound, and an
+// evicted profile simply means those guests start cold again.
+type snapStore struct {
+	mu    sync.Mutex
+	limit int
+	m     map[snapKey]*snapshot.Snapshot
+	order []snapKey // insertion order, for FIFO eviction
+}
+
+func newSnapStore(limit int) *snapStore {
+	return &snapStore{limit: limit, m: make(map[snapKey]*snapshot.Snapshot)}
+}
+
+// get returns the stored profile for k, nil if none. The returned snapshot
+// is shared and must be treated as read-only (Restore copies before
+// clamping).
+func (st *snapStore) get(k snapKey) *snapshot.Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[k]
+}
+
+// put joins sn into the store under k, evicting the oldest keys when the
+// store is over its bound. A merge failure (group mismatch) cannot happen
+// for snapshots captured under the same key; it is reported for import
+// paths feeding untrusted files.
+func (st *snapStore) put(k snapKey, sn *snapshot.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.m[k]; ok {
+		merged, err := snapshot.Merge(cur, sn)
+		if err != nil {
+			return err
+		}
+		st.m[k] = merged
+		return nil
+	}
+	st.m[k] = sn
+	st.order = append(st.order, k)
+	for st.limit > 0 && len(st.order) > st.limit {
+		evict := st.order[0]
+		st.order = st.order[1:]
+		delete(st.m, evict)
+		telSnapEvicted.Inc()
+	}
+	telSnapStored.Set(int64(len(st.m)))
+	return nil
+}
+
+// export snapshots the whole store as a wire file (insertion order; the
+// codec canonicalizes each snapshot's sections on encode).
+func (st *snapStore) export() *snapshot.File {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f := snapshot.NewFile()
+	for _, k := range st.order {
+		if sn, ok := st.m[k]; ok {
+			f.Snapshots = append(f.Snapshots, sn)
+		}
+	}
+	return f
+}
+
+// importFile joins every snapshot of a decoded (already validated) file
+// into the store, returning how many were accepted.
+func (st *snapStore) importFile(f *snapshot.File) (int, error) {
+	n := 0
+	for _, sn := range f.Snapshots {
+		k := snapKey{tenant: sn.Tenant, fp: sn.Fingerprint, scheme: sn.Scheme}
+		if err := st.put(k, sn); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// ExportSnapshots returns the server's resident profile store as a wire
+// file (empty when the store is disabled); netpathd persists it on drain.
+func (s *Server) ExportSnapshots() *snapshot.File {
+	if s.snaps == nil {
+		return snapshot.NewFile()
+	}
+	return s.snaps.export()
+}
+
+// ImportSnapshots seeds the profile store from a wire file (a previous
+// process's ExportSnapshots, possibly fleet-merged). Returns the number of
+// profiles accepted; an error mid-file keeps the profiles already merged.
+// No-op when the store is disabled.
+func (s *Server) ImportSnapshots(f *snapshot.File) (int, error) {
+	if s.snaps == nil {
+		return 0, nil
+	}
+	return s.snaps.importFile(f)
+}

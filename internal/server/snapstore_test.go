@@ -1,0 +1,164 @@
+package server
+
+import (
+	"testing"
+
+	"netpath/internal/snapshot"
+)
+
+// hotAsm loops long enough for the default τ=50 NET scheme to select traces
+// and install fragments, so a completed run leaves a non-empty profile in the
+// snapshot store.
+const hotAsm = `
+func main:
+    movi r0, 0
+loop:
+    addi r0, r0, 1
+    bri.lt r0, 20000, loop
+    halt
+`
+
+// TestSnapshotTenantIsolation is the multi-tenant boundary check for the
+// profile store: tenant A's warm profile must never pre-promote fragments
+// for tenant B, even when B submits the byte-identical program (same
+// fingerprint, same scheme). Only the same tenant re-running warm-starts.
+func TestSnapshotTenantIsolation(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.SnapshotLimit = 8
+	_, ts := startServer(t, cfg)
+
+	run := func(tenant string) *runResponse {
+		t.Helper()
+		status, rr, apiErr, _ := postRun(t, ts.URL, map[string]any{
+			"tenant": tenant,
+			"asm":    hotAsm,
+		})
+		if apiErr != nil || rr == nil {
+			t.Fatalf("tenant %s run failed: status=%d err=%v", tenant, status, apiErr)
+		}
+		return rr
+	}
+
+	// Tenant A's first run is cold and leaves a profile behind.
+	if rr := run("tenant-a"); rr.Restored != 0 {
+		t.Fatalf("tenant A's first run restored %d fragments; want cold start", rr.Restored)
+	}
+
+	// Tenant B runs the byte-identical program: same fingerprint, same
+	// scheme — and must still start cold. A's profile is invisible.
+	if rr := run("tenant-b"); rr.Restored != 0 {
+		t.Fatalf("tenant B warm-started from tenant A's profile: restored %d fragments", rr.Restored)
+	}
+
+	// Tenant A re-runs and warm-starts from its own stored profile.
+	if rr := run("tenant-a"); rr.Restored == 0 {
+		t.Fatal("tenant A's second run restored nothing; want warm start from its own profile")
+	}
+}
+
+// TestSnapshotStoreExport checks that the resident store exports per-tenant
+// labelled snapshots and that an export→import round trip seeds a fresh
+// server's store (the netpathd restart path).
+func TestSnapshotStoreExport(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.SnapshotLimit = 8
+	s, ts := startServer(t, cfg)
+
+	for _, tenant := range []string{"a", "b"} {
+		status, rr, apiErr, _ := postRun(t, ts.URL, map[string]any{
+			"tenant": tenant,
+			"asm":    hotAsm,
+		})
+		if apiErr != nil || rr == nil {
+			t.Fatalf("tenant %s run failed: status=%d err=%v", tenant, status, apiErr)
+		}
+	}
+
+	f := s.ExportSnapshots()
+	if len(f.Snapshots) != 2 {
+		t.Fatalf("exported %d snapshots; want 2 (one per tenant)", len(f.Snapshots))
+	}
+	seen := map[string]bool{}
+	for _, sn := range f.Snapshots {
+		seen[sn.Tenant] = true
+		if sn.Fingerprint == 0 {
+			t.Errorf("exported snapshot for tenant %q has zero fingerprint", sn.Tenant)
+		}
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("export lost tenant labels: %v", seen)
+	}
+
+	// Round trip into a second server: its store is seeded, and tenant A
+	// warm-starts immediately on its first run there.
+	cfg2 := quietCfg(t)
+	cfg2.SnapshotLimit = 8
+	s2, ts2 := startServer(t, cfg2)
+	n, err := s2.ImportSnapshots(f)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("imported %d snapshots; want 2", n)
+	}
+	status, rr, apiErr, _ := postRun(t, ts2.URL, map[string]any{
+		"tenant": "a",
+		"asm":    hotAsm,
+	})
+	if apiErr != nil || rr == nil {
+		t.Fatalf("tenant a run on seeded server failed: status=%d err=%v", status, apiErr)
+	}
+	if rr.Restored == 0 {
+		t.Fatal("seeded server ran tenant a cold; want warm start from imported profile")
+	}
+}
+
+// TestSnapStoreFIFOEviction exercises the bound directly: distinct keys past
+// the limit evict the oldest entries, and a merge into an existing key never
+// counts against the bound.
+func TestSnapStoreFIFOEviction(t *testing.T) {
+	st := newSnapStore(2)
+	key := func(tenant string) snapKey {
+		return snapKey{tenant: tenant, fp: 42, scheme: "net"}
+	}
+	sn := func(tenant string) *snapshot.Snapshot {
+		return &snapshot.Snapshot{Tenant: tenant, Fingerprint: 42, Scheme: "net", Flow: 1}
+	}
+
+	for _, tenant := range []string{"a", "b", "c"} {
+		if err := st.put(key(tenant), sn(tenant)); err != nil {
+			t.Fatalf("put %s: %v", tenant, err)
+		}
+	}
+	if st.get(key("a")) != nil {
+		t.Fatal("oldest key survived eviction at limit 2")
+	}
+	if st.get(key("b")) == nil || st.get(key("c")) == nil {
+		t.Fatal("eviction removed a key inside the bound")
+	}
+
+	// Merging into a resident key is an update, not an insert: no eviction.
+	if err := st.put(key("b"), sn("b")); err != nil {
+		t.Fatalf("merge put: %v", err)
+	}
+	if st.get(key("b")).Flow != 1 {
+		t.Fatalf("merge lost flow: got %d", st.get(key("b")).Flow)
+	}
+	if st.get(key("c")) == nil {
+		t.Fatal("merge into resident key evicted another entry")
+	}
+}
+
+// TestSnapStoreDisabled: a server without SnapshotLimit has no store;
+// export is empty and import is a no-op rather than an error.
+func TestSnapStoreDisabled(t *testing.T) {
+	s := New(quietCfg(t))
+	t.Cleanup(func() { s.Shutdown(t.Context(), nil) })
+	if f := s.ExportSnapshots(); len(f.Snapshots) != 0 {
+		t.Fatalf("disabled store exported %d snapshots", len(f.Snapshots))
+	}
+	n, err := s.ImportSnapshots(snapshot.NewFile(&snapshot.Snapshot{Scheme: "net"}))
+	if err != nil || n != 0 {
+		t.Fatalf("disabled import: n=%d err=%v; want 0, nil", n, err)
+	}
+}

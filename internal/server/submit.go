@@ -71,7 +71,10 @@ type runResponse struct {
 	SpeedupPC float64 `json:"speedup_pct,omitempty"`
 	CachedPC  float64 `json:"cached_pct,omitempty"`
 	BailedOut bool    `json:"bailed_out,omitempty"`
-	Regs      []int64 `json:"regs"`
+	// Restored reports fragments pre-installed from the tenant's stored
+	// profile before the first guest instruction (0 = cold start).
+	Restored int     `json:"restored_fragments,omitempty"`
+	Regs     []int64 `json:"regs"`
 
 	QueueNS int64 `json:"queue_ns"`
 	RunNS   int64 `json:"run_ns"`

@@ -1,0 +1,220 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FormatError reports a structurally invalid snapshot document.
+type FormatError struct {
+	Field  string // which part of the document ("schema", "traces[3].steps", ...)
+	Reason string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("snapshot: invalid %s: %s", e.Field, e.Reason)
+}
+
+// LimitError reports a document that is well-formed but exceeds the decode
+// Limits — the defense against a snapshot sized to blow out the restoring
+// process's tables.
+type LimitError struct {
+	Field string
+	N     int
+	Max   int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("snapshot: %s count %d exceeds limit %d", e.Field, e.N, e.Max)
+}
+
+// MismatchError reports an attempt to merge snapshots from different merge
+// groups (tenant, program fingerprint, scheme).
+type MismatchError struct {
+	A, B Key
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("snapshot: merge group mismatch: %v vs %v", e.A, e.B)
+}
+
+// ErrTooLarge is returned when the encoded document exceeds Limits.MaxBytes.
+var ErrTooLarge = errors.New("snapshot: encoded file exceeds size limit")
+
+// Encode writes f as canonical indented JSON. Sections are canonicalized
+// first so equal states produce byte-identical files.
+func Encode(w io.Writer, f *File) error {
+	if f.Schema == "" {
+		f.Schema = Schema
+	}
+	for _, s := range f.Snapshots {
+		s.Canonicalize()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a netpath-snap/v1 document, enforcing lim strictly: wrong
+// schema, malformed sections, negative or saturating-overflow counters, and
+// any table larger than the limit all fail with typed errors. The reader is
+// size-capped before JSON ever sees it, so a hostile input cannot OOM the
+// decoder.
+func Decode(r io.Reader, lim Limits) (*File, error) {
+	lim = lim.withDefaults()
+	// +1 so we can distinguish "exactly MaxBytes" from "truncated by us".
+	lr := &io.LimitedReader{R: r, N: lim.MaxBytes + 1}
+	var f File
+	dec := json.NewDecoder(lr)
+	if err := dec.Decode(&f); err != nil {
+		if lr.N <= 0 {
+			return nil, ErrTooLarge
+		}
+		return nil, &FormatError{Field: "json", Reason: err.Error()}
+	}
+	if lr.N <= 0 {
+		return nil, ErrTooLarge
+	}
+	if f.Schema != Schema {
+		return nil, &FormatError{Field: "schema", Reason: "want " + Schema + ", got " + f.Schema}
+	}
+	if len(f.Snapshots) > lim.MaxSnapshots {
+		return nil, &LimitError{Field: "snapshots", N: len(f.Snapshots), Max: lim.MaxSnapshots}
+	}
+	for i, s := range f.Snapshots {
+		if s == nil {
+			return nil, &FormatError{Field: "snapshots", Reason: "null snapshot entry"}
+		}
+		if err := s.Validate(lim); err != nil {
+			_ = i
+			return nil, err
+		}
+	}
+	return &f, nil
+}
+
+// Validate checks one snapshot against lim. It is called by Decode and by
+// import paths that receive snapshots from memory rather than the wire.
+func (s *Snapshot) Validate(lim Limits) error {
+	lim = lim.withDefaults()
+	if s.Program == "" {
+		return &FormatError{Field: "program", Reason: "empty"}
+	}
+	if s.Scheme == "" {
+		return &FormatError{Field: "scheme", Reason: "empty"}
+	}
+	if s.Tau < 0 || s.Tau > counterMax {
+		return &FormatError{Field: "tau", Reason: "out of range"}
+	}
+	if s.Flow < 0 || s.Flow > counterMax {
+		return &FormatError{Field: "flow", Reason: "out of range"}
+	}
+	if s.Steps < 0 || s.Steps > counterMax {
+		return &FormatError{Field: "steps", Reason: "out of range"}
+	}
+	if len(s.Heads) > lim.MaxHeads {
+		return &LimitError{Field: "heads", N: len(s.Heads), Max: lim.MaxHeads}
+	}
+	for _, h := range s.Heads {
+		if h.Addr < 0 {
+			return &FormatError{Field: "heads", Reason: "negative address"}
+		}
+		if h.Count < 0 || h.Count > counterMax {
+			return &FormatError{Field: "heads", Reason: "count out of range"}
+		}
+	}
+	if len(s.Traces) > lim.MaxTraces {
+		return &LimitError{Field: "traces", N: len(s.Traces), Max: lim.MaxTraces}
+	}
+	for _, t := range s.Traces {
+		if t.Start < 0 {
+			return &FormatError{Field: "traces", Reason: "negative start"}
+		}
+		if t.Flow < 0 || t.Flow > counterMax {
+			return &FormatError{Field: "traces", Reason: "flow out of range"}
+		}
+		if len(t.Steps) == 0 {
+			return &FormatError{Field: "traces", Reason: "empty trace"}
+		}
+		if len(t.Steps) > lim.MaxTraceSteps {
+			return &LimitError{Field: "trace steps", N: len(t.Steps), Max: lim.MaxTraceSteps}
+		}
+		for _, st := range t.Steps {
+			if st.PC < 0 || st.Next < 0 {
+				return &FormatError{Field: "traces", Reason: "negative step address"}
+			}
+		}
+	}
+	if len(s.Paths) > lim.MaxPaths {
+		return &LimitError{Field: "paths", N: len(s.Paths), Max: lim.MaxPaths}
+	}
+	for _, p := range s.Paths {
+		if len(p.Key) == 0 {
+			return &FormatError{Field: "paths", Reason: "empty key"}
+		}
+		if len(p.Key) > lim.MaxPathKey {
+			return &LimitError{Field: "path key", N: len(p.Key), Max: lim.MaxPathKey}
+		}
+		if p.Start < 0 || p.Branches < 0 {
+			return &FormatError{Field: "paths", Reason: "negative field"}
+		}
+		if p.Count < 0 || p.Count > counterMax {
+			return &FormatError{Field: "paths", Reason: "count out of range"}
+		}
+	}
+	if len(s.Blacklist) > lim.MaxBlacklist {
+		return &LimitError{Field: "blacklist", N: len(s.Blacklist), Max: lim.MaxBlacklist}
+	}
+	for _, e := range s.Blacklist {
+		if e.Addr < 0 {
+			return &FormatError{Field: "blacklist", Reason: "negative address"}
+		}
+		if e.Aborts < 0 || e.Aborts > 1<<30 {
+			return &FormatError{Field: "blacklist", Reason: "aborts out of range"}
+		}
+	}
+	return nil
+}
+
+// WriteFile encodes f to path atomically (temp file + rename) so a crash
+// mid-save never leaves a torn snapshot for the next boot to trip over.
+func WriteFile(path string, f *File) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Encode(tmp, f); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile decodes the snapshot file at path under lim.
+func ReadFile(path string, lim Limits) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Decode(fh, lim)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

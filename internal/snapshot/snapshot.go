@@ -1,0 +1,446 @@
+// Package snapshot defines the persistent profile format (netpath-snap/v1):
+// NET head counters, selected traces, path-profile counts, blacklist state,
+// and tier-2 promotion decisions serialized from a live dynamo.System so a
+// later process — or a whole fleet of them — can warm-start prediction
+// instead of re-paying the interpret-and-profile phase.
+//
+// Merging is a join, not a sum: every counter merges by MAX, every head
+// keeps its highest-flow trace, and blacklists union with MAX aborts. Join
+// semantics make Merge commutative, associative, and idempotent under
+// self-merge, which is what fleet aggregation needs — re-uploading the same
+// snapshot (retries, overlapping collection windows, fan-in trees that see a
+// leaf twice) is a no-op rather than double-counting. Flow weighting lives
+// in the survivor rules: when two runs disagree about a head's trace, the
+// one that carried more completions wins.
+//
+// Capacity is enforced separately from merging: Clamp deterministically
+// trims a snapshot to a Limits budget (top-N by weight), so imports respect
+// the CLOCK table bounds of the restoring System without breaking the merge
+// algebra (a capacity-aware merge would not be associative).
+package snapshot
+
+import "sort"
+
+// Schema identifies the wire format; bump on incompatible changes.
+const Schema = "netpath-snap/v1"
+
+// counterMax mirrors the dynamo head-counter saturation point: no count in a
+// snapshot may exceed it, so merged counters can never overflow.
+const counterMax = int64(1) << 50
+
+// File is the on-disk document: one or more snapshots under a single schema
+// header. cmd/dynamo writes one; netpathd writes one per (tenant, program).
+type File struct {
+	Schema    string      `json:"schema"`
+	Snapshots []*Snapshot `json:"snapshots"`
+}
+
+// NewFile wraps snapshots in a schema-stamped document.
+func NewFile(snaps ...*Snapshot) *File {
+	return &File{Schema: Schema, Snapshots: snaps}
+}
+
+// Snapshot is one program's persisted profile.
+type Snapshot struct {
+	// Tenant scopes the profile in multi-tenant deployments ("" for the
+	// single-tenant CLI). A restoring server must only apply a snapshot to
+	// the tenant it was collected from.
+	Tenant string `json:"tenant,omitempty"`
+	// Program and Fingerprint identify the guest; Restore refuses a
+	// snapshot whose fingerprint does not match the loaded program, so a
+	// stale profile can never seed traces into the wrong binary.
+	Program     string `json:"program"`
+	Fingerprint uint64 `json:"fingerprint"`
+	// Scheme is the prediction scheme the profile was collected under
+	// (dynamo.Scheme.String()).
+	Scheme string `json:"scheme"`
+	// Tau is the prediction delay in force during collection.
+	Tau int64 `json:"tau"`
+	// Flow is the number of path events observed; Steps the guest steps.
+	// Both merge by MAX (join semantics), so they read as "the deepest
+	// single run folded in", not a fleet total.
+	Flow  int64 `json:"flow"`
+	Steps int64 `json:"steps"`
+
+	Heads     []HeadCount  `json:"heads,omitempty"`
+	Traces    []Trace      `json:"traces,omitempty"`
+	Paths     []PathCount  `json:"paths,omitempty"`
+	Blacklist []BlackEntry `json:"blacklist,omitempty"`
+}
+
+// HeadCount is one NET head counter.
+type HeadCount struct {
+	Addr  int   `json:"addr"`
+	Count int64 `json:"count"`
+}
+
+// Trace is one selected trace: the instruction sequence recorded from a hot
+// head, its observed completion flow, and whether the collecting run had
+// promoted it to tier 2. Instruction words are not persisted — the restoring
+// side re-derives them from the (fingerprint-verified) program text, so a
+// snapshot cannot smuggle code.
+type Trace struct {
+	Start int    `json:"start"`
+	Flow  int64  `json:"flow"`
+	Tier2 bool   `json:"tier2,omitempty"`
+	Steps []Step `json:"steps"`
+}
+
+// Step is one recorded trace step: the instruction address and its observed
+// successor.
+type Step struct {
+	PC   int `json:"pc"`
+	Next int `json:"next"`
+}
+
+// PathCount is one path-profile counter, keyed by the path's bit-tracing
+// signature (binary; base64 on the wire).
+type PathCount struct {
+	Key      []byte `json:"key"`
+	Start    int    `json:"start"`
+	Branches int    `json:"branches"`
+	Count    int64  `json:"count"`
+}
+
+// BlackEntry is one blacklisted head: a head whose recordings kept aborting.
+// Persisting it keeps a fleet from re-learning a poisonous head in every
+// process.
+type BlackEntry struct {
+	Addr   int `json:"addr"`
+	Aborts int `json:"aborts"`
+}
+
+// Limits bounds what a decoded or imported snapshot may hold. The decode
+// path enforces them strictly (typed errors); Clamp trims to them. The
+// dynamo side derives a Limits from its table configuration so imports can
+// never outsize the CLOCK tables.
+type Limits struct {
+	MaxHeads      int   // head-counter entries per snapshot
+	MaxTraces     int   // traces per snapshot
+	MaxTraceSteps int   // steps per trace
+	MaxPaths      int   // path counters per snapshot
+	MaxPathKey    int   // bytes per path signature key
+	MaxBlacklist  int   // blacklist entries per snapshot
+	MaxSnapshots  int   // snapshots per file
+	MaxBytes      int64 // encoded file size
+}
+
+// DefaultLimits matches the dynamo DefaultConfig table capacities.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxHeads:      1 << 16,
+		MaxTraces:     8192,
+		MaxTraceSteps: 4096,
+		MaxPaths:      1 << 18,
+		MaxPathKey:    1024,
+		MaxBlacklist:  4096,
+		MaxSnapshots:  1024,
+		MaxBytes:      64 << 20,
+	}
+}
+
+// withDefaults fills zero fields so a partially-specified Limits stays safe.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxHeads <= 0 {
+		l.MaxHeads = d.MaxHeads
+	}
+	if l.MaxTraces <= 0 {
+		l.MaxTraces = d.MaxTraces
+	}
+	if l.MaxTraceSteps <= 0 {
+		l.MaxTraceSteps = d.MaxTraceSteps
+	}
+	if l.MaxPaths <= 0 {
+		l.MaxPaths = d.MaxPaths
+	}
+	if l.MaxPathKey <= 0 {
+		l.MaxPathKey = d.MaxPathKey
+	}
+	if l.MaxBlacklist <= 0 {
+		l.MaxBlacklist = d.MaxBlacklist
+	}
+	if l.MaxSnapshots <= 0 {
+		l.MaxSnapshots = d.MaxSnapshots
+	}
+	if l.MaxBytes <= 0 {
+		l.MaxBytes = d.MaxBytes
+	}
+	return l
+}
+
+// Key identifies the merge group a snapshot belongs to: merging across
+// different tenants, programs, or schemes is a caller bug and Merge refuses
+// it.
+type Key struct {
+	Tenant      string
+	Fingerprint uint64
+	Scheme      string
+}
+
+// GroupKey returns s's merge group.
+func (s *Snapshot) GroupKey() Key {
+	return Key{Tenant: s.Tenant, Fingerprint: s.Fingerprint, Scheme: s.Scheme}
+}
+
+// Canonicalize sorts every section into its canonical order (heads and
+// blacklist by address, traces by start, paths by key) so equal snapshots
+// compare equal byte-for-byte and encoded files diff cleanly.
+func (s *Snapshot) Canonicalize() {
+	sort.Slice(s.Heads, func(i, j int) bool { return s.Heads[i].Addr < s.Heads[j].Addr })
+	sort.Slice(s.Traces, func(i, j int) bool { return s.Traces[i].Start < s.Traces[j].Start })
+	sort.Slice(s.Paths, func(i, j int) bool { return compareKeys(s.Paths[i].Key, s.Paths[j].Key) < 0 })
+	sort.Slice(s.Blacklist, func(i, j int) bool { return s.Blacklist[i].Addr < s.Blacklist[j].Addr })
+}
+
+func compareKeys(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func satAdd(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > counterMax {
+		return counterMax
+	}
+	return v
+}
+
+// Merge joins a and b into a fresh snapshot (neither input is modified).
+// Per-head counters, per-path counts, and blacklist aborts merge by MAX;
+// each head keeps the trace with the greater flow (ties broken by longer
+// trace, then byte order, so the survivor is deterministic); Flow, Steps,
+// and Tau merge by MAX. The result is canonical. See the package comment
+// for why join, not sum.
+func Merge(a, b *Snapshot) (*Snapshot, error) {
+	if a.GroupKey() != b.GroupKey() {
+		return nil, &MismatchError{A: a.GroupKey(), B: b.GroupKey()}
+	}
+	out := &Snapshot{
+		Tenant:      a.Tenant,
+		Program:     a.Program,
+		Fingerprint: a.Fingerprint,
+		Scheme:      a.Scheme,
+		Tau:         maxI64(a.Tau, b.Tau),
+		Flow:        maxI64(a.Flow, b.Flow),
+		Steps:       maxI64(a.Steps, b.Steps),
+	}
+
+	heads := map[int]int64{}
+	for _, h := range a.Heads {
+		heads[h.Addr] = maxI64(heads[h.Addr], satAdd(h.Count))
+	}
+	for _, h := range b.Heads {
+		heads[h.Addr] = maxI64(heads[h.Addr], satAdd(h.Count))
+	}
+	for addr, n := range heads {
+		out.Heads = append(out.Heads, HeadCount{Addr: addr, Count: n})
+	}
+
+	traces := map[int]Trace{}
+	for _, t := range a.Traces {
+		mergeTrace(traces, t)
+	}
+	for _, t := range b.Traces {
+		mergeTrace(traces, t)
+	}
+	for _, t := range traces {
+		out.Traces = append(out.Traces, t)
+	}
+
+	paths := map[string]PathCount{}
+	for _, p := range a.Paths {
+		mergePath(paths, p)
+	}
+	for _, p := range b.Paths {
+		mergePath(paths, p)
+	}
+	for _, p := range paths {
+		out.Paths = append(out.Paths, p)
+	}
+
+	black := map[int]int{}
+	for _, e := range a.Blacklist {
+		if e.Aborts > black[e.Addr] {
+			black[e.Addr] = e.Aborts
+		}
+	}
+	for _, e := range b.Blacklist {
+		if e.Aborts > black[e.Addr] {
+			black[e.Addr] = e.Aborts
+		}
+	}
+	for addr, n := range black {
+		out.Blacklist = append(out.Blacklist, BlackEntry{Addr: addr, Aborts: n})
+	}
+
+	out.Canonicalize()
+	return out, nil
+}
+
+// MergeAll folds snaps left to right (associativity makes the order
+// irrelevant to the result). At least one snapshot is required.
+func MergeAll(snaps []*Snapshot) (*Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, &FormatError{Field: "snapshots", Reason: "nothing to merge"}
+	}
+	acc := snaps[0]
+	for _, s := range snaps[1:] {
+		var err error
+		if acc, err = Merge(acc, s); err != nil {
+			return nil, err
+		}
+	}
+	if acc == snaps[0] {
+		// Single input: return a canonical copy so MergeAll never aliases
+		// its argument.
+		cp := *acc
+		acc = &cp
+		acc.Canonicalize()
+	}
+	return acc, nil
+}
+
+// mergeTrace joins t into the per-head survivor map. The survivor is the
+// MAX under a total order on (flow, length, step bytes, tier-2 bit) — a pure
+// max over a total order, which is exactly what makes Merge associative: the
+// survivor of any merge tree is the argmax over all traces ever seen for the
+// head, independent of grouping. The whole tuple survives, so the tier-2
+// decision always rides the trace that earned it; between byte-identical
+// traces with equal flow, the promoted one wins the tie-break.
+func mergeTrace(m map[int]Trace, t Trace) {
+	t.Flow = satAdd(t.Flow)
+	cur, ok := m[t.Start]
+	if !ok || traceLess(cur, t) {
+		t.Steps = append([]Step(nil), t.Steps...)
+		m[t.Start] = t
+	}
+}
+
+// traceLess reports whether b beats a as the surviving trace for a head.
+// It is a strict weak ordering over the full trace tuple; Tier2 last so two
+// observations of the same trace resolve toward the one that was promoted.
+func traceLess(a, b Trace) bool {
+	if a.Flow != b.Flow {
+		return a.Flow < b.Flow
+	}
+	if len(a.Steps) != len(b.Steps) {
+		return len(a.Steps) < len(b.Steps)
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			if a.Steps[i].PC != b.Steps[i].PC {
+				return a.Steps[i].PC < b.Steps[i].PC
+			}
+			return a.Steps[i].Next < b.Steps[i].Next
+		}
+	}
+	return !a.Tier2 && b.Tier2
+}
+
+// mergePath joins p into the per-key survivor map — same pure-max-under-
+// total-order construction as mergeTrace. In well-formed data a key fully
+// determines Start and Branches, but the order makes merging robust (and
+// associative) even when inputs disagree.
+func mergePath(m map[string]PathCount, p PathCount) {
+	p.Count = satAdd(p.Count)
+	k := string(p.Key)
+	cur, ok := m[k]
+	if !ok || pathLess(cur, p) {
+		p.Key = append([]byte(nil), p.Key...)
+		m[k] = p
+	}
+}
+
+func pathLess(a, b PathCount) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Branches < b.Branches
+}
+
+// Clamp trims s in place to fit lim, keeping the heaviest entries: heads and
+// paths by count, traces by flow, blacklist by aborts (ties broken by
+// address or key, so the trim is deterministic). Traces longer than
+// MaxTraceSteps are dropped whole — truncating a trace would fabricate a
+// path boundary that was never observed. The result is canonical. Clamp is
+// applied at import time, after merging, so the merge algebra stays exact.
+func (s *Snapshot) Clamp(lim Limits) {
+	lim = lim.withDefaults()
+	if len(s.Heads) > lim.MaxHeads {
+		sort.Slice(s.Heads, func(i, j int) bool {
+			if s.Heads[i].Count != s.Heads[j].Count {
+				return s.Heads[i].Count > s.Heads[j].Count
+			}
+			return s.Heads[i].Addr < s.Heads[j].Addr
+		})
+		s.Heads = s.Heads[:lim.MaxHeads]
+	}
+	kept := s.Traces[:0]
+	for _, t := range s.Traces {
+		if n := len(t.Steps); n > 0 && n <= lim.MaxTraceSteps {
+			kept = append(kept, t)
+		}
+	}
+	s.Traces = kept
+	if len(s.Traces) > lim.MaxTraces {
+		sort.Slice(s.Traces, func(i, j int) bool {
+			if s.Traces[i].Flow != s.Traces[j].Flow {
+				return s.Traces[i].Flow > s.Traces[j].Flow
+			}
+			return s.Traces[i].Start < s.Traces[j].Start
+		})
+		s.Traces = s.Traces[:lim.MaxTraces]
+	}
+	keptP := s.Paths[:0]
+	for _, p := range s.Paths {
+		if len(p.Key) <= lim.MaxPathKey {
+			keptP = append(keptP, p)
+		}
+	}
+	s.Paths = keptP
+	if len(s.Paths) > lim.MaxPaths {
+		sort.Slice(s.Paths, func(i, j int) bool {
+			if s.Paths[i].Count != s.Paths[j].Count {
+				return s.Paths[i].Count > s.Paths[j].Count
+			}
+			return compareKeys(s.Paths[i].Key, s.Paths[j].Key) < 0
+		})
+		s.Paths = s.Paths[:lim.MaxPaths]
+	}
+	if len(s.Blacklist) > lim.MaxBlacklist {
+		sort.Slice(s.Blacklist, func(i, j int) bool {
+			if s.Blacklist[i].Aborts != s.Blacklist[j].Aborts {
+				return s.Blacklist[i].Aborts > s.Blacklist[j].Aborts
+			}
+			return s.Blacklist[i].Addr < s.Blacklist[j].Addr
+		})
+		s.Blacklist = s.Blacklist[:lim.MaxBlacklist]
+	}
+	s.Canonicalize()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,305 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// genSnapshot builds a random snapshot in a fixed merge group so any pair is
+// mergeable. Overlapping address/key spaces are deliberate: merges must
+// exercise the join rules, not just concatenate disjoint sets.
+func genSnapshot(rng *rand.Rand) *Snapshot {
+	s := &Snapshot{
+		Program:     "prog",
+		Fingerprint: 0xfeedface,
+		Scheme:      "net",
+		Tau:         int64(rng.Intn(100)),
+		Flow:        int64(rng.Intn(10000)),
+		Steps:       int64(rng.Intn(100000)),
+	}
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		s.Heads = append(s.Heads, HeadCount{Addr: rng.Intn(16), Count: int64(rng.Intn(1000))})
+	}
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		t := Trace{Start: rng.Intn(8), Flow: int64(rng.Intn(500)), Tier2: rng.Intn(2) == 0}
+		for j, m := 0, 1+rng.Intn(5); j < m; j++ {
+			t.Steps = append(t.Steps, Step{PC: rng.Intn(64), Next: rng.Intn(64)})
+		}
+		s.Traces = append(s.Traces, t)
+	}
+	for i, n := 0, rng.Intn(12); i < n; i++ {
+		key := make([]byte, 1+rng.Intn(4))
+		for j := range key {
+			key[j] = byte(rng.Intn(4))
+		}
+		s.Paths = append(s.Paths, PathCount{Key: key, Start: rng.Intn(8), Branches: rng.Intn(8), Count: int64(rng.Intn(1000))})
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		s.Blacklist = append(s.Blacklist, BlackEntry{Addr: rng.Intn(8), Aborts: 1 + rng.Intn(10)})
+	}
+	return s
+}
+
+func mustMerge(t *testing.T, a, b *Snapshot) *Snapshot {
+	t.Helper()
+	out, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return out
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := genSnapshot(rng), genSnapshot(rng)
+		ab, ba := mustMerge(t, a, b), mustMerge(t, b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("iter %d: merge not commutative:\nab=%+v\nba=%+v", i, ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b, c := genSnapshot(rng), genSnapshot(rng), genSnapshot(rng)
+		left := mustMerge(t, mustMerge(t, a, b), c)
+		right := mustMerge(t, a, mustMerge(t, b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("iter %d: merge not associative:\n(ab)c=%+v\na(bc)=%+v", i, left, right)
+		}
+	}
+}
+
+func TestMergeIdempotentSelfMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := genSnapshot(rng)
+		aa := mustMerge(t, a, a)
+		// Self-merge must equal the canonical form of a: re-uploading the
+		// same snapshot is a no-op, not a double count.
+		want := mustMerge(t, a, &Snapshot{Program: a.Program, Fingerprint: a.Fingerprint, Scheme: a.Scheme})
+		if !reflect.DeepEqual(aa, want) {
+			t.Fatalf("iter %d: self-merge changed the snapshot:\na+a=%+v\nwant=%+v", i, aa, want)
+		}
+		// And merging the merge back in is also a no-op.
+		aaa := mustMerge(t, aa, a)
+		if !reflect.DeepEqual(aa, aaa) {
+			t.Fatalf("iter %d: (a+a)+a != a+a", i)
+		}
+	}
+}
+
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := genSnapshot(rng), genSnapshot(rng)
+	ac, bc := *a, *b
+	ac.Heads = append([]HeadCount(nil), a.Heads...)
+	ac.Traces = append([]Trace(nil), a.Traces...)
+	ac.Paths = append([]PathCount(nil), a.Paths...)
+	ac.Blacklist = append([]BlackEntry(nil), a.Blacklist...)
+	bc.Heads = append([]HeadCount(nil), b.Heads...)
+	bc.Traces = append([]Trace(nil), b.Traces...)
+	bc.Paths = append([]PathCount(nil), b.Paths...)
+	bc.Blacklist = append([]BlackEntry(nil), b.Blacklist...)
+	mustMerge(t, a, b)
+	if !reflect.DeepEqual(a.Heads, ac.Heads) || !reflect.DeepEqual(a.Traces, ac.Traces) ||
+		!reflect.DeepEqual(a.Paths, ac.Paths) || !reflect.DeepEqual(a.Blacklist, ac.Blacklist) {
+		t.Fatal("Merge mutated its first argument")
+	}
+	if !reflect.DeepEqual(b.Heads, bc.Heads) || !reflect.DeepEqual(b.Traces, bc.Traces) {
+		t.Fatal("Merge mutated its second argument")
+	}
+}
+
+func TestMergeGroupMismatch(t *testing.T) {
+	a := &Snapshot{Program: "p", Fingerprint: 1, Scheme: "net"}
+	b := &Snapshot{Program: "p", Fingerprint: 2, Scheme: "net"}
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merge across fingerprints should fail")
+	} else {
+		var me *MismatchError
+		if !errors.As(err, &me) {
+			t.Fatalf("want MismatchError, got %T: %v", err, err)
+		}
+	}
+	c := &Snapshot{Program: "p", Fingerprint: 1, Scheme: "net", Tenant: "other"}
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("merge across tenants should fail")
+	}
+}
+
+func TestMergeTraceSurvivor(t *testing.T) {
+	base := Snapshot{Program: "p", Fingerprint: 1, Scheme: "net"}
+	a, b := base, base
+	a.Traces = []Trace{{Start: 4, Flow: 10, Steps: []Step{{PC: 4, Next: 5}}}}
+	b.Traces = []Trace{{Start: 4, Flow: 90, Tier2: true, Steps: []Step{{PC: 4, Next: 6}}}}
+	out := mustMerge(t, &a, &b)
+	if len(out.Traces) != 1 || out.Traces[0].Flow != 90 || !out.Traces[0].Tier2 {
+		t.Fatalf("higher-flow trace should survive: %+v", out.Traces)
+	}
+	if out.Traces[0].Steps[0].Next != 6 {
+		t.Fatalf("survivor kept loser's steps: %+v", out.Traces[0])
+	}
+	// Identical steps join flow by MAX and OR the tier-2 bit.
+	b.Traces[0].Steps = []Step{{PC: 4, Next: 5}}
+	out = mustMerge(t, &a, &b)
+	if len(out.Traces) != 1 || out.Traces[0].Flow != 90 || !out.Traces[0].Tier2 {
+		t.Fatalf("identical-trace join wrong: %+v", out.Traces)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	s := &Snapshot{Program: "p", Fingerprint: 1, Scheme: "net"}
+	for i := 0; i < 10; i++ {
+		s.Heads = append(s.Heads, HeadCount{Addr: i, Count: int64(i)})
+		s.Traces = append(s.Traces, Trace{Start: i, Flow: int64(i), Steps: []Step{{PC: i, Next: i + 1}, {PC: i + 1, Next: i}}})
+		s.Paths = append(s.Paths, PathCount{Key: []byte{byte(i)}, Start: i, Count: int64(i)})
+		s.Blacklist = append(s.Blacklist, BlackEntry{Addr: i, Aborts: i + 1})
+	}
+	s.Traces = append(s.Traces, Trace{Start: 99, Flow: 1000, Steps: make([]Step, 3)}) // over MaxTraceSteps below
+	s.Clamp(Limits{MaxHeads: 3, MaxTraces: 4, MaxTraceSteps: 2, MaxPaths: 5, MaxPathKey: 1, MaxBlacklist: 2})
+	if len(s.Heads) != 3 || s.Heads[0].Addr != 7 {
+		t.Fatalf("heads clamp wrong: %+v", s.Heads)
+	}
+	if len(s.Traces) != 4 {
+		t.Fatalf("traces clamp wrong: %+v", s.Traces)
+	}
+	for _, tr := range s.Traces {
+		if tr.Start == 99 {
+			t.Fatal("over-length trace survived clamp")
+		}
+		if tr.Flow < 6 {
+			t.Fatalf("clamp kept a light trace over a heavy one: %+v", s.Traces)
+		}
+	}
+	if len(s.Paths) != 5 || len(s.Blacklist) != 2 {
+		t.Fatalf("paths/blacklist clamp wrong: %d %d", len(s.Paths), len(s.Blacklist))
+	}
+	// Canonical order after clamping.
+	for i := 1; i < len(s.Heads); i++ {
+		if s.Heads[i-1].Addr > s.Heads[i].Addr {
+			t.Fatal("heads not canonical after clamp")
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := NewFile(genSnapshot(rng), genSnapshot(rng))
+	f.Snapshots[1].Tenant = "" // same group is fine in one file
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\nin=%+v\nout=%+v", f, got)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	lim := Limits{MaxHeads: 2, MaxTraces: 2, MaxTraceSteps: 2, MaxPaths: 2, MaxPathKey: 2, MaxBlacklist: 2, MaxSnapshots: 1, MaxBytes: 1 << 20}
+	cases := []struct {
+		name string
+		in   string
+		want any // *FormatError, *LimitError, or ErrTooLarge
+	}{
+		{"bad schema", `{"schema":"netpath-snap/v0","snapshots":[]}`, &FormatError{}},
+		{"not json", `{{{`, &FormatError{}},
+		{"null snapshot", `{"schema":"netpath-snap/v1","snapshots":[null]}`, &FormatError{}},
+		{"too many snapshots", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net"},{"program":"p","scheme":"net"}]}`, &LimitError{}},
+		{"empty program", `{"schema":"netpath-snap/v1","snapshots":[{"program":"","scheme":"net"}]}`, &FormatError{}},
+		{"negative head", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","heads":[{"addr":-1,"count":1}]}]}`, &FormatError{}},
+		{"head count overflow", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","heads":[{"addr":1,"count":9007199254740993000}]}]}`, &FormatError{}},
+		{"too many heads", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","heads":[{"addr":1,"count":1},{"addr":2,"count":1},{"addr":3,"count":1}]}]}`, &LimitError{}},
+		{"empty trace", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","traces":[{"start":1,"flow":1,"steps":[]}]}]}`, &FormatError{}},
+		{"trace too long", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","traces":[{"start":1,"flow":1,"steps":[{"pc":1,"next":2},{"pc":2,"next":3},{"pc":3,"next":1}]}]}]}`, &LimitError{}},
+		{"empty path key", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","paths":[{"key":"","start":1,"branches":1,"count":1}]}]}`, &FormatError{}},
+		{"oversized path key", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","paths":[{"key":"AAAAAA==","start":1,"branches":1,"count":1}]}]}`, &LimitError{}},
+		{"negative blacklist aborts", `{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","blacklist":[{"addr":1,"aborts":-2}]}]}`, &FormatError{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(strings.NewReader(tc.in), lim)
+			if err == nil {
+				t.Fatal("decode should have failed")
+			}
+			switch tc.want.(type) {
+			case *FormatError:
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("want FormatError, got %T: %v", err, err)
+				}
+			case *LimitError:
+				var le *LimitError
+				if !errors.As(err, &le) {
+					t.Fatalf("want LimitError, got %T: %v", err, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeTooLarge(t *testing.T) {
+	big := `{"schema":"netpath-snap/v1","snapshots":[{"program":"` + strings.Repeat("x", 4096) + `","scheme":"net"}]}`
+	_, err := Decode(strings.NewReader(big), Limits{MaxBytes: 128})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := NewFile(genSnapshot(rng))
+	path := t.TempDir() + "/snap.json"
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+// FuzzSnapshotDecode asserts the decoder never panics and never allocates
+// beyond its byte budget, whatever the input. Runs in CI's fuzz smoke.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte(`{"schema":"netpath-snap/v1","snapshots":[]}`))
+	f.Add([]byte(`{"schema":"netpath-snap/v1","snapshots":[{"program":"p","scheme":"net","heads":[{"addr":1,"count":5}]}]}`))
+	f.Add([]byte(`{"schema":"netpath-snap/v0"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	lim := Limits{MaxHeads: 64, MaxTraces: 16, MaxTraceSteps: 8, MaxPaths: 64, MaxPathKey: 32, MaxBlacklist: 16, MaxSnapshots: 4, MaxBytes: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must satisfy the limits it was decoded
+		// under, re-encode cleanly, and merge with itself without error.
+		for _, s := range file.Snapshots {
+			if err := s.Validate(lim); err != nil {
+				t.Fatalf("decoded snapshot fails its own limits: %v", err)
+			}
+			if _, err := Merge(s, s); err != nil {
+				t.Fatalf("self-merge of valid snapshot failed: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, file); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
