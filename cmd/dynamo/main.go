@@ -6,13 +6,19 @@
 //
 //	dynamo [-scheme net|pathprofile] [-tau n] [-scale f] [-maxsteps n] [-v]
 //	       [-tier2] [-tier2-workers n] [-tier2-threshold n]
-//	       [-snapshot-in f] [-snapshot-out f] [-snapshot-every n] [benchmark ...]
+//	       [-snapshot-in f] [-snapshot-out f] [-snapshot-every n]
+//	       [-trace f] [benchmark ...]
 //
 // -snapshot-in warm-starts each benchmark from a persisted profile snapshot
 // (captured by an earlier -snapshot-out run, possibly fleet-merged with
 // pathdump merge); -snapshot-out captures the profiling state the run paid
 // for, and -snapshot-every additionally captures mid-run so short-lived
 // phases survive cache flushes.
+//
+// -trace captures a request-scoped span trace of one benchmark run —
+// trace-select, fragment-emit, tier-2 compile/promote/deopt events — and
+// writes it as netpath-trace/v1 JSON ("-" = stdout), renderable with
+// `pathdump trace`.
 package main
 
 import (
@@ -20,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"netpath/internal/dynamo"
 	"netpath/internal/snapshot"
 	"netpath/internal/telemetry"
+	"netpath/internal/trace"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
 )
@@ -50,6 +58,7 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "with -snapshot-out: also capture every n path events, merged into the output (0 = exit only)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address and enable collection")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server (and process) alive this long after the work completes")
+	traceOut := flag.String("trace", "", "capture a span trace of the run and write netpath-trace/v1 JSON to this file (\"-\" = stdout; wants exactly one benchmark)")
 	flag.Parse()
 
 	if *telemetryAddr != "" {
@@ -76,6 +85,38 @@ func main() {
 		scheme = dynamo.SchemePathProfile
 	default:
 		log.Fatalf("unknown scheme %q", *schemeFlag)
+	}
+
+	// The trace's write defer is registered before the tier-2 compiler's
+	// Close defer on purpose: defers run LIFO, so the document is encoded
+	// only after Close has joined the compile workers and their late
+	// tier2-compile spans have landed in the arena.
+	var tr *trace.Trace
+	trRoot, trExec := trace.NoSpan, trace.NoSpan
+	if *traceOut != "" {
+		if len(flag.Args()) != 1 {
+			log.Fatal("-trace wants exactly one benchmark")
+		}
+		tr = trace.New(trace.NewID(), "", 4096, time.Now())
+		trRoot = tr.Add(trace.SpanRequest, trace.NoSpan, 0, 0, 0, 0)
+		defer func() {
+			d := tr.Doc()
+			out := os.Stdout
+			if *traceOut != "-" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					log.Fatalf("-trace: %v", err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := d.Encode(out); err != nil {
+				log.Fatalf("-trace: %v", err)
+			}
+			if *traceOut != "-" {
+				log.Printf("wrote trace %s (%d spans) to %s", d.TraceID, len(d.Spans), *traceOut)
+			}
+		}()
 	}
 
 	var t2c *dynamo.Tier2Compiler
@@ -118,6 +159,11 @@ func main() {
 		if *maxSteps > 0 {
 			cfg.MaxSteps = *maxSteps
 		}
+		if tr != nil {
+			trExec = tr.Begin(trace.SpanExecute, trRoot, 0, 0)
+			cfg.Trace = tr
+			cfg.TraceParent = trExec
+		}
 		var midSnaps []*snapshot.Snapshot
 		if *snapOut != "" && *snapEvery > 0 {
 			cfg.ProbeEvery = *snapEvery
@@ -136,6 +182,10 @@ func main() {
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if tr != nil {
+			tr.SetArg(trExec, 0, res.Steps)
+			tr.End(trExec)
 		}
 		if warmFile != nil {
 			fmt.Printf("warm-start: restored %d fragments, %d heads, %d paths, %d tier-2 for %s\n",

@@ -11,21 +11,33 @@
 //	         [-max-tenants n] [-shared-tables] [-telemetry-out file]
 //	         [-snapshot-in file] [-snapshot-out file] [-snapshot-store n]
 //	         [-tier2] [-tier2-workers n] [-tier2-queue n] [-tier2-threshold n]
+//	         [-trace-sample f] [-trace-store n] [-flight n] [-flight-out file]
 //
 // Endpoints:
 //
-//	POST /v1/run    submit a guest (JSON envelope; see internal/server)
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 while draining)
-//	GET  /statusz   admission/ladder/tenant state (JSON)
-//	GET  /metrics   Prometheus text (VM + dynamo + server instruments)
-//	GET  /snapshot  versioned JSON telemetry snapshot
-//	GET  /events    telemetry event ring drain
+//	POST /v1/run         submit a guest (JSON envelope; see internal/server)
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (typed JSON; 503 while draining or degraded)
+//	GET  /statusz        admission/ladder/tenant state (JSON)
+//	GET  /metrics        Prometheus text (VM + dynamo + server instruments)
+//	GET  /snapshot       versioned JSON telemetry snapshot
+//	GET  /events         telemetry event ring drain
+//	GET  /v1/trace/{id}  retained span trace (netpath-trace/v1 JSON)
+//	GET  /debug/flight   flight-recorder freezes (netpath-flight/v1 JSON)
+//
+// With -trace-store n, the daemon retains up to n request traces: runs are
+// head-sampled at -trace-sample (a traceparent header with the sampled flag
+// forces retention), and errored/bailed/deopted/shed runs are tail-promoted
+// so incidents always leave a skeleton trace. The response carries the
+// trace_id and a traceparent header; fetch the tree from /v1/trace/{id} and
+// render it with `pathdump trace`. -flight n keeps a per-tenant ring of the
+// last n span records and freezes it on faults, bails, deopts, and sheds.
 //
 // SIGTERM/SIGINT starts a graceful drain: admission closes with typed 503s,
 // in-flight and queued guests finish, the final telemetry snapshot is
 // written to -telemetry-out (if set), the resident profile store is written
-// to -snapshot-out (if set), and the process exits 0.
+// to -snapshot-out (if set), the flight-recorder dump is written to
+// -flight-out (if set), and the process exits 0.
 //
 // With -snapshot-store n, the daemon keeps up to n per-(tenant, program,
 // scheme) profile snapshots resident: each completed run merges its profile
@@ -72,6 +84,10 @@ func main() {
 	snapIn := flag.String("snapshot-in", "", "seed the profile store from this snapshot file at boot (requires -snapshot-store)")
 	snapOut := flag.String("snapshot-out", "", "write the resident profile store to this file on drain (requires -snapshot-store)")
 	snapEvery := flag.Duration("snapshot-every", 0, "with -snapshot-out: also rewrite the profile file at this interval (0 = drain only)")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability for request traces [0,1] (requires -trace-store)")
+	traceStore := flag.Int("trace-store", 0, "retain up to n request traces for /v1/trace/{id} (0 = tracing disabled)")
+	flightN := flag.Int("flight", 0, "per-tenant flight-recorder ring size in span records (0 = disabled)")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder dump to this file on drain (- = stdout)")
 	flag.Parse()
 
 	telemetry.SetActive(true)
@@ -90,6 +106,9 @@ func main() {
 		Tier2Queue:          *tier2Queue,
 		Tier2Threshold:      *tier2Threshold,
 		SnapshotLimit:       *snapStore,
+		TraceStore:          *traceStore,
+		TraceSample:         *traceSample,
+		FlightRecords:       *flightN,
 		Logf:                log.Printf,
 	})
 	if *snapIn != "" {
@@ -169,6 +188,28 @@ func main() {
 	}
 	if *snapOut != "" {
 		writeProfiles()
+	}
+	if *flightOut != "" {
+		// The flight dump is the black box: whatever the per-tenant rings
+		// froze on faults/bails/deopts/sheds survives the process.
+		w := io.Writer(os.Stdout)
+		if *flightOut != "-" {
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				log.Printf("flight-out: %v (skipping dump)", err)
+				w = nil
+			} else {
+				defer f.Close()
+				w = f
+			}
+		}
+		if w != nil {
+			if err := srv.FlightDoc().Encode(w); err != nil {
+				log.Printf("flight-out: %v", err)
+			} else if *flightOut != "-" {
+				log.Printf("wrote flight-recorder dump to %s", *flightOut)
+			}
+		}
 	}
 	log.Printf("drained cleanly")
 }

@@ -7,6 +7,7 @@
 //	pathdump [-scale f] [-top n] [-hot frac] [-verify] [benchmark ...]
 //	pathdump cfg [-scale f] [-fn name] benchmark ...
 //	pathdump merge -o out.json snap.json ...
+//	pathdump trace [-chrome] trace.json
 //
 // The cfg subcommand emits one function's control-flow graph as Graphviz
 // DOT, with the static predictor's maximum-likelihood hot-path edges
@@ -18,6 +19,10 @@
 // their snapshots by (tenant, program fingerprint, scheme), flow-weight
 // merges each group, and writes one file whose profiles warm-start the whole
 // fleet's next generation.
+//
+// The trace subcommand renders a netpath-trace/v1 document — a saved
+// /v1/trace/{id} response or cmd/dynamo -trace output — as a text waterfall,
+// or with -chrome as Chrome trace-event JSON for chrome://tracing / Perfetto.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"netpath/internal/prog"
 	"netpath/internal/snapshot"
 	"netpath/internal/staticpred"
+	"netpath/internal/trace"
 	"netpath/internal/workload"
 )
 
@@ -52,6 +58,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "merge" {
 		return runMerge(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], w)
 	}
 	fs := flag.NewFlagSet("pathdump", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
@@ -180,6 +189,38 @@ func runMerge(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote %d merged profile(s) to %s\n", len(merged.Snapshots), *out)
 	}
 	return nil
+}
+
+// runTrace implements the trace subcommand: render a captured trace
+// document. The input is one netpath-trace/v1 JSON file ("-" reads stdin);
+// the default output is the text waterfall, -chrome switches to Chrome
+// trace-event JSON.
+func runTrace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pathdump trace", flag.ContinueOnError)
+	chrome := fs.Bool("chrome", false, "emit Chrome trace-event JSON instead of the text waterfall")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace wants exactly one input file (\"-\" for stdin)")
+	}
+	var r io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	d, err := trace.DecodeDoc(r)
+	if err != nil {
+		return err
+	}
+	if *chrome {
+		return trace.ChromeJSON(w, d)
+	}
+	return trace.Waterfall(w, d)
 }
 
 // hotPathEdges maps the static predictor's walks through function fi onto

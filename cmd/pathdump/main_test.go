@@ -139,3 +139,66 @@ func TestDisasmOutput(t *testing.T) {
 		t.Errorf("disasm output suspiciously short:\n%s", out)
 	}
 }
+
+// TestGoldenTrace drives the trace subcommand over a committed sample
+// document and compares the waterfall against the golden file. The renderer
+// consumes only the wire Doc, so the output is fully deterministic.
+// Regenerate with -update.
+func TestGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"trace", filepath.Join("testdata", "trace_sample.json")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "trace_sample.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace waterfall diverged from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+	for _, kind := range []string{"request", "queue-wait", "execute", "tier2-compile"} {
+		if !strings.Contains(got, kind) {
+			t.Errorf("waterfall missing %q span:\n%s", kind, got)
+		}
+	}
+}
+
+func TestTraceChromeOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"trace", "-chrome", filepath.Join("testdata", "trace_sample.json")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("-chrome output is not a JSON array: %v", err)
+	}
+	if len(evs) != 12 {
+		t.Fatalf("chrome events = %d, want one per span (12)", len(evs))
+	}
+	for _, ev := range evs {
+		if ev["ph"] != "X" {
+			t.Errorf("event %v: ph = %v, want X", ev["name"], ev["ph"])
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"trace"}, &buf); err == nil {
+		t.Error("trace with no input file: want an error")
+	}
+	if err := run([]string{"trace", "testdata/no-such-file.json"}, &buf); err == nil {
+		t.Error("trace with missing file: want an error")
+	}
+	if err := run([]string{"trace", filepath.Join("testdata", "dump_compress_deltablue.golden")}, &buf); err == nil {
+		t.Error("trace with a non-trace file: want a decode error")
+	}
+}

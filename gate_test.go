@@ -22,6 +22,7 @@ import (
 	"netpath/internal/profile"
 	"netpath/internal/prog"
 	"netpath/internal/telemetry"
+	"netpath/internal/trace"
 	"netpath/internal/vm"
 	"netpath/internal/workload"
 )
@@ -294,5 +295,34 @@ func TestTelemetryZeroAllocGate(t *testing.T) {
 		i++
 	}); n != 0 {
 		t.Errorf("telemetry emit path: %v allocs/op, must be 0", n)
+	}
+}
+
+// TestTraceSampledOutZeroAllocGate pins the disabled tracing path at exactly
+// zero allocations per op. A run the sampling coin skips carries a nil
+// *trace.Trace through the whole engine, and a server with tracing off holds
+// nil *Store/*Flight — every method on the nil receivers must be a free
+// no-op, or the "tracing off costs nothing" claim in DESIGN.md is a lie.
+func TestTraceSampledOutZeroAllocGate(t *testing.T) {
+	var tr *trace.Trace
+	var fl *trace.Flight
+	var st *trace.Store
+	i := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(trace.SpanExecute, trace.NoSpan, 0, i)
+		tr.SetArg(id, 0, i)
+		tr.Add(trace.SpanTraceSelect, id, 0, i, int32(i), i)
+		tr.End(id)
+		tr.EndAt(id, i)
+		tr.SetErr("")
+		fl.Note("tenant", trace.Record{Kind: trace.SpanExecute, DurNS: i})
+		fl.Freeze("tenant", "fault", trace.ID{})
+		st.Put(tr)
+		if st.Get(trace.ID{}) != nil {
+			t.Fatal("nil store returned a trace")
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("sampled-out trace path: %v allocs/op, must be 0", n)
 	}
 }

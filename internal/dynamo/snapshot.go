@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"netpath/internal/isa"
 	"netpath/internal/path"
@@ -73,13 +74,17 @@ func (s *System) SnapshotLimits() snapshot.Limits {
 // snapshot carries only addresses and counters.
 func (s *System) Snapshot(tenant string) *snapshot.Snapshot {
 	snap := &snapshot.Snapshot{
-		Tenant:      tenant,
-		Program:     s.m.Prog.Name,
-		Fingerprint: s.m.Prog.Fingerprint(),
-		Scheme:      s.cfg.Scheme.String(),
-		Tau:         s.cfg.Tau,
-		Flow:        s.res.PathEvents,
-		Steps:       s.m.Steps,
+		Tenant:         tenant,
+		Program:        s.m.Prog.Name,
+		Fingerprint:    s.m.Prog.Fingerprint(),
+		Scheme:         s.cfg.Scheme.String(),
+		Tau:            s.cfg.Tau,
+		Flow:           s.res.PathEvents,
+		Steps:          s.m.Steps,
+		CapturedUnixNS: time.Now().UnixNano(),
+	}
+	if s.tr != nil {
+		snap.TraceID = s.tr.TraceID().String()
 	}
 	for i, k := range s.heads.keys {
 		if v := s.heads.vals[i]; v > 0 {

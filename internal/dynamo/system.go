@@ -10,6 +10,7 @@ import (
 	"netpath/internal/path"
 	"netpath/internal/prog"
 	"netpath/internal/telemetry"
+	"netpath/internal/trace"
 	"netpath/internal/vm"
 )
 
@@ -145,6 +146,15 @@ type Config struct {
 	// Tier2Tenant keys this System's jobs in the compiler's tenant-fair
 	// queue ("" is a valid shared key).
 	Tier2Tenant string
+
+	// Trace, when non-nil, is the request-scoped span arena this run writes
+	// pipeline phase spans into: trace selection, fragment emission, tier-2
+	// enqueue/compile/promotion, deopts, guest faults, and bail-outs. nil —
+	// the sampled-out state — disables every site at the cost of one nil
+	// check and zero allocations (gated at the repo root). TraceParent is
+	// the span ID the engine's spans nest under (trace.NoSpan = roots).
+	Trace       *trace.Trace
+	TraceParent int32
 
 	// Probe, when non-nil and ProbeEvery > 0, is called synchronously every
 	// ProbeEvery path events with the live System. It runs inline with the
@@ -326,6 +336,13 @@ type System struct {
 	tel     *telemetry.Sink
 	telLast telCycleMarks
 
+	// Request-scoped tracing (nil = sampled out; see internal/trace).
+	// selSpan is the open trace-select span while a recording or armed
+	// capture is in flight, trace.NoSpan otherwise.
+	tr       *trace.Trace
+	trParent int32
+	selSpan  int32
+
 	// verifyErr is the static verifier's load-time verdict (verify.go);
 	// a non-nil value makes Run refuse the program.
 	verifyErr error
@@ -409,6 +426,8 @@ func New(p *prog.Program, cfg Config) *System {
 		opt:         NewOptimizer(),
 		inj:         cfg.Chaos,
 		tel:         cfg.Telemetry,
+		tr:          cfg.Trace,
+		trParent:    cfg.TraceParent,
 		t2c:         cfg.Tier2,
 		t2Threshold: cfg.Tier2Threshold,
 		t2MaxGuest:  cfg.Tier2MaxGuest,
@@ -427,6 +446,15 @@ func New(p *prog.Program, cfg Config) *System {
 	s.m.SetSink(s)
 	if h, ok := cfg.Chaos.(interface{ VMFault(*vm.Machine) error }); ok {
 		s.m.SetFaultHook(h.VMFault)
+	}
+	if s.tr != nil {
+		// Attach an instant fault span at delivery; the observer runs on the
+		// failure path only, never per instruction.
+		tr, parent := s.tr, s.trParent
+		s.m.SetFaultObserver(func(kind vm.FaultKind, pc int, step int64) {
+			now := tr.Now()
+			tr.Add(trace.SpanFault, parent, now, now, int32(pc), int64(kind))
+		})
 	}
 	// Load-time gate: the static verifier (internal/cfg) must accept the
 	// program before Dynamo will execute it. The verdict is memoized per
@@ -476,6 +504,7 @@ func (s *System) resetRunState() {
 	s.prevCreations = s.prevCreations[:0]
 	s.nativeRedirectCycles = 0
 	s.telLast = telCycleMarks{}
+	s.selSpan = trace.NoSpan
 	s.hasDeadline = false
 	s.preempt.Store(false)
 	s.tracker = path.NewTracker(s.interner, s.m.PC, s.onComplete)
@@ -689,6 +718,8 @@ func (s *System) stepInterp() error {
 				s.recording = false
 				s.recBuf = s.recBuf[:0]
 				s.res.RecordAborts++
+				s.tr.End(s.selSpan)
+				s.selSpan = trace.NoSpan
 				s.blacklistHead(s.recStart, chaosArgRecordAbort)
 			case s.cfg.Scheme == SchemePathProfile && !s.skipping && !s.capAborted:
 				s.capAborted = true
@@ -829,6 +860,7 @@ func (s *System) atPathStart(addr int) {
 				s.recording = true
 				s.recStart = addr
 				s.recBuf = s.recBuf[:0]
+				s.selSpan = s.tr.Begin(trace.SpanTraceSelect, s.trParent, int32(addr), n)
 				if force && n < s.cfg.Tau {
 					s.res.ForcedSelections++
 					if s.tel != nil {
@@ -852,6 +884,11 @@ func (s *System) atPathStart(addr int) {
 
 // emit optimizes a recorded trace and installs it in the cache.
 func (s *System) emit(start int, steps []TraceStep) {
+	// Selection ends here whether or not anything installs; close the open
+	// trace-select span (a no-op for sampled-out runs and armed PP captures,
+	// which never opened one).
+	s.tr.End(s.selSpan)
+	s.selSpan = trace.NoSpan
 	if len(steps) == 0 || s.mode == modeNative {
 		return
 	}
@@ -869,6 +906,10 @@ func (s *System) emit(start int, steps []TraceStep) {
 		s.tel.Inc(telFragCreated)
 		s.tel.Observe(telFragSize, int64(len(steps)))
 		s.tel.Emit(telemetry.EvFragEmit, s.m.Steps, start, int64(len(steps)))
+	}
+	if s.tr != nil {
+		now := s.tr.Now()
+		s.tr.Add(trace.SpanFragEmit, s.trParent, now, now, int32(start), int64(len(steps)))
 	}
 	if !s.everCached[start] {
 		s.everCached[start] = true
@@ -955,9 +996,15 @@ func (s *System) bail(reason string) {
 	s.cache = make(map[int]*Fragment)
 	s.recording = false
 	s.skipping = false
+	s.tr.End(s.selSpan)
+	s.selSpan = trace.NoSpan
 	if s.tel != nil {
 		s.tel.Inc(telBailouts)
 		s.tel.Emit(telemetry.EvBail, s.m.Steps, 0, bailReasonCode(reason))
+	}
+	if s.tr != nil {
+		now := s.tr.Now()
+		s.tr.Add(trace.SpanBail, s.trParent, now, now, 0, bailReasonCode(reason))
 	}
 }
 

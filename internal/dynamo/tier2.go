@@ -40,6 +40,7 @@ import (
 
 	"netpath/internal/par"
 	"netpath/internal/telemetry"
+	"netpath/internal/trace"
 	"netpath/internal/vm"
 )
 
@@ -95,6 +96,13 @@ type t2Job struct {
 	elim    []bool
 	bounds  []t2Bound
 	progLen int
+
+	// Request-scoped tracing (nil = sampled out). The worker writes the
+	// tier2-compile and tier2-promote spans into the submitting run's trace;
+	// the arena is mutex-guarded, so a compile finishing after the response
+	// still lands in the published tree.
+	tr       *trace.Trace
+	trParent int32
 }
 
 // Tier2Compiler is the shared background compile service: a bounded
@@ -205,11 +213,13 @@ func (c *Tier2Compiler) next() (func(), bool) {
 // refused compile publishes a tombstone so the mutator never re-promotes.
 func (c *Tier2Compiler) compile(j *t2Job) {
 	start := time.Now()
+	traceStart := j.tr.Now()
 	sb, _, err := vm.CompileSuperblock(j.spec, j.progLen)
 	if err != nil {
 		j.fr.t2.Store(&t2Block{})
 		c.rejected.Add(1)
 		telT2Rejects.Inc()
+		j.tr.Add(trace.SpanTier2Compile, j.trParent, traceStart, j.tr.Now(), int32(j.fr.Start), -1)
 		return
 	}
 	n := len(j.spec)
@@ -237,6 +247,11 @@ func (c *Tier2Compiler) compile(j *t2Job) {
 	c.compiled.Add(1)
 	telT2Compiled.Inc()
 	telT2CompileUs.Observe(time.Since(start).Microseconds())
+	if j.tr != nil {
+		cs := j.tr.Add(trace.SpanTier2Compile, j.trParent, traceStart, j.tr.Now(), int32(j.fr.Start), int64(n))
+		now := j.tr.Now()
+		j.tr.Add(trace.SpanPromote, cs, now, now, int32(j.fr.Start), int64(n))
+	}
 }
 
 // Close retires the workers. Jobs still queued are abandoned; their
@@ -295,6 +310,9 @@ func (s *System) maybePromote(fr *Fragment) {
 		return // flushed or superseded since entry; let it die
 	}
 	job := s.snapshotChain(fr)
+	if job != nil {
+		job.tr, job.trParent = s.tr, s.trParent
+	}
 	if job == nil {
 		// Not worth compiling (too short, too long, or malformed): tombstone
 		// so the threshold check never fires again for this fragment.
@@ -310,6 +328,10 @@ func (s *System) maybePromote(fr *Fragment) {
 	s.res.T2Promotions++
 	if s.tel != nil {
 		s.tel.Inc(telT2Promotions)
+	}
+	if s.tr != nil {
+		now := s.tr.Now()
+		s.tr.Add(trace.SpanTier2Enqueue, s.trParent, now, now, int32(fr.Start), fr.Completions)
 	}
 	// Donate the rest of this quantum to the compile worker. The enqueue
 	// above never blocks, but on GOMAXPROCS=1 the worker otherwise waits
@@ -524,5 +546,9 @@ func (s *System) t2Deopt(fr *Fragment) {
 	if s.tel != nil {
 		s.tel.Inc(telT2Deopts)
 		s.tel.Emit(telemetry.EvFragDemote, s.m.Steps, fr.Start, int64(fr.t2Deopts))
+	}
+	if s.tr != nil {
+		now := s.tr.Now()
+		s.tr.Add(trace.SpanTier2Deopt, s.trParent, now, now, int32(fr.Start), int64(fr.t2Deopts))
 	}
 }

@@ -43,6 +43,9 @@ const (
 	// indirect target, stack overflow, ...); the fault text names the kind
 	// and PC.
 	CodeGuestFault ErrCode = "guest_fault"
+	// CodeNotFound: the referenced resource (a trace ID) is unknown —
+	// malformed, evicted, or never sampled.
+	CodeNotFound ErrCode = "not_found"
 	// CodeInternal: a recovered panic; the request died, the process did
 	// not.
 	CodeInternal ErrCode = "internal"

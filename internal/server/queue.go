@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"netpath/internal/trace"
 )
 
 // job is one admitted guest execution travelling from the HTTP handler
@@ -12,6 +14,19 @@ type job struct {
 	tenant   string
 	req      *runRequest
 	enqueued time.Time
+
+	// Trace plumbing, set at admission (see handleRun). t0 anchors every
+	// span offset; tr is nil for sampled-out runs (the zero-cost state). The
+	// admission/verify offsets are kept even when unsampled so an errored
+	// run can be tail-promoted into a skeleton trace after the fact.
+	t0          time.Time
+	traceID     trace.ID
+	tr          *trace.Trace
+	trRoot      int32
+	trExec      int32
+	admitEndNS  int64
+	verifyEndNS int64
+	retained    bool // trace kept in the store (worker → handler, via done)
 
 	// Filled by the worker; done is closed when exactly one of resp/apiErr
 	// is set.

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"netpath/internal/dynamo"
 	"netpath/internal/par"
 	"netpath/internal/telemetry"
+	"netpath/internal/trace"
 )
 
 // Degradation ladder levels.
@@ -80,6 +82,28 @@ type Config struct {
 	TripWindow time.Duration
 	CoolOff    time.Duration
 
+	// TraceStore turns on request-scoped tracing: up to TraceStore completed
+	// traces are retained in an LRU served by GET /v1/trace/{id} (0 disables
+	// tracing entirely — every pipeline site then sees a nil *trace.Trace,
+	// one nil check, zero allocations). TraceSample is the head-sampling
+	// probability in [0,1] applied per request; callers whose traceparent
+	// header sets the sampled flag are always sampled. Regardless of the
+	// coin, runs that end in an error, a bail-out, or a tier-2 deopt are
+	// tail-promoted with their server-level skeleton spans. TraceSpans caps
+	// the per-trace span arena (default 256).
+	TraceStore  int
+	TraceSample float64
+	TraceSpans  int
+	// FlightRecords turns on the black-box flight recorder: a per-tenant
+	// ring of the last FlightRecords run records, frozen into a bounded dump
+	// list (FlightDumps, default 16) on guest faults, bail-outs, tier-2
+	// deopts, and load sheds, served by GET /debug/flight (0 disables).
+	FlightRecords int
+	FlightDumps   int
+	// TraceRand draws the sampling coin in [0,1) (nil = math/rand; tests
+	// inject a deterministic source).
+	TraceRand func() float64
+
 	// Registry receives telemetry (nil = telemetry.Def).
 	Registry *telemetry.Registry
 	// Logf logs server-side events (nil = log.Printf).
@@ -121,6 +145,18 @@ func (c Config) withDefaults() Config {
 	if c.CoolOff <= 0 {
 		c.CoolOff = 10 * time.Second
 	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 256
+	}
+	if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceSample > 1 {
+		c.TraceSample = 1
+	}
+	if c.TraceRand == nil {
+		c.TraceRand = rand.Float64
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Def
 	}
@@ -140,13 +176,20 @@ type Server struct {
 	tenants *tenantSet
 	shards  *dynamo.ShardSet
 	tier2   *dynamo.Tier2Compiler
-	snaps   *snapStore // nil when Config.SnapshotLimit == 0
+	snaps   *snapStore    // nil when Config.SnapshotLimit == 0
+	traces  *trace.Store  // nil when Config.TraceStore == 0
+	flight  *trace.Flight // nil when Config.FlightRecords == 0
 	pool    *par.Resident
 	mux     *http.ServeMux
 	sink    *telemetry.Sink
 
 	inFlight atomic.Int64
 	draining atomic.Bool
+
+	// exemplars holds the most recently retained trace IDs for /statusz, so
+	// an operator can jump from a status snapshot straight to a waterfall.
+	exMu      sync.Mutex
+	exemplars []string
 
 	// Degradation ladder state. sheds holds recent shed times (bounded to
 	// TripSheds); the ladder trips when TripSheds sheds land inside
@@ -178,8 +221,12 @@ func New(cfg Config) *Server {
 	if cfg.SnapshotLimit > 0 {
 		s.snaps = newSnapStore(cfg.SnapshotLimit)
 	}
+	s.traces = trace.NewStore(cfg.TraceStore)
+	s.flight = trace.NewFlight(cfg.FlightRecords, cfg.FlightDumps)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
@@ -300,6 +347,13 @@ func (s *Server) maybeRecover() {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	telSubmits.Inc()
 	s.maybeRecover()
+	t0 := s.now()
+	var parent trace.Parent
+	if s.traces != nil {
+		if h := r.Header.Get("traceparent"); h != "" {
+			parent, _ = trace.ParseTraceparent(h)
+		}
+	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Quotas.MaxBodyBytes)
 	req, apiErr := decodeRequest(r.Body)
@@ -332,19 +386,45 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	admitEnd := s.now()
 	if apiErr := req.resolve(s.cfg.Quotas); apiErr != nil {
 		telRejected.Inc()
 		apiErr.write(w)
 		return
 	}
 
-	j := &job{tenant: req.Tenant, req: req, enqueued: s.now(), done: make(chan struct{})}
+	// One clock reading ends the verify phase and starts the queue wait, so
+	// the two spans tile without overlap.
+	verifyEnd := s.now()
+	j := &job{
+		tenant: req.Tenant, req: req, enqueued: verifyEnd,
+		t0: t0, trRoot: trace.NoSpan, trExec: trace.NoSpan,
+		done: make(chan struct{}),
+	}
+	if s.traces != nil || s.flight != nil {
+		j.admitEndNS = admitEnd.Sub(t0).Nanoseconds()
+		j.verifyEndNS = verifyEnd.Sub(t0).Nanoseconds()
+		j.traceID = parent.ID
+		if j.traceID.IsZero() {
+			j.traceID = trace.NewID()
+		}
+	}
+	if s.traces != nil && (parent.Sampled || s.cfg.TraceRand() < s.cfg.TraceSample) {
+		// Head-sampled: allocate the span arena now, so every later phase —
+		// including the engine's — records into preallocated memory.
+		j.tr = trace.New(j.traceID, j.tenant, s.cfg.TraceSpans, t0)
+		j.trRoot = j.tr.Add(trace.SpanRequest, trace.NoSpan, 0, 0, 0, 0)
+		j.tr.Add(trace.SpanAdmission, j.trRoot, 0, j.admitEndNS, 0, 0)
+		j.tr.Add(trace.SpanVerify, j.trRoot, j.admitEndNS, j.verifyEndNS, 0,
+			int64(len(req.program.Instrs)))
+	}
 	if apiErr := s.queue.enqueue(j); apiErr != nil {
 		tenant.shed.Add(1)
 		telShed.Inc()
 		if apiErr.Code == CodeOverloaded {
 			s.noteShed()
 		}
+		s.recordShed(w, j, apiErr)
 		apiErr.write(w)
 		return
 	}
@@ -356,6 +436,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// runaway guests — so waiting without a select on r.Context() is safe;
 	// a vanished client just gets its response written to a dead socket.
 	<-j.done
+	if j.retained {
+		w.Header().Set("traceparent", trace.Traceparent(j.traceID, true))
+	}
 	if j.apiErr != nil {
 		switch j.apiErr.Code {
 		case CodeDeadline:
@@ -372,22 +455,121 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(j.resp)
 }
 
+// recordShed settles observability for a run rejected at the queue: the
+// tenant's flight ring freezes (a shed is an incident even though no guest
+// ran) and, when tracing is on, a tail-promoted skeleton trace is retained so
+// the rejection stays inspectable after the 503 is gone.
+func (s *Server) recordShed(w http.ResponseWriter, j *job, e *apiError) {
+	if s.flight != nil {
+		s.flight.Note(j.tenant, trace.Record{
+			TraceID: j.traceID, Kind: trace.SpanAdmission,
+			StartUnixNS: j.t0.UnixNano(), DurNS: s.now().Sub(j.t0).Nanoseconds(),
+			Outcome: string(e.Code),
+		})
+		s.flight.Freeze(j.tenant, "shed", j.traceID)
+	}
+	if s.traces == nil {
+		return
+	}
+	tr := j.tr
+	root := j.trRoot
+	if tr == nil {
+		tr = trace.New(j.traceID, j.tenant, 8, j.t0)
+		root = tr.Add(trace.SpanRequest, trace.NoSpan, 0, 0, 0, 0)
+		tr.Add(trace.SpanAdmission, root, 0, j.admitEndNS, 0, 0)
+		tr.Add(trace.SpanVerify, root, j.admitEndNS, j.verifyEndNS, 0, 0)
+		tr.MarkTail()
+	}
+	tr.EndAt(root, s.now().Sub(j.t0).Nanoseconds())
+	tr.SetErr(string(e.Code))
+	s.traces.Put(tr)
+	s.noteExemplar(tr.TraceID())
+	w.Header().Set("traceparent", trace.Traceparent(tr.TraceID(), true))
+}
+
+// noteExemplar keeps the last few retained trace IDs for /statusz.
+const maxExemplars = 8
+
+func (s *Server) noteExemplar(id trace.ID) {
+	s.exMu.Lock()
+	s.exemplars = append(s.exemplars, id.String())
+	if len(s.exemplars) > maxExemplars {
+		s.exemplars = s.exemplars[len(s.exemplars)-maxExemplars:]
+	}
+	s.exMu.Unlock()
+}
+
+func (s *Server) exemplarTraces() []string {
+	s.exMu.Lock()
+	defer s.exMu.Unlock()
+	return append([]string(nil), s.exemplars...)
+}
+
+// handleTrace serves a retained trace document from the LRU.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		errf(CodeNotFound, http.StatusNotFound,
+			"tracing disabled; start the server with a trace store").write(w)
+		return
+	}
+	id, ok := trace.ParseID(r.PathValue("id"))
+	if !ok {
+		errf(CodeBadRequest, http.StatusBadRequest,
+			"malformed trace id (want 32 hex digits)").write(w)
+		return
+	}
+	t := s.traces.Get(id)
+	if t == nil {
+		errf(CodeNotFound, http.StatusNotFound,
+			"trace %s not found (evicted, or the run was sampled out)", id).write(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	t.Doc().Encode(w)
+}
+
+// handleFlight serves the flight-recorder dumps (an empty document when the
+// recorder is disabled — the endpoint shape stays stable either way).
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.Doc().Encode(w)
+}
+
+// FlightDoc snapshots the flight recorder (empty when disabled); the daemon's
+// drain path writes it next to the telemetry snapshot.
+func (s *Server) FlightDoc() *trace.FlightDoc { return s.flight.Doc() }
+
 // handleHealthz: liveness — the process is up and the mux is serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
 }
 
-// handleReadyz: readiness — admitting new guests. Draining flips it so load
-// balancers stop routing here before the listener closes.
+// readyzDoc is the typed /readyz body: load balancers key on the status
+// code, operators and scripts on the state string.
+type readyzDoc struct {
+	Ready        bool   `json:"ready"`
+	State        string `json:"state"` // "ready", "draining", "degraded-interp-only"
+	DegradeLevel int32  `json:"degrade_level"`
+}
+
+// handleReadyz: readiness — admitting new guests at full service. Draining
+// flips it so load balancers stop routing here before the listener closes;
+// so does interp-only degradation: a balancer with healthy peers should route
+// around a degraded instance, which keeps serving whatever still arrives.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write([]byte("draining\n"))
-		return
+	w.Header().Set("Content-Type", "application/json")
+	d := readyzDoc{Ready: true, State: "ready", DegradeLevel: s.degradeLevel()}
+	switch {
+	case s.draining.Load():
+		d.Ready, d.State = false, "draining"
+	case d.DegradeLevel >= degradeInterpOnly:
+		d.Ready, d.State = false, "degraded-interp-only"
 	}
-	w.Write([]byte("ready\n"))
+	if !d.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(d)
 }
 
 // statuszTenant is one tenant's row in the /statusz document.
@@ -404,15 +586,30 @@ type statuszTenant struct {
 
 // statuszDoc is the /statusz JSON document.
 type statuszDoc struct {
-	Draining       bool            `json:"draining"`
-	DegradeLevel   int32           `json:"degrade_level"`
-	QueueDepth     int             `json:"queue_depth"`
-	QueueHighWater int             `json:"queue_high_water"`
-	Sheds          int64           `json:"sheds"`
-	InFlight       int64           `json:"inflight"`
-	Workers        int             `json:"workers"`
-	ActiveShards   int             `json:"active_shards"`
-	TableEvictions int64           `json:"table_evictions"`
+	Draining       bool  `json:"draining"`
+	DegradeLevel   int32 `json:"degrade_level"`
+	QueueDepth     int   `json:"queue_depth"`
+	QueueHighWater int   `json:"queue_high_water"`
+	Sheds          int64 `json:"sheds"`
+	InFlight       int64 `json:"inflight"`
+	Workers        int   `json:"workers"`
+	ActiveShards   int   `json:"active_shards"`
+	TableEvictions int64 `json:"table_evictions"`
+
+	// Latency percentiles from the queue-wait and run histograms (power-of-
+	// two buckets; estimates are within 2x — see telemetry.Quantile).
+	QueueWaitP50US int64 `json:"queue_wait_p50_us"`
+	QueueWaitP95US int64 `json:"queue_wait_p95_us"`
+	QueueWaitP99US int64 `json:"queue_wait_p99_us"`
+	RunP50US       int64 `json:"run_p50_us"`
+	RunP95US       int64 `json:"run_p95_us"`
+	RunP99US       int64 `json:"run_p99_us"`
+
+	// Tracing state: retained trace count, flight-recorder freezes, and the
+	// most recent retained trace IDs (fetch via /v1/trace/{id}).
+	TracesStored   int             `json:"traces_stored,omitempty"`
+	FlightFreezes  int64           `json:"flight_freezes,omitempty"`
+	ExemplarTraces []string        `json:"exemplar_traces,omitempty"`
 	Tenants        []statuszTenant `json:"tenants"`
 }
 
@@ -429,6 +626,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Workers:        s.pool.Size(),
 		ActiveShards:   s.shards.Tenants(),
 		TableEvictions: s.shards.Evictions(),
+		QueueWaitP50US: telQueueWait.Quantile(0.50),
+		QueueWaitP95US: telQueueWait.Quantile(0.95),
+		QueueWaitP99US: telQueueWait.Quantile(0.99),
+		RunP50US:       telRunTime.Quantile(0.50),
+		RunP95US:       telRunTime.Quantile(0.95),
+		RunP99US:       telRunTime.Quantile(0.99),
+		TracesStored:   s.traces.Len(),
+		FlightFreezes:  s.flight.Freezes(),
+		ExemplarTraces: s.exemplarTraces(),
 	}
 	for _, t := range s.tenants.all() {
 		doc.Tenants = append(doc.Tenants, statuszTenant{

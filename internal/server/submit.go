@@ -71,6 +71,8 @@ type runResponse struct {
 	SpeedupPC float64 `json:"speedup_pct,omitempty"`
 	CachedPC  float64 `json:"cached_pct,omitempty"`
 	BailedOut bool    `json:"bailed_out,omitempty"`
+	// Deopts reports published tier-2 superblocks torn down during the run.
+	Deopts int64 `json:"tier2_deopts,omitempty"`
 	// Restored reports fragments pre-installed from the tenant's stored
 	// profile before the first guest instruction (0 = cold start).
 	Restored int     `json:"restored_fragments,omitempty"`
@@ -78,6 +80,9 @@ type runResponse struct {
 
 	QueueNS int64 `json:"queue_ns"`
 	RunNS   int64 `json:"run_ns"`
+	// TraceID names the retained request trace, present when the run was
+	// head-sampled or tail-promoted; fetch it via GET /v1/trace/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // maxDecodeDepth bounds nothing today (the envelope is flat) but

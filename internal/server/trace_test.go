@@ -1,0 +1,375 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"netpath/internal/trace"
+)
+
+// fetchTrace GETs /v1/trace/{id} and decodes the document (nil on non-200).
+func fetchTrace(t *testing.T, url, id string) *trace.Doc {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/trace/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	d, err := trace.DecodeDoc(resp.Body)
+	if err != nil {
+		t.Fatalf("decode trace %s: %v", id, err)
+	}
+	return d
+}
+
+// spanIndex maps a decoded trace by span kind and by ID.
+func spanIndex(d *trace.Doc) (byKind map[string][]trace.SpanDoc, byID map[int32]trace.SpanDoc) {
+	byKind = make(map[string][]trace.SpanDoc)
+	byID = make(map[int32]trace.SpanDoc)
+	for _, s := range d.Spans {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+		byID[s.ID] = s
+	}
+	return byKind, byID
+}
+
+// checkTree pins the structural invariants every retained trace must hold:
+// exactly one root, every parent resolves, children start no earlier than
+// their parents, and no span runs backwards.
+func checkTree(t *testing.T, d *trace.Doc) {
+	t.Helper()
+	_, byID := spanIndex(d)
+	roots := 0
+	for _, s := range d.Spans {
+		if s.EndNS < s.StartNS {
+			t.Fatalf("span %d (%s) ends before it starts: %+v", s.ID, s.Kind, s)
+		}
+		if s.Parent == trace.NoSpan {
+			roots++
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s) has unresolved parent %d", s.ID, s.Kind, s.Parent)
+		}
+		if s.StartNS < p.StartNS {
+			t.Fatalf("span %d (%s) starts before its parent %d (%s)", s.ID, s.Kind, p.ID, p.Kind)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d roots, want exactly 1: %+v", roots, d.Spans)
+	}
+}
+
+// TestTraceEndToEnd: a head-sampled run returns its trace ID in the response
+// and the traceparent header, and the retained document is a well-formed
+// tree covering admission, verify, queue-wait, and execute.
+func TestTraceEndToEnd(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TraceStore = 16
+	cfg.TraceSample = 1
+	_, ts := startServer(t, cfg)
+
+	status, resp, _, hdr := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": countAsm})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("sampled run returned no trace_id")
+	}
+	par, ok := trace.ParseTraceparent(hdr.Get("traceparent"))
+	if !ok {
+		t.Fatalf("unparseable traceparent response header %q", hdr.Get("traceparent"))
+	}
+	if par.ID.String() != resp.TraceID || !par.Sampled {
+		t.Fatalf("traceparent %q disagrees with trace_id %s", hdr.Get("traceparent"), resp.TraceID)
+	}
+
+	d := fetchTrace(t, ts.URL, resp.TraceID)
+	if d == nil {
+		t.Fatalf("trace %s not retained", resp.TraceID)
+	}
+	if d.Tenant != "acme" || d.TailPromoted || d.Err != "" {
+		t.Fatalf("unexpected doc header: %+v", d)
+	}
+	checkTree(t, d)
+	byKind, byID := spanIndex(d)
+	for _, kind := range []string{"request", "admission", "verify", "queue-wait", "execute"} {
+		if len(byKind[kind]) == 0 {
+			t.Fatalf("missing %s span; have %v", kind, d.Spans)
+		}
+	}
+	// The server phases all nest directly under the request root.
+	root := byKind["request"][0]
+	for _, kind := range []string{"admission", "verify", "queue-wait", "execute"} {
+		if p := byKind[kind][0].Parent; p != root.ID {
+			t.Fatalf("%s span parented to %d (%s), want request root %d",
+				kind, p, byID[p].Kind, root.ID)
+		}
+	}
+	// Pipeline order: admission ends before verify ends before queue-wait
+	// starts; execute starts when queue-wait ends.
+	v, q, e := byKind["verify"][0], byKind["queue-wait"][0], byKind["execute"][0]
+	if v.StartNS < byKind["admission"][0].EndNS || q.StartNS < v.EndNS || e.StartNS != q.EndNS {
+		t.Fatalf("phases out of order: verify=%+v queue=%+v exec=%+v", v, q, e)
+	}
+	// The engine ran under the same trace: trace selection happened.
+	if len(byKind["trace-select"]) == 0 || len(byKind["fragment-emit"]) == 0 {
+		t.Fatalf("engine spans missing from sampled run: %v", d.Spans)
+	}
+}
+
+// TestTraceTier2Spans: with the background compiler on, the submitting run's
+// trace accumulates tier2-enqueue, tier2-compile, and tier2-promote spans —
+// the compile landing after the response is why the store holds live traces.
+func TestTraceTier2Spans(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TraceStore = 16
+	cfg.TraceSample = 1
+	cfg.Tier2 = true
+	cfg.Tier2Threshold = 4
+	_, ts := startServer(t, cfg)
+
+	status, resp, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": hotAsm})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var d *trace.Doc
+	for time.Now().Before(deadline) {
+		d = fetchTrace(t, ts.URL, resp.TraceID)
+		if d != nil {
+			byKind, _ := spanIndex(d)
+			if len(byKind["tier2-compile"]) > 0 {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d == nil {
+		t.Fatalf("trace %s not retained", resp.TraceID)
+	}
+	checkTree(t, d)
+	byKind, byID := spanIndex(d)
+	if len(byKind["tier2-enqueue"]) == 0 || len(byKind["tier2-compile"]) == 0 ||
+		len(byKind["tier2-promote"]) == 0 {
+		t.Fatalf("missing tier-2 spans: %v", d.Spans)
+	}
+	exec := byKind["execute"][0]
+	if p := byKind["tier2-compile"][0].Parent; p != exec.ID {
+		t.Fatalf("tier2-compile parented to %d (%s), want execute %d", p, byID[p].Kind, exec.ID)
+	}
+	if p := byKind["tier2-promote"][0].Parent; byID[p].Kind != "tier2-compile" {
+		t.Fatalf("tier2-promote parented to %d (%s), want tier2-compile", p, byID[p].Kind)
+	}
+}
+
+// TestTraceTailPromotion: with head sampling off, a clean run leaves nothing
+// behind, but a faulting run is tail-promoted — skeleton spans only, tagged
+// with the terminal error code, announced via the traceparent header.
+func TestTraceTailPromotion(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TraceStore = 16
+	cfg.TraceSample = 0
+	_, ts := startServer(t, cfg)
+
+	_, okResp, _, okHdr := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": countAsm})
+	if okResp.TraceID != "" || okHdr.Get("traceparent") != "" {
+		t.Fatalf("sampled-out clean run retained a trace: id=%q header=%q",
+			okResp.TraceID, okHdr.Get("traceparent"))
+	}
+
+	status, _, apiErr, hdr := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": faultAsm})
+	if status != http.StatusUnprocessableEntity || apiErr.Code != CodeGuestFault {
+		t.Fatalf("fault run: status %d err %+v", status, apiErr)
+	}
+	par, ok := trace.ParseTraceparent(hdr.Get("traceparent"))
+	if !ok {
+		t.Fatalf("errored run carries no traceparent header (got %q)", hdr.Get("traceparent"))
+	}
+	d := fetchTrace(t, ts.URL, par.ID.String())
+	if d == nil {
+		t.Fatalf("tail-promoted trace %s not retained", par.ID)
+	}
+	checkTree(t, d)
+	if !d.TailPromoted || d.Err != string(CodeGuestFault) {
+		t.Fatalf("want tail-promoted guest_fault doc, got %+v", d)
+	}
+	byKind, _ := spanIndex(d)
+	for _, kind := range []string{"request", "admission", "verify", "queue-wait", "execute"} {
+		if len(byKind[kind]) == 0 {
+			t.Fatalf("skeleton missing %s span: %v", kind, d.Spans)
+		}
+	}
+	// Skeletons are server-side only: the run really did execute untraced.
+	if len(byKind["trace-select"]) != 0 {
+		t.Fatalf("tail-promoted skeleton has engine spans: %v", d.Spans)
+	}
+}
+
+// TestTraceEndpointErrors: the trace endpoint speaks the typed error
+// vocabulary for malformed and unknown IDs, and when tracing is off.
+func TestTraceEndpointErrors(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TraceStore = 4
+	_, ts := startServer(t, cfg)
+
+	for _, tc := range []struct {
+		id     string
+		status int
+		code   ErrCode
+	}{
+		{"zzzz", http.StatusBadRequest, CodeBadRequest},
+		{"0123456789abcdef0123456789abcdef", http.StatusNotFound, CodeNotFound},
+	} {
+		resp, err := http.Get(ts.URL + "/v1/trace/" + tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil {
+			t.Fatalf("id %q: undecodable error body (err=%v)", tc.id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || eb.Error.Code != tc.code {
+			t.Fatalf("id %q: got %d/%s, want %d/%s", tc.id, resp.StatusCode, eb.Error.Code, tc.status, tc.code)
+		}
+	}
+}
+
+// TestFlightRecorder: the per-tenant ring records every run, and a guest
+// fault freezes it into a dump visible at /debug/flight.
+func TestFlightRecorder(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.FlightRecords = 8
+	_, ts := startServer(t, cfg)
+
+	if status, _, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": countAsm}); status != http.StatusOK {
+		t.Fatalf("warmup run status %d", status)
+	}
+	if status, _, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": faultAsm}); status != http.StatusUnprocessableEntity {
+		t.Fatalf("fault run status %d", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc trace.FlightDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode /debug/flight: %v", err)
+	}
+	if doc.Schema != trace.FlightSchema || doc.Freezes < 1 || len(doc.Dumps) < 1 {
+		t.Fatalf("no freeze recorded: %+v", doc)
+	}
+	dump := doc.Dumps[0]
+	if dump.Tenant != "acme" || dump.Reason != "fault" {
+		t.Fatalf("dump = %+v, want tenant acme reason fault", dump)
+	}
+	// The frozen ring holds the history leading up to the incident: the
+	// clean warmup run and the faulting run itself.
+	if len(dump.Records) < 2 {
+		t.Fatalf("dump holds %d records, want the pre-incident history too", len(dump.Records))
+	}
+	sawFault := false
+	for _, rec := range dump.Records {
+		if rec.Outcome == string(CodeGuestFault) {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatalf("no record with guest_fault outcome: %+v", dump.Records)
+	}
+}
+
+// TestReadyzDegraded: tripping the degradation ladder flips /readyz to a
+// typed 503 — balancers route around an interp-only instance — and recovery
+// is reported once the ladder climbs back.
+func TestReadyzDegraded(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TripSheds = 3
+	s, ts := startServer(t, cfg)
+
+	getReadyz := func() (int, readyzDoc) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var d readyzDoc
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatalf("decode /readyz: %v", err)
+		}
+		if !strings.Contains(resp.Header.Get("Content-Type"), "application/json") {
+			t.Fatalf("Content-Type %q", resp.Header.Get("Content-Type"))
+		}
+		return resp.StatusCode, d
+	}
+
+	if status, d := getReadyz(); status != http.StatusOK || !d.Ready || d.State != "ready" {
+		t.Fatalf("healthy server: %d %+v", status, d)
+	}
+	for i := 0; i < cfg.TripSheds; i++ {
+		s.noteShed()
+	}
+	if s.degradeLevel() != degradeInterpOnly {
+		t.Fatal("ladder did not trip")
+	}
+	status, d := getReadyz()
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d while degraded, want 503", status)
+	}
+	if d.Ready || d.State != "degraded-interp-only" || d.DegradeLevel != degradeInterpOnly {
+		t.Fatalf("degraded body %+v", d)
+	}
+	// Degraded-not-ready still serves: submissions land in interp mode.
+	if status, resp, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": countAsm}); status != http.StatusOK || !resp.Degraded {
+		t.Fatalf("degraded run: status %d resp %+v", status, resp)
+	}
+}
+
+// TestStatuszPercentilesAndExemplars: after traced traffic, /statusz carries
+// queue-wait/run percentiles and exemplar trace IDs that resolve in the LRU.
+func TestStatuszPercentilesAndExemplars(t *testing.T) {
+	cfg := quietCfg(t)
+	cfg.TraceStore = 16
+	cfg.TraceSample = 1
+	_, ts := startServer(t, cfg)
+
+	for i := 0; i < 3; i++ {
+		if status, _, _, _ := postRun(t, ts.URL, map[string]any{"tenant": "acme", "asm": countAsm}); status != http.StatusOK {
+			t.Fatalf("run %d status %d", i, status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc statuszDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode /statusz: %v", err)
+	}
+	// The process-global histograms have seen this test's runs at minimum.
+	if doc.RunP50US <= 0 || doc.RunP99US < doc.RunP50US {
+		t.Fatalf("run percentiles not populated: %+v", doc)
+	}
+	if doc.QueueWaitP99US < doc.QueueWaitP50US {
+		t.Fatalf("queue percentiles inverted: %+v", doc)
+	}
+	if doc.TracesStored == 0 || len(doc.ExemplarTraces) == 0 {
+		t.Fatalf("trace state missing from statusz: %+v", doc)
+	}
+	if d := fetchTrace(t, ts.URL, doc.ExemplarTraces[len(doc.ExemplarTraces)-1]); d == nil {
+		t.Fatal("exemplar trace ID does not resolve")
+	}
+}

@@ -62,6 +62,16 @@ type Snapshot struct {
 	Flow  int64 `json:"flow"`
 	Steps int64 `json:"steps"`
 
+	// CapturedUnixNS and TraceID are provenance: when the profile was
+	// captured and, when the collecting run was traced, the request trace it
+	// belongs to — so a warm-start anomaly can be chased back through
+	// /v1/trace/{id} to the run that produced the profile. They merge as a
+	// single lexicographic MAX on (CapturedUnixNS, TraceID), which keeps the
+	// merge algebra commutative, associative, and idempotent: a fleet merge
+	// reports the newest contributing capture.
+	CapturedUnixNS int64  `json:"captured_unix_ns,omitempty"`
+	TraceID        string `json:"trace_id,omitempty"`
+
 	Heads     []HeadCount  `json:"heads,omitempty"`
 	Traces    []Trace      `json:"traces,omitempty"`
 	Paths     []PathCount  `json:"paths,omitempty"`
@@ -232,13 +242,19 @@ func Merge(a, b *Snapshot) (*Snapshot, error) {
 		return nil, &MismatchError{A: a.GroupKey(), B: b.GroupKey()}
 	}
 	out := &Snapshot{
-		Tenant:      a.Tenant,
-		Program:     a.Program,
-		Fingerprint: a.Fingerprint,
-		Scheme:      a.Scheme,
-		Tau:         maxI64(a.Tau, b.Tau),
-		Flow:        maxI64(a.Flow, b.Flow),
-		Steps:       maxI64(a.Steps, b.Steps),
+		Tenant:         a.Tenant,
+		Program:        a.Program,
+		Fingerprint:    a.Fingerprint,
+		Scheme:         a.Scheme,
+		Tau:            maxI64(a.Tau, b.Tau),
+		Flow:           maxI64(a.Flow, b.Flow),
+		Steps:          maxI64(a.Steps, b.Steps),
+		CapturedUnixNS: a.CapturedUnixNS,
+		TraceID:        a.TraceID,
+	}
+	if b.CapturedUnixNS > out.CapturedUnixNS ||
+		(b.CapturedUnixNS == out.CapturedUnixNS && b.TraceID > out.TraceID) {
+		out.CapturedUnixNS, out.TraceID = b.CapturedUnixNS, b.TraceID
 	}
 
 	heads := map[int]int64{}

@@ -20,6 +20,10 @@ func genSnapshot(rng *rand.Rand) *Snapshot {
 		Tau:         int64(rng.Intn(100)),
 		Flow:        int64(rng.Intn(10000)),
 		Steps:       int64(rng.Intn(100000)),
+		// Small value ranges force provenance ties so the lexicographic
+		// tie-break is exercised by the property tests too.
+		CapturedUnixNS: int64(rng.Intn(3)),
+		TraceID:        [3]string{"", "aa", "bb"}[rng.Intn(3)],
 	}
 	for i, n := 0, rng.Intn(20); i < n; i++ {
 		s.Heads = append(s.Heads, HeadCount{Addr: rng.Intn(16), Count: int64(rng.Intn(1000))})
@@ -302,4 +306,24 @@ func FuzzSnapshotDecode(f *testing.F) {
 			t.Fatalf("re-encode failed: %v", err)
 		}
 	})
+}
+
+// TestMergeProvenance pins the provenance join: the newest capture wins and
+// equal timestamps break lexicographically on trace ID, so a fleet merge
+// reports the newest contributing capture regardless of fold order.
+func TestMergeProvenance(t *testing.T) {
+	base := Snapshot{Program: "p", Fingerprint: 1, Scheme: "net"}
+	old, newer := base, base
+	old.CapturedUnixNS, old.TraceID = 100, "ffffffffffffffffffffffffffffffff"
+	newer.CapturedUnixNS, newer.TraceID = 200, "00000000000000000000000000000001"
+	out := mustMerge(t, &old, &newer)
+	if out.CapturedUnixNS != 200 || out.TraceID != newer.TraceID {
+		t.Fatalf("newest capture should win: %+v", out)
+	}
+	tied := base
+	tied.CapturedUnixNS, tied.TraceID = 100, "00000000000000000000000000000002"
+	out = mustMerge(t, &old, &tied)
+	if out.TraceID != old.TraceID {
+		t.Fatalf("tie should break to the larger trace ID: %+v", out)
+	}
 }

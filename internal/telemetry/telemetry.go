@@ -155,6 +155,49 @@ func UpperBound(i int) int64 {
 	return int64(1) << uint(i)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution by linear interpolation within the power-of-two bucket that
+// crosses the target rank. With at most 2x-wide buckets the estimate is
+// within a factor of 2 of the true value — plenty for the p50/p95/p99 a
+// status page reports. Returns 0 on an empty histogram. The read races
+// concurrent observes benignly: each bucket load is atomic, and a torn
+// cross-bucket view can only misplace the estimate by in-flight
+// observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = UpperBound(i - 1)
+			}
+			hi := UpperBound(i)
+			if hi < 0 { // overflow bucket: no upper bound to interpolate to
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += n
+	}
+	return UpperBound(histBuckets - 2)
+}
+
 // Registry owns named instruments and the event ring. Registration is
 // mutex-guarded and idempotent by name; the read/write paths of the
 // instruments themselves are lock-free.

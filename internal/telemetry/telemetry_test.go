@@ -157,3 +157,50 @@ func (s *syncBuffer) String() string {
 	defer s.mu.Unlock()
 	return s.b.String()
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry(0).Histogram("q_test", "")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 1000 observations of 100: every quantile lands in the (64,128] bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v <= 64 || v > 128 {
+			t.Errorf("Quantile(%v) = %d, want within (64,128]", q, v)
+		}
+	}
+	// A bimodal distribution: 90% at ~10, 10% at ~1000. p50 must sit in the
+	// low mode's bucket, p99 in the high mode's.
+	h2 := NewRegistry(0).Histogram("q_test2", "")
+	for i := 0; i < 900; i++ {
+		h2.Observe(10)
+	}
+	for i := 0; i < 100; i++ {
+		h2.Observe(1000)
+	}
+	if v := h2.Quantile(0.5); v <= 8 || v > 16 {
+		t.Errorf("bimodal p50 = %d, want within (8,16]", v)
+	}
+	if v := h2.Quantile(0.99); v <= 512 || v > 1024 {
+		t.Errorf("bimodal p99 = %d, want within (512,1024]", v)
+	}
+	// Quantiles are monotone in q.
+	last := int64(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		v := h2.Quantile(q)
+		if v < last {
+			t.Errorf("Quantile not monotone at %v: %d < %d", q, v, last)
+		}
+		last = v
+	}
+	// Everything in the overflow bucket: the estimate is its lower bound.
+	h3 := NewRegistry(0).Histogram("q_test3", "")
+	h3.Observe(1 << 40)
+	if v := h3.Quantile(0.9); v != UpperBound(histBuckets-2) {
+		t.Errorf("overflow quantile = %d, want %d", v, UpperBound(histBuckets-2))
+	}
+}

@@ -1,0 +1,168 @@
+// Renderers for captured trace documents: a text waterfall for terminals
+// and Chrome trace-event JSON for chrome://tracing / Perfetto. Both consume
+// the wire Doc, so `pathdump trace` can render anything /v1/trace/{id} or a
+// flight dump produced without importing the live types.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+const barWidth = 32
+
+// Waterfall renders the span tree as an indented text waterfall: one line
+// per span in depth-first start order, with offsets, durations, and a bar
+// placing the span inside the request. Instant events render as a tick.
+func Waterfall(w io.Writer, d *Doc) error {
+	head := fmt.Sprintf("trace %s tenant=%s dur=%s", d.TraceID, d.Tenant, fmtNS(d.DurNS))
+	if d.Err != "" {
+		head += " err=" + d.Err
+	}
+	if d.TailPromoted {
+		head += " (tail-promoted)"
+	}
+	if d.Dropped > 0 {
+		head += fmt.Sprintf(" (%d spans dropped)", d.Dropped)
+	}
+	if _, err := fmt.Fprintln(w, head); err != nil {
+		return err
+	}
+
+	children := make(map[int32][]*SpanDoc)
+	for i := range d.Spans {
+		s := &d.Spans[i]
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, cs := range children {
+		sort.SliceStable(cs, func(i, j int) bool {
+			if cs[i].StartNS != cs[j].StartNS {
+				return cs[i].StartNS < cs[j].StartNS
+			}
+			return cs[i].ID < cs[j].ID
+		})
+	}
+	total := d.DurNS
+	if total <= 0 {
+		total = 1
+	}
+	var render func(s *SpanDoc, depth int) error
+	render = func(s *SpanDoc, depth int) error {
+		detail := ""
+		if s.Site != 0 || s.Arg != 0 {
+			detail = fmt.Sprintf("  site=%d arg=%d", s.Site, s.Arg)
+		}
+		line := fmt.Sprintf("%s%-*s %9s %9s  |%s|%s",
+			strings.Repeat("  ", depth+1),
+			26-2*depth, s.Kind,
+			"+"+fmtNS(s.StartNS), fmtNS(s.EndNS-s.StartNS),
+			bar(s.StartNS, s.EndNS, total), detail)
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range children[s.ID] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range children[NoSpan] {
+		if err := render(root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bar draws the span's extent within [0,total) at barWidth cells; instant
+// events draw a single tick.
+func bar(start, end, total int64) string {
+	at := func(ns int64) int {
+		p := int(ns * barWidth / total)
+		if p >= barWidth {
+			p = barWidth - 1
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+	b := []byte(strings.Repeat(".", barWidth))
+	lo, hi := at(start), at(end)
+	if end <= start {
+		b[lo] = '+'
+		return string(b)
+	}
+	for i := lo; i <= hi; i++ {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event "X" (complete) format;
+// timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON renders the trace as a Chrome trace-event JSON array loadable
+// in chrome://tracing or Perfetto. Each span becomes a complete ("X") event
+// on a tid equal to its tree depth, which stacks the phases visually.
+func ChromeJSON(w io.Writer, d *Doc) error {
+	depth := make(map[int32]int, len(d.Spans))
+	byID := make(map[int32]*SpanDoc, len(d.Spans))
+	for i := range d.Spans {
+		byID[d.Spans[i].ID] = &d.Spans[i]
+	}
+	var depthOf func(id int32) int
+	depthOf = func(id int32) int {
+		if dep, ok := depth[id]; ok {
+			return dep
+		}
+		s, ok := byID[id]
+		if !ok || s.Parent == NoSpan {
+			depth[id] = 0
+			return 0
+		}
+		dep := depthOf(s.Parent) + 1
+		depth[id] = dep
+		return dep
+	}
+	evs := make([]chromeEvent, 0, len(d.Spans))
+	for i := range d.Spans {
+		s := &d.Spans[i]
+		evs = append(evs, chromeEvent{
+			Name: s.Kind,
+			Cat:  "netpath",
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.EndNS-s.StartNS) / 1e3,
+			PID:  1,
+			TID:  depthOf(s.ID),
+			Args: map[string]any{
+				"span": s.ID, "parent": s.Parent,
+				"site": s.Site, "arg": s.Arg,
+				"trace_id": d.TraceID, "tenant": d.Tenant,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(evs)
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a bounded LRU of completed traces keyed by trace ID — the
+// backing store of /v1/trace/{id}. Traces are stored by pointer, so late
+// spans (background tier-2 compiles) landing after Put are visible to later
+// Gets; eviction is by recency of access, not completion.
+type Store struct {
+	mu  sync.Mutex
+	cap int
+	m   map[ID]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+// NewStore builds a store holding at most capacity traces. capacity <= 0
+// disables storage: a nil *Store is returned and Put/Get are no-ops on it.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Store{
+		cap: capacity,
+		m:   make(map[ID]*list.Element, capacity),
+		ll:  list.New(),
+	}
+}
+
+// Put inserts (or refreshes) a trace, evicting the least recently used
+// entry when full.
+func (s *Store) Put(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	id := t.TraceID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[id]; ok {
+		e.Value = t
+		s.ll.MoveToFront(e)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		old := s.ll.Back()
+		if old != nil {
+			s.ll.Remove(old)
+			delete(s.m, old.Value.(*Trace).TraceID())
+		}
+	}
+	s.m[id] = s.ll.PushFront(t)
+}
+
+// Get returns the trace for id, or nil, refreshing its recency.
+func (s *Store) Get(id ID) *Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return nil
+	}
+	s.ll.MoveToFront(e)
+	return e.Value.(*Trace)
+}
+
+// Len returns the number of stored traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

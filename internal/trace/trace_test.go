@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	got, ok := ParseID(id.String())
+	if !ok || got != id {
+		t.Fatalf("round trip: %v -> %q -> %v ok=%v", id, id.String(), got, ok)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("g", 32), strings.Repeat("A", 32), strings.Repeat("0", 31) + "1x"} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	p, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("rejected valid header %q", h)
+	}
+	if p.ID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" || !p.Sampled || p.Span != 0x00f067aa0ba902b7 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p2, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); !ok || p2.Sampled {
+		t.Fatalf("flags 00 should parse unsampled: %+v ok=%v", p2, ok)
+	}
+	for _, bad := range []string{
+		"", "garbage",
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // unknown version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	rt := Traceparent(p.ID, true)
+	if p3, ok := ParseTraceparent(rt); !ok || p3.ID != p.ID || !p3.Sampled {
+		t.Fatalf("response header %q does not round-trip: %+v ok=%v", rt, p3, ok)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := New(NewID(), "acme", 16, time.Now())
+	root := tr.Begin(SpanRequest, NoSpan, 0, 0)
+	verify := tr.Begin(SpanVerify, root, 0, 0)
+	tr.End(verify)
+	exec := tr.Begin(SpanExecute, root, 0, 0)
+	tr.Add(SpanFragEmit, exec, tr.Now(), tr.Now(), 12, 7)
+	tr.SetArg(exec, 3, 44)
+	tr.End(exec)
+	tr.End(root)
+	tr.SetErr("guest_fault")
+
+	d := tr.Doc()
+	if d.Schema != Schema || d.Err != "guest_fault" || len(d.Spans) != 4 {
+		t.Fatalf("doc: %+v", d)
+	}
+	if d.Spans[0].Parent != NoSpan || d.Spans[1].Parent != root || d.Spans[3].Parent != exec {
+		t.Fatalf("parents wrong: %+v", d.Spans)
+	}
+	for _, s := range d.Spans {
+		if s.EndNS < s.StartNS {
+			t.Fatalf("span %d not monotonic: %+v", s.ID, s)
+		}
+	}
+	if d.Spans[2].Site != 3 || d.Spans[2].Arg != 44 {
+		t.Fatalf("SetArg lost: %+v", d.Spans[2])
+	}
+	// Round-trip through the wire form.
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDoc(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Spans) != len(d.Spans) || d2.TraceID != d.TraceID {
+		t.Fatalf("round trip lost spans: %+v", d2)
+	}
+}
+
+func TestTraceArenaBounded(t *testing.T) {
+	tr := New(NewID(), "a", 4, time.Now())
+	for i := 0; i < 10; i++ {
+		tr.Begin(SpanFragEmit, NoSpan, int32(i), 0)
+	}
+	d := tr.Doc()
+	if len(d.Spans) != 4 || d.Dropped != 6 {
+		t.Fatalf("arena not bounded: %d spans, %d dropped", len(d.Spans), d.Dropped)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	id := tr.Begin(SpanExecute, NoSpan, 0, 0)
+	if id != NoSpan {
+		t.Fatalf("nil Begin returned %d", id)
+	}
+	tr.End(id)
+	tr.SetArg(id, 1, 2)
+	tr.SetErr("x")
+	tr.MarkTail()
+	if tr.Now() != 0 || !tr.TraceID().IsZero() || tr.Doc() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestSampledOutZeroAlloc(t *testing.T) {
+	var tr *Trace
+	if n := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(SpanTraceSelect, NoSpan, 7, 9)
+		tr.SetArg(id, 7, 10)
+		tr.Add(SpanFragEmit, id, tr.Now(), tr.Now(), 1, 2)
+		tr.End(id)
+	}); n != 0 {
+		t.Errorf("sampled-out span path: %v allocs/op, must be 0", n)
+	}
+}
+
+func TestSampledInWriteZeroAlloc(t *testing.T) {
+	tr := New(NewID(), "a", 1<<20, time.Now())
+	if n := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(SpanTraceSelect, NoSpan, 7, 9)
+		tr.Add(SpanFragEmit, id, tr.Now(), tr.Now(), 1, 2)
+		tr.End(id)
+	}); n != 0 {
+		t.Errorf("arena span write path: %v allocs/op, must be 0", n)
+	}
+}
+
+func TestTraceConcurrentWriters(t *testing.T) {
+	tr := New(NewID(), "a", 4096, time.Now())
+	root := tr.Begin(SpanRequest, NoSpan, 0, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				id := tr.Begin(SpanFragEmit, root, int32(i), 0)
+				tr.End(id)
+				tr.Doc() // readers race writers by design
+			}
+		}()
+	}
+	wg.Wait()
+	d := tr.Doc()
+	if len(d.Spans) != 1+8*256 {
+		t.Fatalf("lost spans: %d", len(d.Spans))
+	}
+	for _, s := range d.Spans {
+		if s.EndNS < s.StartNS {
+			t.Fatalf("non-monotonic span under concurrency: %+v", s)
+		}
+	}
+}
+
+func TestStoreLRU(t *testing.T) {
+	s := NewStore(2)
+	a := New(NewID(), "a", 4, time.Now())
+	b := New(NewID(), "b", 4, time.Now())
+	c := New(NewID(), "c", 4, time.Now())
+	s.Put(a)
+	s.Put(b)
+	if s.Get(a.TraceID()) != a { // refresh a; b becomes LRU
+		t.Fatal("lost a")
+	}
+	s.Put(c)
+	if s.Get(b.TraceID()) != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if s.Get(a.TraceID()) != a || s.Get(c.TraceID()) != c || s.Len() != 2 {
+		t.Fatal("LRU state wrong")
+	}
+	var nilStore *Store
+	nilStore.Put(a)
+	if nilStore.Get(a.TraceID()) != nil || nilStore.Len() != 0 {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestFlightFreeze(t *testing.T) {
+	f := NewFlight(4, 2)
+	id := NewID()
+	for i := 0; i < 10; i++ { // wraps the 4-slot ring
+		f.Note("acme", Record{TraceID: id, Kind: SpanExecute, StartUnixNS: int64(i), DurNS: 5})
+	}
+	f.Note("other", Record{TraceID: id, Kind: SpanExecute})
+	f.Freeze("acme", "guest_fault", id)
+	d := f.Doc()
+	if d.Schema != FlightSchema || d.Freezes != 1 || len(d.Dumps) != 1 {
+		t.Fatalf("doc: %+v", d)
+	}
+	dump := d.Dumps[0]
+	if dump.Tenant != "acme" || dump.Reason != "guest_fault" || dump.TraceID != id.String() {
+		t.Fatalf("dump header: %+v", dump)
+	}
+	if len(dump.Records) != 4 {
+		t.Fatalf("ring should hold last 4, got %d", len(dump.Records))
+	}
+	for i, r := range dump.Records { // oldest first: 6,7,8,9
+		if r.StartUnixNS != int64(6+i) {
+			t.Fatalf("record %d = %+v, want start %d", i, r, 6+i)
+		}
+	}
+	// Dump list is FIFO-bounded.
+	f.Freeze("acme", "bail", id)
+	f.Freeze("acme", "deopt", id)
+	if d := f.Doc(); len(d.Dumps) != 2 || d.Freezes != 3 {
+		t.Fatalf("dump bound: %d dumps, %d freezes", len(d.Dumps), d.Freezes)
+	}
+	// Freezing a tenant that never recorded still counts, produces no dump.
+	before := len(f.Doc().Dumps)
+	f.Freeze("ghost", "shed", ID{})
+	if len(f.Doc().Dumps) != before {
+		t.Fatal("ghost tenant produced a dump")
+	}
+	var nilF *Flight
+	nilF.Note("a", Record{})
+	nilF.Freeze("a", "x", ID{})
+	if nilF.Freezes() != 0 || len(nilF.Doc().Dumps) != 0 {
+		t.Fatal("nil flight not inert")
+	}
+}
+
+func TestFlightTenantEviction(t *testing.T) {
+	f := NewFlight(2, 4)
+	f.maxTenants = 2
+	f.Note("t1", Record{StartUnixNS: 1})
+	f.Note("t2", Record{StartUnixNS: 2})
+	f.Note("t3", Record{StartUnixNS: 3}) // evicts t1
+	f.Freeze("t1", "x", ID{})
+	if d := f.Doc(); len(d.Dumps) != 0 {
+		t.Fatal("evicted tenant still has a ring")
+	}
+	f.Freeze("t3", "x", ID{})
+	if d := f.Doc(); len(d.Dumps) != 1 || d.Dumps[0].Records[0].StartUnixNS != 3 {
+		t.Fatalf("t3 ring lost: %+v", d.Dumps)
+	}
+}
+
+func sampleDoc() *Doc {
+	return &Doc{
+		Schema: Schema, TraceID: strings.Repeat("ab", 16), Tenant: "acme",
+		StartUnixNS: 1_700_000_000_000_000_000, DurNS: 4_000_000,
+		Err: "guest_fault",
+		Spans: []SpanDoc{
+			{ID: 0, Parent: NoSpan, Kind: "request", StartNS: 0, EndNS: 4_000_000},
+			{ID: 1, Parent: 0, Kind: "verify", StartNS: 10_000, EndNS: 60_000},
+			{ID: 2, Parent: 0, Kind: "execute", StartNS: 100_000, EndNS: 3_900_000},
+			{ID: 3, Parent: 2, Kind: "fault", StartNS: 3_850_000, EndNS: 3_850_000, Site: 42},
+		},
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Waterfall(&buf, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"err=guest_fault", "request", "verify", "execute", "fault", "site=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 spans
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// fault is nested two deep: more indented than execute.
+	if !strings.HasPrefix(lines[4], "      fault") {
+		t.Errorf("fault not nested under execute: %q", lines[4])
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeJSON(&buf, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("want 4 events, got %d", len(evs))
+	}
+	if evs[2]["name"] != "execute" || evs[2]["ph"] != "X" {
+		t.Fatalf("event shape: %+v", evs[2])
+	}
+	if ts := evs[2]["ts"].(float64); ts != 100 { // µs
+		t.Fatalf("execute ts = %v µs, want 100", ts)
+	}
+	if tid := evs[3]["tid"].(float64); tid != 2 { // fault at depth 2
+		t.Fatalf("fault tid = %v, want depth 2", tid)
+	}
+}
+
+func TestDecodeDocRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,
+		`{"schema":"netpath-trace/v1","spans":[{"id":0,"parent":5,"kind":"request"}]}`,
+		`{"schema":"netpath-trace/v1","spans":[{"id":0,"parent":-1,"kind":"request","start_ns":10,"end_ns":5}]}`,
+	} {
+		if _, err := DecodeDoc(strings.NewReader(bad)); err == nil {
+			t.Errorf("DecodeDoc accepted %s", bad)
+		}
+	}
+}

@@ -66,6 +66,9 @@ type uopFn func(m *Machine, u *uop) *uop
 func (m *Machine) trapf(kind FaultKind, pc int32, format string, args ...any) *uop {
 	m.Halted = true
 	countFault(kind, int(pc), m.Steps)
+	if m.faultObs != nil {
+		m.faultObs(kind, int(pc), m.Steps)
+	}
 	m.trap = &Fault{Kind: kind, PC: int(pc), Msg: fmt.Sprintf(format, args...)}
 	return nil
 }

@@ -30,11 +30,15 @@ func countFault(kind FaultKind, pc int, step int64) {
 	telemetry.Def.Ring().Emit(telemetry.EvVMFault, step, int32(pc), int64(kind))
 }
 
-// countFaultErr accounts err if it is (or wraps) a *Fault; hook-injected
-// errors pass through here on their way out of Step.
-func countFaultErr(err error, step int64) {
+// noteFaultErr accounts err if it is (or wraps) a *Fault and notifies the
+// machine's fault observer; hook-injected errors pass through here on their
+// way out of Step.
+func (m *Machine) noteFaultErr(err error) {
 	var f *Fault
 	if errors.As(err, &f) {
-		countFault(f.Kind, f.PC, step)
+		countFault(f.Kind, f.PC, m.Steps)
+		if m.faultObs != nil {
+			m.faultObs(f.Kind, f.PC, m.Steps)
+		}
 	}
 }

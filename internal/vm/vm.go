@@ -113,6 +113,9 @@ func (f *Fault) Error() string { return f.Msg }
 func (m *Machine) fault(kind FaultKind, format string, args ...any) error {
 	m.Halted = true
 	countFault(kind, m.PC, m.Steps)
+	if m.faultObs != nil {
+		m.faultObs(kind, m.PC, m.Steps)
+	}
 	return &Fault{Kind: kind, PC: m.PC, Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -155,6 +158,7 @@ type Machine struct {
 	stack     []int64
 	sink      Sink
 	faultHook FaultHook
+	faultObs  FaultObserver
 
 	// sbx parks the exit state of a stopped superblock. It lives here rather
 	// than on the RunSuperblock frame so superblock handlers take no escaping
@@ -219,6 +223,18 @@ func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
 // executors (dynamo's fragment loop) use it to pick the slow-path stepper.
 func (m *Machine) HasFaultHook() bool { return m.faultHook != nil }
 
+// FaultObserver is notified once per delivered fault with the kind, the
+// faulting guest PC, and the machine step count at delivery. It runs on the
+// failure path only — never per instruction — so observers may be as heavy
+// as a span write or a flight-recorder note.
+type FaultObserver func(kind FaultKind, pc int, step int64)
+
+// SetFaultObserver installs the per-machine fault observer (nil disables
+// it). Unlike the unconditional fault counters, the observer carries
+// request-scoped context: dynamo and netpathd use it to attach fault spans
+// to the run's trace.
+func (m *Machine) SetFaultObserver(obs FaultObserver) { m.faultObs = obs }
+
 // CallDepth returns the current return-stack depth.
 func (m *Machine) CallDepth() int { return len(m.stack) }
 
@@ -273,7 +289,7 @@ func (m *Machine) Step() error {
 	if m.faultHook != nil {
 		if err := m.faultHook(m); err != nil {
 			m.Halted = true
-			countFaultErr(err, m.Steps)
+			m.noteFaultErr(err)
 			return err
 		}
 	}
@@ -341,7 +357,7 @@ func (m *Machine) stepSwitch() error {
 	if m.faultHook != nil {
 		if err := m.faultHook(m); err != nil {
 			m.Halted = true
-			countFaultErr(err, m.Steps)
+			m.noteFaultErr(err)
 			return err
 		}
 	}
