@@ -13,9 +13,9 @@ import (
 	"netpath/internal/metrics"
 	"netpath/internal/par"
 	"netpath/internal/path"
-	"netpath/internal/prog"
 	"netpath/internal/predict"
 	"netpath/internal/profile"
+	"netpath/internal/prog"
 	"netpath/internal/staticpred"
 	"netpath/internal/telemetry"
 	"netpath/internal/vm"

@@ -8,12 +8,22 @@
 //	netasm profile file.s      execute and print the path profile
 //	netasm dump <benchmark>    emit a synthetic workload as assembly
 //	netasm verify file.s       run the static CFG verifier, report issues
+//	netasm analyze file.s      run the dataflow analyses, report the facts
 //	netasm sample              print a sample program to get started
 //
 // The -verify flag makes run/fmt/profile/dump gate on the static verifier
 // first: the report prints to stderr and error-class issues abort before any
-// execution, the same load-time check dynamo applies. The verify subcommand
-// accepts a file or a benchmark name and exits 1 on error-class issues.
+// execution, the same load-time check dynamo applies. The verify and analyze
+// subcommands accept a file or a benchmark name; verify exits 1 on
+// error-class issues.
+//
+// analyze prints per-function dataflow facts — call-stack depth, proven
+// in-bounds memory accesses, statically decided branches — distilled from
+// the abstract-interpretation lattices in internal/dataflow (the same facts
+// the tier-2 guard elider and the translation validator consume). With -dot
+// it instead emits each function's CFG as Graphviz DOT annotated with
+// register range intervals, address bounds proofs, and branch verdicts;
+// -fn restricts the DOT output to one function.
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 
 	"netpath/internal/asm"
 	"netpath/internal/cfg"
+	"netpath/internal/dataflow"
+	"netpath/internal/isa"
 	"netpath/internal/profile"
 	"netpath/internal/prog"
 	"netpath/internal/vm"
@@ -55,11 +67,13 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "workload scale for dump")
 	top := flag.Int("top", 5, "top paths to print for profile")
 	verify := flag.Bool("verify", false, "run the static CFG verifier before executing; abort on errors")
+	dot := flag.Bool("dot", false, "analyze: emit range-annotated DOT instead of the text report")
+	fn := flag.String("fn", "", "analyze -dot: restrict output to one function")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: netasm run|fmt|profile|dump|verify|sample [file.s | benchmark]")
+		fmt.Fprintln(os.Stderr, "usage: netasm run|fmt|profile|dump|verify|analyze|sample [file.s | benchmark]")
 		os.Exit(2)
 	}
 	cmd := args[0]
@@ -92,6 +106,14 @@ func main() {
 		}
 		if !verifyProgram(os.Stdout, p) {
 			os.Exit(1)
+		}
+	case "analyze":
+		p, err := load(args[1], *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := analyze(os.Stdout, p, *dot, *fn); err != nil {
+			log.Fatal(err)
 		}
 	case "run", "fmt", "profile":
 		src, err := os.ReadFile(args[1])
@@ -129,6 +151,57 @@ func load(arg string, scale float64) (*prog.Program, error) {
 		return nil, fmt.Errorf("%q is neither a readable file nor a benchmark: %w", arg, err)
 	}
 	return b.Build(scale)
+}
+
+// analyze runs the whole-program dataflow analyses and prints the distilled
+// facts per function; with dot it emits range-annotated DOT instead (every
+// function, or just fnName when given).
+func analyze(w io.Writer, p *prog.Program, dot bool, fnName string) error {
+	facts, err := dataflow.Analyze(p)
+	if err != nil {
+		return err
+	}
+	if dot {
+		emitted := false
+		for fi := range p.Funcs {
+			if fnName != "" && p.Funcs[fi].Name != fnName {
+				continue
+			}
+			if err := dataflow.WriteDOT(w, facts, fi); err != nil {
+				return err
+			}
+			emitted = true
+		}
+		if !emitted {
+			return fmt.Errorf("program has no function %q", fnName)
+		}
+		return nil
+	}
+	proven, total := facts.InBoundsCount()
+	decided, branches := facts.DecidedBranchCount()
+	fmt.Fprintf(w, "%s: %d instr, %d function(s); bounds proven %d/%d, branches decided %d/%d\n",
+		p.Name, p.Len(), len(p.Funcs), proven, total, decided, branches)
+	for fi := range p.Funcs {
+		f := p.Funcs[fi]
+		fp, ft, fd, fb := 0, 0, 0, 0
+		for pc := f.Entry; pc < f.End; pc++ {
+			switch op := p.Instrs[pc].Op; {
+			case op == isa.Load || op == isa.Store:
+				ft++
+				if facts.InBounds(int32(pc)) {
+					fp++
+				}
+			case op.IsConditional():
+				fb++
+				if facts.Branch(int32(pc)) != dataflow.BranchUnknown {
+					fd++
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %-12s [%4d,%4d) %-10s bounds %d/%d  decided %d/%d\n",
+			f.Name, f.Entry, f.End, facts.Depths[fi], fp, ft, fd, fb)
+	}
+	return nil
 }
 
 // verifyProgram prints the static verifier's report to w and reports

@@ -54,3 +54,57 @@ func TestLoadFileAndBenchmark(t *testing.T) {
 		t.Error("load(bogus): want an error")
 	}
 }
+
+// TestAnalyzeSample: the text report over the sample program must prove its
+// one store in-bounds (the address register is never written, so it is the
+// constant 0 against .mem 8).
+func TestAnalyzeSample(t *testing.T) {
+	p, err := asm.Parse("sample.s", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analyze(&buf, p, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bounds proven 1/1") {
+		t.Errorf("analyze did not prove the sample store in-bounds:\n%s", out)
+	}
+	if !strings.Contains(out, "main") {
+		t.Errorf("analyze report missing the per-function line:\n%s", out)
+	}
+}
+
+// TestAnalyzeDOT: the -dot mode emits range-annotated Graphviz with the
+// bounds verdict attached to the memory access.
+func TestAnalyzeDOT(t *testing.T) {
+	p, err := asm.Parse("sample.s", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analyze(&buf, p, true, "main"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph \"main\"") {
+		t.Errorf("missing digraph header:\n%s", out)
+	}
+	if !strings.Contains(out, "in-bounds") {
+		t.Errorf("DOT output missing the bounds annotation:\n%s", out)
+	}
+}
+
+// TestAnalyzeDOTUnknownFunc: restricting to a nonexistent function is an
+// error, not silently empty output.
+func TestAnalyzeDOTUnknownFunc(t *testing.T) {
+	p, err := asm.Parse("sample.s", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analyze(&buf, p, true, "nonesuch"); err == nil {
+		t.Fatal("analyze -dot accepted an unknown function name")
+	}
+}

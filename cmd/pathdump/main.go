@@ -8,6 +8,7 @@
 //	pathdump cfg [-scale f] [-fn name] benchmark ...
 //	pathdump merge -o out.json snap.json ...
 //	pathdump trace [-chrome] trace.json
+//	pathdump check [-scale f] [-json] [benchmark ...]
 //
 // The cfg subcommand emits one function's control-flow graph as Graphviz
 // DOT, with the static predictor's maximum-likelihood hot-path edges
@@ -19,6 +20,13 @@
 // their snapshots by (tenant, program fingerprint, scheme), flow-weight
 // merges each group, and writes one file whose profiles warm-start the whole
 // fleet's next generation.
+//
+// The check subcommand is the static-analysis gate: it runs each benchmark
+// (default: all of them) under the tiered mini-Dynamo with the translation
+// validator and statically-proven guard elision enabled, reporting the
+// dataflow facts, validator verdicts, and guards-executed-per-step, and
+// exits nonzero if any tier-1 or tier-2 translation is rejected. -json
+// emits the report as the machine-readable CI artifact.
 //
 // The trace subcommand renders a netpath-trace/v1 document — a saved
 // /v1/trace/{id} response or cmd/dynamo -trace output — as a text waterfall,
@@ -61,6 +69,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], w)
 	}
 	fs := flag.NewFlagSet("pathdump", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale factor")

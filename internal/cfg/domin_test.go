@@ -1,0 +1,166 @@
+package cfg
+
+import (
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// bruteDominates decides dominance from the definition: a dominates b iff b
+// is unreachable from Entry once a is removed from the graph (and a node
+// always dominates itself). Only meaningful for reachable b.
+func bruteDominates(g *Graph, a, b Node) bool {
+	if a == b {
+		return true
+	}
+	seen := map[Node]bool{a: true}
+	stack := []Node{Entry}
+	if a == Entry {
+		return true // Entry dominates every reachable node
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if u == b {
+			return false
+		}
+		for _, v := range g.Succs[u] {
+			stack = append(stack, v)
+		}
+	}
+	return true
+}
+
+// checkDominatorsAgainstBrute compares the CHK iterative dominators against
+// the definitional brute force for every reachable pair, and checks each
+// Idom is a strict dominator dominated by every other strict dominator.
+func checkDominatorsAgainstBrute(t *testing.T, g *Graph) {
+	t.Helper()
+	n := Node(g.NumNodes())
+	for b := Node(0); b < n; b++ {
+		if !g.Reachable(b) {
+			continue
+		}
+		for a := Node(0); a < n; a++ {
+			if !g.Reachable(a) {
+				continue
+			}
+			got, want := g.Dominates(a, b), bruteDominates(g, a, b)
+			if got != want {
+				t.Errorf("Dominates(%d,%d) = %v, brute force says %v", a, b, got, want)
+			}
+		}
+		if b == Entry {
+			continue
+		}
+		id := g.Idom(b)
+		if !bruteDominates(g, id, b) || id == b {
+			t.Errorf("Idom(%d) = %d is not a strict dominator", b, id)
+		}
+		// Every other strict dominator of b must dominate the idom: the
+		// idom is the unique closest one.
+		for a := Node(0); a < n; a++ {
+			if a == b || a == id || !g.Reachable(a) || !bruteDominates(g, a, b) {
+				continue
+			}
+			if !bruteDominates(g, a, id) {
+				t.Errorf("strict dominator %d of %d does not dominate Idom %d", a, b, id)
+			}
+		}
+	}
+}
+
+// irreducibleLoop: the entry branches into the middle of a two-block cycle,
+// so the cycle has two entries and no natural-loop head — the canonical
+// irreducible shape that breaks naive interval analyses.
+//
+//	E → A, E → B, A → B, B → A, B → H(alt)
+func irreducibleLoop() *prog.Program {
+	return raw("irreducible",
+		[]isa.Instr{
+			{Op: isa.Br, Cond: isa.Eq, Target: 3}, // E: to B or fall into A
+			{Op: isa.Nop},
+			{Op: isa.Jmp, Target: 3}, // A → B
+			{Op: isa.Nop},
+			{Op: isa.Br, Cond: isa.Ne, Target: 1}, // B → A or fall to H
+			{Op: isa.Halt},
+		},
+		[]prog.Func{{Name: "main", Entry: 0, End: 6}},
+		[]prog.Block{
+			{Start: 0, End: 1, Func: 0},
+			{Start: 1, End: 3, Func: 0},
+			{Start: 3, End: 5, Func: 0},
+			{Start: 5, End: 6, Func: 0},
+		},
+		0)
+}
+
+// multiEntryNest: a reducible outer loop whose body contains an irreducible
+// pair — the header enters the C↔D cycle at both C and D, so the inner
+// cycle has two entries while the outer loop stays natural.
+//
+//	E → H; H → C, H → D; C → D; D → C, D → B; B → H (back edge), B → X
+func multiEntryNest() *prog.Program {
+	return raw("multientry",
+		[]isa.Instr{
+			{Op: isa.Jmp, Target: 1},              // E → H
+			{Op: isa.Nop},                         // H: outer header
+			{Op: isa.Br, Cond: isa.Ne, Target: 5}, // H → D or fall to C
+			{Op: isa.Nop},                         // C
+			{Op: isa.Jmp, Target: 5},              // C → D
+			{Op: isa.Nop},                         // D
+			{Op: isa.Br, Cond: isa.Lt, Target: 3}, // D → C (cycle) or fall to B
+			{Op: isa.Nop},                         // B: outer latch
+			{Op: isa.Br, Cond: isa.Gt, Target: 1}, // B → H (back edge) or fall to X
+			{Op: isa.Halt},                        // X
+		},
+		[]prog.Func{{Name: "main", Entry: 0, End: 10}},
+		[]prog.Block{
+			{Start: 0, End: 1, Func: 0},
+			{Start: 1, End: 3, Func: 0},
+			{Start: 3, End: 5, Func: 0},
+			{Start: 5, End: 7, Func: 0},
+			{Start: 7, End: 9, Func: 0},
+			{Start: 9, End: 10, Func: 0},
+		},
+		0)
+}
+
+// TestDominatorsIrreducible: the iterative dominator computation must match
+// the definitional brute force on an irreducible two-entry cycle, and the
+// cycle must produce no natural loop (neither cycle edge is a back edge,
+// since neither endpoint dominates the other).
+func TestDominatorsIrreducible(t *testing.T) {
+	g, err := Build(irreducibleLoop(), 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	checkDominatorsAgainstBrute(t, g)
+	if loops := g.NaturalLoops(); len(loops) != 0 {
+		t.Errorf("irreducible cycle produced %d natural loops, want 0", len(loops))
+	}
+}
+
+// TestDominatorsMultiEntryNest: reducible outer loop around an irreducible
+// inner pair. The outer back edge must survive as the only natural loop; the
+// inner cycle must not, and dominance must match brute force throughout.
+func TestDominatorsMultiEntryNest(t *testing.T) {
+	p := multiEntryNest()
+	g, err := Build(p, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	checkDominatorsAgainstBrute(t, g)
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("natural loops = %d, want exactly the outer loop", len(loops))
+	}
+	if head := p.Blocks[g.BlockOf[loops[0].Head]].Start; head != 1 {
+		t.Errorf("outer loop head at addr %d, want 1", head)
+	}
+}

@@ -207,12 +207,30 @@ func Verify(p *prog.Program) *Report {
 		}
 		verifyFunc(p, fi, g, r, callTargets, hasCallInd)
 	}
+	// Total order, then dedup. The per-function analyses can legitimately
+	// derive the same finding twice (a shared-head loop reported once per
+	// back edge, for one), and downstream golden tests and report diffing
+	// need the issue list to be a canonical set, not an emission log.
 	sort.SliceStable(r.Issues, func(i, j int) bool {
-		if r.Issues[i].Addr != r.Issues[j].Addr {
-			return r.Issues[i].Addr < r.Issues[j].Addr
+		a, b := &r.Issues[i], &r.Issues[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
 		}
-		return r.Issues[i].Class < r.Issues[j].Class
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Msg < b.Msg
 	})
+	dedup := r.Issues[:0]
+	for i, is := range r.Issues {
+		if i == 0 || is != r.Issues[i-1] {
+			dedup = append(dedup, is)
+		}
+	}
+	r.Issues = dedup
 	return r
 }
 

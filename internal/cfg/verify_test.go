@@ -249,6 +249,52 @@ func TestVerifyRandprogClean(t *testing.T) {
 	}
 }
 
+// TestVerifyGoldenOrder pins the canonical report: issues totally ordered by
+// (addr, class, func, msg) regardless of which analysis emitted them first,
+// duplicates collapsed, and the rendering byte-stable across repeated runs.
+func TestVerifyGoldenOrder(t *testing.T) {
+	// main: entry jumps over two dead blocks and a dead cross-function
+	// branch; the instruction scan reports the branch (error, addr 3) before
+	// the reachability scan reports the dead blocks (warnings, addrs 1-3),
+	// so emission order is NOT address order.
+	p := raw("golden",
+		[]isa.Instr{
+			{Op: isa.Jmp, Target: 4},
+			{Op: isa.Jmp, Target: 4},
+			{Op: isa.Jmp, Target: 4},
+			{Op: isa.Br, Cond: isa.Eq, Target: 6},
+			{Op: isa.Halt},
+			{Op: isa.Jmp, Target: 6},
+			{Op: isa.Halt},
+		},
+		[]prog.Func{{Name: "main", Entry: 0, End: 5}, {Name: "f", Entry: 5, End: 7}},
+		[]prog.Block{
+			{Start: 0, End: 1, Func: 0},
+			{Start: 1, End: 2, Func: 0},
+			{Start: 2, End: 3, Func: 0},
+			{Start: 3, End: 4, Func: 0},
+			{Start: 4, End: 5, Func: 0},
+			{Start: 5, End: 6, Func: 1},
+			{Start: 6, End: 7, Func: 1},
+		},
+		0)
+	want := strings.Join([]string{
+		"golden: 4 issue(s)",
+		"  warning[unreachable-block] @1 (main): block [1,2) is unreachable from the function entry",
+		"  warning[unreachable-block] @2 (main): block [2,3) is unreachable from the function entry",
+		"  error[cross-function-branch] @3 (main): br targets @6 outside its function [0,5); only call/ret may cross functions",
+		"  warning[unreachable-block] @3 (main): block [3,4) is unreachable from the function entry",
+		"",
+	}, "\n")
+	if got := Verify(p).String(); got != want {
+		t.Errorf("golden report mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	// Byte-stable on re-verification.
+	if again := Verify(p).String(); again != want {
+		t.Errorf("re-verification diverged: %q", again)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	p := diamondLoop(t)
 	rep := Verify(p)

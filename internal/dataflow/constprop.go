@@ -1,0 +1,164 @@
+package dataflow
+
+import (
+	"netpath/internal/cfg"
+	"netpath/internal/isa"
+)
+
+// ConstState is the flat constant-propagation lattice per register:
+// unknown (⊤ in the classic formulation) or a single known value. The
+// whole state carries the same Reached bit as RangeState so that the two
+// analyses agree on which blocks execute.
+type ConstState struct {
+	Reached bool
+	Known   uint32 // bitmask: register i holds Val[i]
+	Val     [isa.NumRegs]int64
+}
+
+func (s *ConstState) isKnown(r uint8) bool { return s.Known&(1<<r) != 0 }
+
+func (s *ConstState) set(r uint8, v int64) {
+	s.Known |= 1 << r
+	s.Val[r] = v
+}
+
+func (s *ConstState) kill(r uint8) {
+	s.Known &^= 1 << r
+	s.Val[r] = 0
+}
+
+// constTransferInstr applies one guest instruction. It mirrors the VM's
+// arithmetic exactly (Div/Rem by zero yield zero, shifts mask to 6 bits) —
+// the values it derives are later used to justify guard elision, so any
+// disagreement with vm.Machine.stepSwitch would be a miscompile.
+func constTransferInstr(s *ConstState, in isa.Instr) {
+	bin := func(f func(a, b int64) int64) {
+		if s.isKnown(in.B) && s.isKnown(in.C) {
+			s.set(in.A, f(s.Val[in.B], s.Val[in.C]))
+		} else {
+			s.kill(in.A)
+		}
+	}
+	imm := func(f func(a, b int64) int64) {
+		if s.isKnown(in.B) {
+			s.set(in.A, f(s.Val[in.B], in.Imm))
+		} else {
+			s.kill(in.A)
+		}
+	}
+	switch in.Op {
+	case isa.MovI:
+		s.set(in.A, in.Imm)
+	case isa.Mov:
+		if s.isKnown(in.B) {
+			s.set(in.A, s.Val[in.B])
+		} else {
+			s.kill(in.A)
+		}
+	case isa.Add:
+		bin(func(a, b int64) int64 { return a + b })
+	case isa.Sub:
+		bin(func(a, b int64) int64 { return a - b })
+	case isa.Mul:
+		bin(func(a, b int64) int64 { return a * b })
+	case isa.Div:
+		bin(constDiv)
+	case isa.Rem:
+		bin(constRem)
+	case isa.And:
+		bin(func(a, b int64) int64 { return a & b })
+	case isa.Or:
+		bin(func(a, b int64) int64 { return a | b })
+	case isa.Xor:
+		bin(func(a, b int64) int64 { return a ^ b })
+	case isa.Shl:
+		bin(func(a, b int64) int64 { return a << (uint64(b) & 63) })
+	case isa.Shr:
+		bin(func(a, b int64) int64 { return a >> (uint64(b) & 63) })
+	case isa.AddI:
+		imm(func(a, b int64) int64 { return a + b })
+	case isa.MulI:
+		imm(func(a, b int64) int64 { return a * b })
+	case isa.AndI:
+		imm(func(a, b int64) int64 { return a & b })
+	case isa.RemI:
+		imm(constRem)
+	case isa.Load:
+		s.kill(in.A)
+	case isa.Store, isa.Nop, isa.Jmp, isa.Br, isa.BrI, isa.JmpInd, isa.Ret, isa.Halt:
+		// No register effect.
+	case isa.Call, isa.CallInd:
+		s.Known = 0
+	}
+}
+
+func constDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func constRem(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a % b
+}
+
+// constProblem is the constant-propagation analysis for one function. It
+// shares the entry model of rangeProblem: the same nodes are Top entries
+// and the program-start node begins with all registers zero.
+type constProblem struct {
+	g         *cfg.Graph
+	boundary  ConstState
+	topEntry  map[cfg.Node]bool
+	zeroEntry map[cfg.Node]bool
+}
+
+func topConstState() ConstState  { return ConstState{Reached: true} }
+func zeroConstState() ConstState { return ConstState{Reached: true, Known: (1 << isa.NumRegs) - 1} }
+
+func (p *constProblem) Direction() Direction             { return Forward }
+func (p *constProblem) Boundary(g *cfg.Graph) ConstState { return p.boundary }
+
+func (p *constProblem) Init(g *cfg.Graph, n cfg.Node) ConstState {
+	if p.topEntry[n] {
+		return topConstState()
+	}
+	if p.zeroEntry[n] {
+		return zeroConstState()
+	}
+	return ConstState{}
+}
+
+func (p *constProblem) Transfer(g *cfg.Graph, n cfg.Node, in ConstState) ConstState {
+	if !in.Reached || n == cfg.Entry || n == cfg.Exit {
+		return in
+	}
+	b := g.Prog.Blocks[g.BlockOf[n]]
+	out := in
+	for pc := b.Start; pc < b.End; pc++ {
+		constTransferInstr(&out, g.Prog.Instrs[pc])
+	}
+	return out
+}
+
+func (p *constProblem) Join(a, b ConstState) ConstState {
+	if !a.Reached {
+		return b
+	}
+	if !b.Reached {
+		return a
+	}
+	out := ConstState{Reached: true}
+	common := a.Known & b.Known
+	for r := uint8(0); r < isa.NumRegs; r++ {
+		if common&(1<<r) != 0 && a.Val[r] == b.Val[r] {
+			out.set(r, a.Val[r])
+		}
+	}
+	return out
+}
+
+func (p *constProblem) Equal(a, b ConstState) bool { return a == b }

@@ -1,0 +1,113 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// FuncDepth is the call-stack depth a function executes at. The lattice is
+// {unreached} < {exact d} < {varies}: a function reachable along two call
+// chains of different lengths — or through recursion, an indirect call, or
+// an indirect jump — has no single static depth.
+//
+// Within a function the depth is exact by construction: every Call pushes
+// one frame and its paired Ret pops it, so the interesting analysis is the
+// interprocedural one over the call graph, not a per-block fixpoint.
+type FuncDepth struct {
+	// Reached is false for functions no static call chain reaches.
+	Reached bool
+	// Exact is true when every chain reaches the function at Depth frames.
+	Exact bool
+	Depth int
+}
+
+func (d FuncDepth) String() string {
+	switch {
+	case !d.Reached:
+		return "unreached"
+	case !d.Exact:
+		return "varies"
+	default:
+		return fmt.Sprintf("depth %d", d.Depth)
+	}
+}
+
+// AnalyzeStackDepths computes the exact-depth lattice over p's call graph.
+// The entry function starts at depth 0; each direct call adds a frame. Any
+// indirect call or indirect jump in the program collapses every reachable
+// function to "varies" — a CallInd may target any function entry and a
+// JmpInd may transfer mid-function across the program.
+func AnalyzeStackDepths(p *prog.Program) []FuncDepth {
+	depths := make([]FuncDepth, len(p.Funcs))
+	entryFn := p.FuncOf(p.Entry)
+	if entryFn < 0 {
+		return depths
+	}
+
+	hasIndirect := false
+	for _, in := range p.Instrs {
+		if in.Op == isa.CallInd || in.Op == isa.JmpInd {
+			hasIndirect = true
+			break
+		}
+	}
+	if hasIndirect {
+		for i := range depths {
+			depths[i] = FuncDepth{Reached: true, Exact: false}
+		}
+		return depths
+	}
+
+	// Direct call edges: callees per function, deduplicated.
+	callees := make([][]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		seen := map[int]bool{}
+		for pc := f.Entry; pc < f.End; pc++ {
+			in := p.Instrs[pc]
+			if in.Op != isa.Call {
+				continue
+			}
+			cf := p.FuncOf(int(in.Target))
+			if cf >= 0 && !seen[cf] {
+				seen[cf] = true
+				callees[fi] = append(callees[fi], cf)
+			}
+		}
+	}
+
+	depths[entryFn] = FuncDepth{Reached: true, Exact: true, Depth: 0}
+	work := []int{entryFn}
+	for len(work) > 0 {
+		fi := work[0]
+		work = work[1:]
+		d := depths[fi]
+		for _, cf := range callees[fi] {
+			next := FuncDepth{Reached: true, Exact: d.Exact, Depth: d.Depth + 1}
+			if !d.Exact {
+				next.Depth = 0
+			}
+			cur := depths[cf]
+			merged := mergeDepth(cur, next)
+			if merged != cur {
+				depths[cf] = merged
+				work = append(work, cf)
+			}
+		}
+	}
+	return depths
+}
+
+func mergeDepth(a, b FuncDepth) FuncDepth {
+	if !a.Reached {
+		return b
+	}
+	if !b.Reached {
+		return a
+	}
+	if a.Exact && b.Exact && a.Depth == b.Depth {
+		return a
+	}
+	return FuncDepth{Reached: true, Exact: false}
+}

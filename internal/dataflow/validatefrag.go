@@ -1,0 +1,304 @@
+// Tier-1 fragment validation.
+//
+// The tier-1 optimizer does not reorder or rewrite instructions — it marks
+// trace steps Eliminated, modelling code the emitted fragment would not
+// contain (the simulation still executes every step; elimination is a claim
+// about the code a real translator would emit, and it drives both the cycle
+// model and the tier-2 cost accounting). The validator's obligations are
+// therefore: the recorded trace must be a legal execution path of the
+// program, and every elimination claim must be independently re-derivable
+// from the instruction sequence under the optimizer's published rules. Each
+// rule is re-implemented here from its specification, not shared with the
+// optimizer, so a bug or a corrupted trace (a bad snapshot restore, a
+// hand-edited profile) is caught before the fragment enters the cache.
+package dataflow
+
+import (
+	"fmt"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// GuestStep is one recorded guest instruction of a tier-1 trace, in the
+// neutral form the validator consumes (the dynamo package converts its own
+// trace type to this; dataflow must not import dynamo).
+type GuestStep struct {
+	PC   int
+	In   isa.Instr
+	Next int
+	// Eliminated marks a step the optimizer claims the emitted fragment
+	// does not contain; Why names the rule that justified it.
+	Eliminated bool
+	Why        string
+}
+
+// loadKey identifies a loaded address by (base register version, offset):
+// two loads with the same key read the same memory cell with the same base
+// value, provided no store or call boundary intervened.
+type loadKey struct {
+	baseVer int64
+	off     int64
+}
+
+// Elimination rule names, as recorded by the tier-1 optimizer.
+const (
+	whyJumpStraightened = "jump-straightened"
+	whyConstFolded      = "const-folded"
+	whyBranchFolded     = "branch-folded"
+	whyRedundantLoad    = "redundant-load"
+	whyDeadWrite        = "dead-write"
+)
+
+// ValidateFragment checks a recorded tier-1 trace starting at start: the
+// steps must be a legal execution path of p, and every Eliminated step's
+// claim must re-derive under the optimizer's conservative rules. A nil
+// error means a fragment built from these steps is architecturally faithful
+// to per-step execution.
+func ValidateFragment(p *prog.Program, start int, steps []GuestStep) error {
+	if p == nil {
+		return fmt.Errorf("dataflow: validate fragment: no program")
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("dataflow: validate fragment: empty trace")
+	}
+	if steps[0].PC != start {
+		return fmt.Errorf("dataflow: validate fragment: head pc %d != fragment start %d", steps[0].PC, start)
+	}
+
+	// Path legality and chaining, exactly as for superblock specs.
+	f := &Facts{Prog: p}
+	for i := range steps {
+		st := &steps[i]
+		if st.PC < 0 || st.PC >= p.Len() {
+			return fmt.Errorf("dataflow: validate fragment: step %d: pc %d outside program", i, st.PC)
+		}
+		if st.Next < 0 || st.Next >= p.Len() {
+			return fmt.Errorf("dataflow: validate fragment: step %d: successor %d outside program", i, st.Next)
+		}
+		if st.In != p.Instrs[st.PC] {
+			return fmt.Errorf("dataflow: validate fragment: step %d: recorded instruction at pc %d does not match program image", i, st.PC)
+		}
+		if err := legalSuccessor(f, st.In, st.PC, st.Next); err != nil {
+			return fmt.Errorf("dataflow: validate fragment: step %d: %w", i, err)
+		}
+		if i+1 < len(steps) && st.Next != steps[i+1].PC {
+			return fmt.Errorf("dataflow: validate fragment: step %d: successor %d does not chain to step %d at pc %d", i, st.Next, i+1, steps[i+1].PC)
+		}
+	}
+
+	// Replay the optimizer's analyses. All of them walk every step
+	// regardless of elimination flags (an eliminated MovI still seeds a
+	// constant; an eliminated load still populates availability), so the
+	// replay state is a function of the instruction sequence alone.
+	var known [isa.NumRegs]bool
+	var val [isa.NumRegs]int64
+	var regVer [isa.NumRegs]int64
+	ver := int64(1)
+	bump := func(r uint8) { ver++; regVer[r] = ver }
+	avail := map[loadKey]bool{}
+
+	for i := range steps {
+		st := &steps[i]
+		in := st.In
+
+		if st.Eliminated {
+			if err := checkElimClaim(steps, i, &known, &val, avail, regVer); err != nil {
+				return fmt.Errorf("dataflow: validate fragment: step %d (pc %d, %q): %w", i, st.PC, st.Why, err)
+			}
+		}
+
+		// Constant tracking (mirrors the fold rules: trace-local, no kills
+		// across calls because callee steps are themselves on the trace).
+		switch in.Op {
+		case isa.MovI:
+			known[in.A], val[in.A] = true, in.Imm
+		case isa.Mov:
+			if known[in.B] {
+				known[in.A], val[in.A] = true, val[in.B]
+			} else {
+				known[in.A] = false
+			}
+		case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr:
+			if known[in.B] && known[in.C] {
+				known[in.A], val[in.A] = true, evalALU3(in.Op, val[in.B], val[in.C])
+			} else {
+				known[in.A] = false
+			}
+		case isa.AddI, isa.MulI, isa.AndI, isa.RemI:
+			if known[in.B] {
+				known[in.A], val[in.A] = true, evalALUImm(in.Op, val[in.B], in.Imm)
+			} else {
+				known[in.A] = false
+			}
+		case isa.Load:
+			known[in.A] = false
+		}
+
+		// Load availability (conservative: stores and call boundaries
+		// invalidate everything; any register write bumps its version).
+		switch in.Op {
+		case isa.Load:
+			avail[loadKey{baseVer: regVer[in.B]<<8 | int64(in.B), off: in.Imm}] = true
+			bump(in.A)
+		case isa.Store:
+			avail = map[loadKey]bool{}
+		case isa.Call, isa.CallInd, isa.Ret:
+			avail = map[loadKey]bool{}
+		default:
+			if d, ok := destRegOf(in); ok {
+				bump(d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkElimClaim re-derives the elimination claim at step i from the replay
+// state current just before the step.
+func checkElimClaim(steps []GuestStep, i int,
+	known *[isa.NumRegs]bool, val *[isa.NumRegs]int64,
+	avail map[loadKey]bool, regVer [isa.NumRegs]int64) error {
+	in := steps[i].In
+	switch steps[i].Why {
+	case whyJumpStraightened:
+		if in.Op != isa.Jmp {
+			return fmt.Errorf("claimed on %v; rule applies only to jmp", in.Op)
+		}
+		return nil
+
+	case whyConstFolded:
+		switch in.Op {
+		case isa.Mov:
+			if !known[in.B] {
+				return fmt.Errorf("source r%d not provably constant here", in.B)
+			}
+		case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr:
+			if !known[in.B] || !known[in.C] {
+				return fmt.Errorf("operands r%d,r%d not both provably constant here", in.B, in.C)
+			}
+		case isa.AddI, isa.MulI, isa.AndI, isa.RemI:
+			if !known[in.B] {
+				return fmt.Errorf("operand r%d not provably constant here", in.B)
+			}
+		default:
+			return fmt.Errorf("claimed on %v; not a foldable op", in.Op)
+		}
+		return nil
+
+	case whyBranchFolded:
+		var decided bool
+		switch in.Op {
+		case isa.Br:
+			if !known[in.A] || !known[in.B] {
+				return fmt.Errorf("operands r%d,r%d not both provably constant here", in.A, in.B)
+			}
+			decided = in.Cond.Eval(val[in.A], val[in.B])
+		case isa.BrI:
+			if !known[in.A] {
+				return fmt.Errorf("operand r%d not provably constant here", in.A)
+			}
+			decided = in.Cond.Eval(val[in.A], in.Imm)
+		default:
+			return fmt.Errorf("claimed on %v; rule applies only to conditional branches", in.Op)
+		}
+		if recorded := steps[i].Next == int(in.Target); decided != recorded {
+			return fmt.Errorf("constants decide the branch against the recorded direction")
+		}
+		return nil
+
+	case whyRedundantLoad:
+		if in.Op != isa.Load {
+			return fmt.Errorf("claimed on %v; rule applies only to loads", in.Op)
+		}
+		k := loadKey{baseVer: regVer[in.B]<<8 | int64(in.B), off: in.Imm}
+		if !avail[k] {
+			return fmt.Errorf("no prior load of the same address version survives to this point")
+		}
+		return nil
+
+	case whyDeadWrite:
+		d, ok := destRegOf(in)
+		if !ok {
+			return fmt.Errorf("claimed on %v; no register write", in.Op)
+		}
+		if !pureWriteOf(in) {
+			return fmt.Errorf("claimed on %v; write is not the only effect", in.Op)
+		}
+		// Re-derive forward: r%d must be overwritten before any read, with
+		// no side exit in between (a side exit exposes every register).
+		for j := i + 1; j < len(steps); j++ {
+			nj := steps[j].In
+			for _, r := range srcRegsOf(nj) {
+				if r == d {
+					return fmt.Errorf("r%d read at step %d before being overwritten", d, j)
+				}
+			}
+			if nj.Op.IsControl() {
+				return fmt.Errorf("side exit at step %d exposes the pending write to r%d", j, d)
+			}
+			if dj, ok := destRegOf(nj); ok && dj == d {
+				return nil
+			}
+		}
+		return fmt.Errorf("r%d never overwritten on the remaining trace", d)
+
+	default:
+		return fmt.Errorf("unknown elimination rule")
+	}
+}
+
+// evalALU3 mirrors the machine's three-register ALU semantics.
+func evalALU3(op isa.Op, b, c int64) int64 {
+	switch op {
+	case isa.Add:
+		return b + c
+	case isa.Sub:
+		return b - c
+	case isa.Mul:
+		return b * c
+	case isa.Div:
+		return constDiv(b, c)
+	case isa.Rem:
+		return constRem(b, c)
+	case isa.And:
+		return b & c
+	case isa.Or:
+		return b | c
+	case isa.Xor:
+		return b ^ c
+	case isa.Shl:
+		return b << (uint64(c) & 63)
+	case isa.Shr:
+		return b >> (uint64(c) & 63)
+	}
+	return 0
+}
+
+// evalALUImm mirrors the machine's immediate ALU semantics.
+func evalALUImm(op isa.Op, b, imm int64) int64 {
+	switch op {
+	case isa.AddI:
+		return b + imm
+	case isa.MulI:
+		return b * imm
+	case isa.AndI:
+		return b & imm
+	case isa.RemI:
+		return constRem(b, imm)
+	}
+	return 0
+}
+
+// pureWriteOf reports an instruction whose only architectural effect is its
+// register write. Loads count: this machine's loads have no I/O, and a
+// recorded trace already executed them in bounds.
+func pureWriteOf(in isa.Instr) bool {
+	switch in.Op {
+	case isa.MovI, isa.Mov, isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem,
+		isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr,
+		isa.AddI, isa.MulI, isa.AndI, isa.RemI, isa.Load:
+		return true
+	}
+	return false
+}

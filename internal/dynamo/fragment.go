@@ -72,6 +72,10 @@ type Fragment struct {
 	// entries (entry-guard failures and first-half divergences).
 	t2Enters int64
 	t2Short  int64
+	// t2Credited marks the published block's compile statistics as folded
+	// into the run's counters (done by the mutator at first pickup; cleared
+	// on deopt so a re-published block credits again).
+	t2Credited bool
 }
 
 // Len returns the trace length in instructions.

@@ -156,6 +156,19 @@ type Config struct {
 	Trace       *trace.Trace
 	TraceParent int32
 
+	// ValidateEmits runs the translation validator (internal/dataflow) over
+	// every tier-1 fragment at emit time and every tier-2 superblock at
+	// compile time. A rejected translation is not installed — execution
+	// stays on the next tier down — and the rejection is counted in the
+	// Result and telemetry. On in tests and CI; off by default in
+	// production, where the counters alone are the tripwire.
+	ValidateEmits bool
+	// Tier2Elide feeds statically proven dataflow facts into the superblock
+	// compiler: loads and stores proven in-bounds lower to check-free
+	// handlers, and branches the analysis decided compile to nothing (with
+	// their entry guards pruned). No effect unless Tier2 is set.
+	Tier2Elide bool
+
 	// Probe, when non-nil and ProbeEvery > 0, is called synchronously every
 	// ProbeEvery path events with the live System. It runs inline with the
 	// guest (including inside fragment dispatch, at fragment boundaries), so
@@ -236,6 +249,21 @@ type Result struct {
 	T2Instrs     int64 // guest instructions executed inside superblocks
 	T2GuardFails int64 // dispatches bounced by the hoisted entry guards
 	T2Deopts     int64 // published superblocks torn down (shortfall storms)
+
+	// Translation-validation counters (all zero unless Config.ValidateEmits).
+	ValidatorChecked   int64 // tier-1 fragments validated at emit
+	ValidatorRejects   int64 // tier-1 emits refused installation
+	T2ValidatorChecked int64 // superblocks validated after compile (counted at pickup)
+	T2ValidatorRejects int64 // superblocks refused publication (tombstoned)
+
+	// Static guard-elision counters (all zero unless Config.Tier2Elide).
+	T2BoundsElided  int64 // bounds checks dropped by static proof, per published block
+	T2GuardsImplied int64 // entry guards pruned as statically implied, per published block
+	// T2GuardChecks counts runtime checks actually executed inside tier 2:
+	// entry-guard evaluations plus in-body successor/bounds checks. The
+	// guards-executed-per-step metric is T2GuardChecks / T2Instrs; elision
+	// lowers it at identical architectural behavior.
+	T2GuardChecks int64
 
 	// Warm-start counters (all zero unless Restore ran; see snapshot.go).
 	RestoredHeads     int // head counters pre-seeded from a snapshot
@@ -897,6 +925,14 @@ func (s *System) emit(start int, steps []TraceStep) {
 	cp := make([]TraceStep, len(steps))
 	copy(cp, steps)
 	fr := s.opt.Optimize(start, cp)
+	if s.cfg.ValidateEmits && !s.validateEmit(fr) {
+		// The optimizer produced a fragment the validator cannot prove
+		// faithful (an optimizer bug, or a trace corrupted between recording
+		// and emit — a bad snapshot restore, a hand-edited profile). The
+		// head keeps interpreting; re-selection will retry with a fresh
+		// recording, and a persistent rejection shows up in the counters.
+		return
+	}
 	if len(s.cache) >= s.cfg.MaxFragments {
 		s.flush()
 	}
@@ -1027,22 +1063,28 @@ func (s *System) runFragment() error {
 			// A published superblock supersedes the step array when entering
 			// at the head. The atomic load is the entire publication
 			// protocol: the background compiler stores, dispatch loads.
-			if blk := fr.t2.Load(); blk != nil && blk.sb != nil {
-				ran, err := s.runTier2(fr, blk)
-				if err != nil {
-					return err
+			if blk := fr.t2.Load(); blk != nil {
+				if !fr.t2Credited {
+					fr.t2Credited = true
+					s.creditT2Block(blk)
 				}
-				if ran {
-					if s.mode != modeFragment {
-						return nil
+				if blk.sb != nil {
+					ran, err := s.runTier2(fr, blk)
+					if err != nil {
+						return err
 					}
-					if s.hasDeadline && s.preempt.Load() {
-						return nil
+					if ran {
+						if s.mode != modeFragment {
+							return nil
+						}
+						if s.hasDeadline && s.preempt.Load() {
+							return nil
+						}
+						pc = m.PC
+						continue
 					}
-					pc = m.PC
-					continue
+					// Budget-gated or guard-bounced: run this entry on tier 1.
 				}
-				// Budget-gated or guard-bounced: run this entry on tier 1.
 			}
 		}
 		code := fr.code

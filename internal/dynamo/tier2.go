@@ -38,7 +38,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netpath/internal/dataflow"
 	"netpath/internal/par"
+	"netpath/internal/prog"
 	"netpath/internal/telemetry"
 	"netpath/internal/trace"
 	"netpath/internal/vm"
@@ -71,6 +73,14 @@ var (
 type t2Block struct {
 	sb     *vm.Superblock
 	nGuest int32
+	// stats is the compiler's report for this block (guards hoisted,
+	// statically elided checks); folded into the run's counters by the
+	// mutator at first pickup (creditT2Block).
+	stats vm.SBStats
+	// validated/rejected record the translation validator's verdict; a
+	// rejected block is a tombstone (sb == nil) that also explains itself.
+	validated bool
+	rejected  bool
 	// redirPfx[i] counts recorded successors among the first i guest steps
 	// that do not fall through — the redirects OnBranch would have counted.
 	redirPfx []int32
@@ -95,7 +105,14 @@ type t2Job struct {
 	spec    []vm.SBStep
 	elim    []bool
 	bounds  []t2Bound
+	prog    *prog.Program // immutable; safe to share with the worker
 	progLen int
+	// elide lowers the block against the program's dataflow facts;
+	// validate runs the translation validator before publication. Both are
+	// resolved on the worker (the analysis is memoized per program), so the
+	// mutator never pays for either.
+	elide    bool
+	validate bool
 
 	// Request-scoped tracing (nil = sampled out). The worker writes the
 	// tier2-compile and tier2-promote spans into the submitting run's trace;
@@ -124,9 +141,10 @@ type Tier2Compiler struct {
 	done chan struct{}
 	pool *par.Resident
 
-	compiled atomic.Int64
-	rejected atomic.Int64
-	dropped  atomic.Int64
+	compiled  atomic.Int64
+	rejected  atomic.Int64
+	vrejected atomic.Int64
+	dropped   atomic.Int64
 }
 
 // NewTier2Compiler starts workers resident compile workers over a queue of
@@ -214,7 +232,18 @@ func (c *Tier2Compiler) next() (func(), bool) {
 func (c *Tier2Compiler) compile(j *t2Job) {
 	start := time.Now()
 	traceStart := j.tr.Now()
-	sb, _, err := vm.CompileSuperblock(j.spec, j.progLen)
+	var facts *dataflow.Facts
+	if j.elide || j.validate {
+		facts = programFacts(j.prog) // memoized; nil only on analysis failure
+	}
+	var sb *vm.Superblock
+	var stats vm.SBStats
+	var err error
+	if j.elide && facts != nil {
+		sb, stats, err = vm.CompileSuperblockFacts(j.spec, j.progLen, sbFactsFor(facts))
+	} else {
+		sb, stats, err = vm.CompileSuperblock(j.spec, j.progLen)
+	}
 	if err != nil {
 		j.fr.t2.Store(&t2Block{})
 		c.rejected.Add(1)
@@ -222,13 +251,34 @@ func (c *Tier2Compiler) compile(j *t2Job) {
 		j.tr.Add(trace.SpanTier2Compile, j.trParent, traceStart, j.tr.Now(), int32(j.fr.Start), -1)
 		return
 	}
+	if j.validate {
+		f := facts
+		if f == nil {
+			f = &dataflow.Facts{Prog: j.prog}
+		}
+		if verr := dataflow.ValidateSuperblock(f, j.spec, sb); verr != nil {
+			// The compiler produced a block the validator cannot prove
+			// equivalent to the recorded trace. Publish a self-describing
+			// tombstone: the fragment keeps running tier 1 forever, and the
+			// mutator counts the rejection at pickup.
+			j.fr.t2.Store(&t2Block{validated: true, rejected: true})
+			c.rejected.Add(1)
+			c.vrejected.Add(1)
+			telT2Rejects.Inc()
+			telT2ValidateRejects.Inc()
+			j.tr.Add(trace.SpanTier2Compile, j.trParent, traceStart, j.tr.Now(), int32(j.fr.Start), -1)
+			return
+		}
+	}
 	n := len(j.spec)
 	blk := &t2Block{
-		sb:       sb,
-		nGuest:   int32(n),
-		redirPfx: make([]int32, n+1),
-		elimPfx:  make([]int32, n+1),
-		bounds:   j.bounds,
+		sb:        sb,
+		nGuest:    int32(n),
+		stats:     stats,
+		validated: j.validate,
+		redirPfx:  make([]int32, n+1),
+		elimPfx:   make([]int32, n+1),
+		bounds:    j.bounds,
 	}
 	var rp, ep int32
 	for i := 0; i < n; i++ {
@@ -273,6 +323,13 @@ func (c *Tier2Compiler) Compiled() int64 { return c.compiled.Load() }
 
 // Rejected returns the number of compiles refused (tombstoned fragments).
 func (c *Tier2Compiler) Rejected() int64 { return c.rejected.Load() }
+
+// ValidatorRejected returns how many of the rejections came from the
+// translation validator (ValidateEmits) rather than compile refusals. Unlike
+// Result.T2ValidatorRejects, which is credited when the mutator next
+// dispatches the fragment, this count is final as soon as the compile queue
+// drains — CI gates read it after the run.
+func (c *Tier2Compiler) ValidatorRejected() int64 { return c.vrejected.Load() }
 
 // Dropped returns the number of promotions dropped on a full queue.
 func (c *Tier2Compiler) Dropped() int64 { return c.dropped.Load() }
@@ -390,7 +447,11 @@ func (s *System) snapshotChain(fr *Fragment) *t2Job {
 	if len(spec) < 2 {
 		return nil
 	}
-	return &t2Job{fr: fr, spec: spec, elim: elim, bounds: bounds, progLen: s.m.Prog.Len()}
+	return &t2Job{
+		fr: fr, spec: spec, elim: elim, bounds: bounds,
+		prog: s.m.Prog, progLen: s.m.Prog.Len(),
+		elide: s.cfg.Tier2Elide, validate: s.cfg.ValidateEmits,
+	}
 }
 
 // runTier2 executes fr's published superblock. Returns ran = false when the
@@ -405,6 +466,7 @@ func (s *System) runTier2(fr *Fragment, blk *t2Block) (bool, error) {
 		// Not enough budget for a full block: tier 1 stops on the exact step.
 		return false, nil
 	}
+	s.res.T2GuardChecks += int64(blk.sb.NumGuards())
 	if !blk.sb.GuardsPass(m) {
 		fr.t2Enters++
 		s.res.T2GuardFails++
@@ -414,6 +476,10 @@ func (s *System) runTier2(fr *Fragment, blk *t2Block) (bool, error) {
 	fr.t2Enters++
 	s.res.T2Enters++
 	x := m.RunSuperblock(blk.sb)
+	// In-body checks attributed to the guest steps that completed on-trace
+	// (the check that stopped an early exit is charged to the diverging
+	// op's generic replay, not the block).
+	s.res.T2GuardChecks += blk.sb.BodyChecksUpTo(x.Guest)
 	if x.Completed {
 		s.t2Account(blk, int64(blk.nGuest), int64(blk.nGuest))
 		s.t2Boundaries(blk, len(blk.bounds), x.NextPC, true)
@@ -534,6 +600,7 @@ func (s *System) t2Shortfall(fr *Fragment) {
 func (s *System) t2Deopt(fr *Fragment) {
 	fr.t2.Store(nil)
 	fr.t2Queued = false
+	fr.t2Credited = false
 	fr.t2Deopts++
 	fr.t2Enters = 0
 	fr.t2Short = 0

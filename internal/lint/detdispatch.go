@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetDispatch flags nondeterminism inside //netpathvet:dispatch functions:
+// wall-clock reads (time.Now, time.Since), math/rand draws, and iteration
+// over maps. Dispatch loops are replayed in lockstep against reference
+// execution by the differential suites, and their decisions feed profile
+// snapshots that must merge identically across fleet members — a dispatch
+// decision derived from iteration order or the clock is a heisenbug factory.
+// Time and randomness belong in the slow paths (promotion heuristics may
+// time themselves; the compiler may time compiles), which are separate,
+// unannotated functions.
+//
+// Approximations, in place of type information (the framework is purely
+// syntactic):
+//
+//   - time.Now/time.Since and rand.* are matched by conventional package
+//     name; a renamed import evades the check (the repo does not rename
+//     stdlib imports).
+//   - Map iteration is detected when the ranged operand is visibly a map:
+//     declared as one in the function body (var/:=/make/literal), a
+//     package-level var of map type, or a selector whose final field name
+//     is declared as a map in any struct type of the same package. Field
+//     names are matched package-wide without receiver types, so a slice
+//     field sharing a name with some map field is flagged — rename one.
+var DetDispatch = &Analyzer{
+	Name: "detdispatch",
+	Doc:  "no time.Now/time.Since, math/rand, or map iteration in //netpathvet:dispatch functions",
+	Run: func(pass *Pass) error {
+		mapNames := packageMapNames(pass.Files)
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDispatchDirective(fn) {
+					continue
+				}
+				checkDetDispatch(pass, fn, mapNames)
+			}
+		}
+		return nil
+	},
+}
+
+// isMapType reports whether e is syntactically a map type, directly or
+// through one level of pointer.
+func isMapType(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.StarExpr:
+		return isMapType(e.X)
+	}
+	return false
+}
+
+// isMapValue reports whether e is an expression that visibly produces a
+// map: a map literal, or make(map[...]...).
+func isMapValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return isMapType(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return isMapType(e.Args[0])
+		}
+	}
+	return false
+}
+
+// packageMapNames collects every identifier the package declares with a
+// visible map type: named map types, package-level vars, and struct fields.
+func packageMapNames(files []*ast.File) map[string]bool {
+	names := map[string]bool{}
+	mapTypes := map[string]bool{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && isMapType(ts.Type) {
+					mapTypes[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	isMap := func(e ast.Expr) bool {
+		if isMapType(e) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			return mapTypes[id.Name]
+		}
+		return false
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec: // package-level vars
+					if s.Type != nil && isMap(s.Type) {
+						for _, n := range s.Names {
+							names[n.Name] = true
+						}
+					}
+					for i, v := range s.Values {
+						if isMapValue(v) && i < len(s.Names) {
+							names[s.Names[i].Name] = true
+						}
+					}
+				case *ast.TypeSpec: // struct fields
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						if !isMap(fld.Type) {
+							continue
+						}
+						for _, n := range fld.Names {
+							names[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// localMapNames collects identifiers declared as maps inside fn's body.
+func localMapNames(fn *ast.FuncDecl) map[string]bool {
+	names := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isMapValue(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil || !isMapType(vs.Type) {
+					continue
+				}
+				for _, id := range vs.Names {
+					names[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// checkDetDispatch walks fn's body, nested closures included (they run on
+// the dispatch goroutine and feed the same decisions).
+func checkDetDispatch(pass *Pass, fn *ast.FuncDecl, pkgMaps map[string]bool) {
+	name := fn.Name.Name
+	local := localMapNames(fn)
+	rangedIsMap := func(e ast.Expr) bool {
+		if isMapValue(e) {
+			return true
+		}
+		if s, ok := exprString(e); ok {
+			last := s
+			if i := strings.LastIndexByte(s, '.'); i >= 0 {
+				last = s[i+1:]
+			}
+			return local[last] || pkgMaps[last]
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if rangedIsMap(n.X) {
+				pass.Reportf(n.Pos(),
+					"map iteration in dispatch function %s (iteration order is randomized; walk a sorted slice or index deterministically)", name)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case base.Name == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+				pass.Reportf(n.Pos(),
+					"wall-clock read time.%s in dispatch function %s (dispatch must replay deterministically; time the slow path instead)", sel.Sel.Name, name)
+			case base.Name == "rand":
+				pass.Reportf(n.Pos(),
+					"rand.%s in dispatch function %s (dispatch must replay deterministically; derive variation from guest state)", sel.Sel.Name, name)
+			}
+		}
+		return true
+	})
+}

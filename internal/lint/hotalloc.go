@@ -110,7 +110,7 @@ func hotAllocExempt(fn *ast.FuncDecl) bool {
 
 // Analyzers returns the full netpathvet suite in a stable order.
 func Analyzers() []*Analyzer {
-	all := []*Analyzer{SinkCheck, HotAlloc, DispatchPure}
+	all := []*Analyzer{SinkCheck, HotAlloc, DispatchPure, DetDispatch}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }

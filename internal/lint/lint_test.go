@@ -103,6 +103,18 @@ func TestDispatchPureFixture(t *testing.T) {
 	}
 }
 
+func TestDetDispatchFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "detfixture")
+	want := wantLines(t, filepath.Join(dir, "det.go"))
+	got := runFixture(t, DetDispatch, dir, "fixture/detfixture")
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+	if !equalInts(got, want) {
+		t.Errorf("detdispatch flagged lines %v, want %v", got, want)
+	}
+}
+
 // TestHotAllocIgnoresColdPackages: the same fixture linted under an import
 // path that is not in the hot list must produce nothing.
 func TestHotAllocIgnoresColdPackages(t *testing.T) {

@@ -1,0 +1,72 @@
+// Package detfixture exercises the detdispatch analyzer: nondeterminism
+// sources inside //netpathvet:dispatch functions.
+package detfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type engine struct {
+	cache  map[int]int
+	lookup table
+	hot    []int
+}
+
+type table map[string]int
+
+var registry = map[string]int{}
+
+var order []int
+
+//netpathvet:dispatch
+func (e *engine) dispatch() int {
+	sum := 0
+	for _, v := range e.cache { // want "map iteration"
+		sum += v
+	}
+	for k := range registry { // want "map iteration"
+		sum += len(k)
+	}
+	for _, v := range e.lookup { // want "map iteration"
+		sum += v
+	}
+	local := make(map[int]int)
+	local[1] = 2
+	for _, v := range local { // want "map iteration"
+		sum += v
+	}
+	for range map[int]bool{1: true} { // want "map iteration"
+		sum++
+	}
+	if time.Now().Unix() > 0 { // want "wall-clock"
+		sum++
+	}
+	sum += int(time.Since(time.Time{})) // want "wall-clock"
+	sum += rand.Intn(8)                 // want "rand.Intn"
+	f := func() {
+		for range e.cache { // want "map iteration"
+			sum++
+		}
+	}
+	f()
+	// Deterministic shapes stay clean.
+	for _, v := range e.hot {
+		sum += v
+	}
+	for _, v := range order {
+		sum += v
+	}
+	return sum
+}
+
+// Unannotated functions may do all of this freely.
+func (e *engine) slowPath() int64 {
+	start := time.Now()
+	n := 0
+	for range e.cache {
+		n++
+	}
+	n += rand.Intn(4)
+	return time.Since(start).Nanoseconds() + int64(n)
+}

@@ -17,16 +17,16 @@ type engine struct {
 //
 //netpathvet:dispatch
 func (e *engine) dispatchLoop(n int) int {
-	e.mu.Lock()   // want
-	e.mu.Unlock() // want
-	e.rw.RLock()  // want
+	e.mu.Lock()         // want
+	e.mu.Unlock()       // want
+	e.rw.RLock()        // want
 	if e.mu.TryLock() { // want
 		e.mu.Unlock() // want
 	}
 	e.rw.RUnlock() // want
 	e.queue <- n   // want
 	v := <-e.queue // want
-	select { // want
+	select {       // want
 	case e.queue <- v: // want: the nested send is flagged on its own line too
 	default:
 	}

@@ -1,0 +1,160 @@
+// Check-free superblock memory handlers.
+//
+// These are the handlers CompileSuperblockFacts binds to a Load or Store
+// whose address the dataflow analysis proved inside [0, MemSize) on every
+// execution reaching it. They index guest memory directly — no bounds test,
+// no fault path. The proof obligation is discharged statically (and
+// re-checked by the translation validator before publication), which is the
+// entire point: a check that cannot fail should not be executed millions of
+// times per second.
+package vm
+
+import "netpath/internal/isa"
+
+func sbLoadNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Mem[m.Reg[op.b]+op.imm]
+	return true
+}
+
+func sbStoreNC(m *Machine, op *sbop) bool {
+	m.Mem[m.Reg[op.b]+op.imm] = m.Reg[op.a]
+	return true
+}
+
+// Fused load+ALU with the load's bounds check elided.
+
+func sbLoadAluNC(m *Machine, op *sbop) {
+	m.Reg[op.a] = m.Mem[m.Reg[op.b]+op.imm]
+}
+
+func sbLoadAddNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] + m.Reg[op.c2]
+	return true
+}
+
+func sbLoadSubNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] - m.Reg[op.c2]
+	return true
+}
+
+func sbLoadMulNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] * m.Reg[op.c2]
+	return true
+}
+
+func sbLoadAndNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] & m.Reg[op.c2]
+	return true
+}
+
+func sbLoadOrNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] | m.Reg[op.c2]
+	return true
+}
+
+func sbLoadXorNC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] ^ m.Reg[op.c2]
+	return true
+}
+
+func sbLoadAddINC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] + op.imm2
+	return true
+}
+
+func sbLoadMulINC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] * op.imm2
+	return true
+}
+
+func sbLoadAndINC(m *Machine, op *sbop) bool {
+	sbLoadAluNC(m, op)
+	m.Reg[op.a2] = m.Reg[op.b2] & op.imm2
+	return true
+}
+
+// Fused ALU+store with the store's bounds check elided.
+
+func sbStore2NC(m *Machine, op *sbop) bool {
+	m.Mem[m.Reg[op.b2]+op.imm2] = m.Reg[op.a2]
+	return true
+}
+
+func sbAddStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] + m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbSubStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] - m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbMulStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] * m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbAndStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] & m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbOrStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] | m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbXorStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] ^ m.Reg[op.c]
+	return sbStore2NC(m, op)
+}
+
+func sbAddIStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] + op.imm
+	return sbStore2NC(m, op)
+}
+
+func sbMulIStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] * op.imm
+	return sbStore2NC(m, op)
+}
+
+func sbAndIStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b] & op.imm
+	return sbStore2NC(m, op)
+}
+
+func sbMovStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = m.Reg[op.b]
+	return sbStore2NC(m, op)
+}
+
+func sbMovIStoreNC(m *Machine, op *sbop) bool {
+	m.Reg[op.a] = op.imm
+	return sbStore2NC(m, op)
+}
+
+// sbLoadAluFnsNC mirrors sbLoadAluFns with the load check elided; the two
+// maps share a key set (checked by a test) so the compiler can swap tables.
+var sbLoadAluFnsNC = map[isa.Op]sbFn{
+	isa.Add: sbLoadAddNC, isa.Sub: sbLoadSubNC, isa.Mul: sbLoadMulNC,
+	isa.And: sbLoadAndNC, isa.Or: sbLoadOrNC, isa.Xor: sbLoadXorNC,
+	isa.AddI: sbLoadAddINC, isa.MulI: sbLoadMulINC, isa.AndI: sbLoadAndINC,
+}
+
+// sbAluStoreFnsNC mirrors sbAluStoreFns with the store check elided.
+var sbAluStoreFnsNC = map[isa.Op]sbFn{
+	isa.Add: sbAddStoreNC, isa.Sub: sbSubStoreNC, isa.Mul: sbMulStoreNC,
+	isa.And: sbAndStoreNC, isa.Or: sbOrStoreNC, isa.Xor: sbXorStoreNC,
+	isa.AddI: sbAddIStoreNC, isa.MulI: sbMulIStoreNC, isa.AndI: sbAndIStoreNC,
+	isa.Mov: sbMovStoreNC, isa.MovI: sbMovIStoreNC,
+}

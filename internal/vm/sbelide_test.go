@@ -1,0 +1,308 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"netpath/internal/isa"
+	"netpath/internal/prog"
+)
+
+// TestNCTableParity: the check-free fused tables must cover exactly the ops
+// the checked tables cover, or the compiler's table swap silently loses
+// fusions (or worse, binds nil).
+func TestNCTableParity(t *testing.T) {
+	for op := range sbLoadAluFns {
+		if sbLoadAluFnsNC[op] == nil {
+			t.Errorf("sbLoadAluFnsNC missing %v", op)
+		}
+	}
+	for op := range sbLoadAluFnsNC {
+		if sbLoadAluFns[op] == nil {
+			t.Errorf("sbLoadAluFnsNC has %v the checked table lacks", op)
+		}
+	}
+	for op := range sbAluStoreFns {
+		if sbAluStoreFnsNC[op] == nil {
+			t.Errorf("sbAluStoreFnsNC missing %v", op)
+		}
+	}
+	for op := range sbAluStoreFnsNC {
+		if sbAluStoreFns[op] == nil {
+			t.Errorf("sbAluStoreFnsNC has %v the checked table lacks", op)
+		}
+	}
+}
+
+// maskedLoopProgram: cursor masked into the window each iteration, then a
+// load and a store — both provably in-bounds at the masked register.
+func maskedLoopProgram(t testing.TB) (*prog.Program, int32, int32) {
+	t.Helper()
+	b := prog.NewBuilder("masked")
+	b.SetMemSize(256)
+	f := b.Func("main")
+	f.MovI(1, 0)
+	f.Label("loop")
+	f.AndI(2, 1, 255)
+	f.Load(3, 2, 0)
+	f.AddI(3, 3, 1)
+	f.Store(3, 2, 0)
+	f.AddI(1, 1, 11)
+	f.BrI(isa.Lt, 1, 4000, "loop")
+	f.Halt()
+	p := b.MustBuild()
+	var loadPC, storePC int32 = -1, -1
+	for pc, in := range p.Instrs {
+		switch in.Op {
+		case isa.Load:
+			loadPC = int32(pc)
+		case isa.Store:
+			storePC = int32(pc)
+		}
+	}
+	return p, loadPC, storePC
+}
+
+// TestSuperblockElisionLockstep: a superblock compiled with bounds facts
+// (check-free handlers bound) must be architecturally identical to per-step
+// execution, run to run, for many dispatches.
+func TestSuperblockElisionLockstep(t *testing.T) {
+	p, loadPC, storePC := maskedLoopProgram(t)
+	ref := New(p)
+	spec := recordTrace(t, ref, 14) // two full iterations
+	ref.Reset()
+
+	facts := SBFacts{InBounds: func(pc int32) bool { return pc == loadPC || pc == storePC }}
+	sb, stats, err := CompileSuperblockFacts(spec, p.Len(), facts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	wantElided := 0
+	for _, st := range spec {
+		if st.PC == loadPC || st.PC == storePC {
+			wantElided++
+		}
+	}
+	if stats.BoundsElided != wantElided {
+		t.Fatalf("BoundsElided = %d, want %d (every load+store occurrence)", stats.BoundsElided, wantElided)
+	}
+	for _, op := range sb.Ops() {
+		if op.Kind == SBOpInvalid {
+			t.Fatal("compiled superblock contains an unregistered handler")
+		}
+	}
+
+	mSB := New(p)
+	mStep := New(p)
+	start := int(spec[0].PC)
+	for dispatch := 0; dispatch < 50; dispatch++ {
+		if mSB.PC != start || mSB.Halted {
+			break
+		}
+		if !sb.GuardsPass(mSB) {
+			break
+		}
+		exit := mSB.RunSuperblock(sb)
+		if exit.Err != nil {
+			t.Fatalf("dispatch %d: superblock fault: %v", dispatch, exit.Err)
+		}
+		for i := int32(0); i < exit.Guest; i++ {
+			if err := mStep.Step(); err != nil {
+				t.Fatalf("dispatch %d: reference step: %v", dispatch, err)
+			}
+		}
+		if !exit.Completed {
+			if err := mStep.Step(); err != nil {
+				t.Fatalf("dispatch %d: reference diverge step: %v", dispatch, err)
+			}
+		}
+		compareMachines(t, mSB, mStep, "elided superblock lockstep")
+		if t.Failed() {
+			t.Fatalf("state diverged on dispatch %d", dispatch)
+		}
+	}
+	if mSB.Steps == 0 {
+		t.Fatal("superblock never ran")
+	}
+}
+
+// TestDecidedBranchContradictionRefused: a fact provider that decides a
+// branch against the recorded direction marks either the spec or the facts
+// corrupt; the compiler must refuse rather than emit something.
+func TestDecidedBranchContradictionRefused(t *testing.T) {
+	p, _, _ := maskedLoopProgram(t)
+	m := New(p)
+	spec := recordTrace(t, m, 14)
+	var brPC int32 = -1
+	for i := range spec {
+		if spec[i].In.Op == isa.BrI {
+			brPC = spec[i].PC
+		}
+	}
+	facts := SBFacts{Decided: func(pc int32) (bool, bool) {
+		if pc == brPC {
+			// The recording took the branch (back edge); claim never-taken.
+			return false, true
+		}
+		return false, false
+	}}
+	_, _, err := CompileSuperblockFacts(spec, p.Len(), facts)
+	if err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("want contradiction refusal, got %v", err)
+	}
+}
+
+// TestDecidedBranchSkipsGuard: deciding the recorded direction removes the
+// guard, and the resulting superblock still completes and reduces checks.
+func TestDecidedBranchSkipsGuard(t *testing.T) {
+	p, _, _ := maskedLoopProgram(t)
+	m := New(p)
+	spec := recordTrace(t, m, 8) // one iteration, ends at the back edge
+	m.Reset()
+	var brPC int32 = -1
+	for i := range spec {
+		if spec[i].In.Op == isa.BrI {
+			brPC = spec[i].PC
+		}
+	}
+	if brPC < 0 {
+		t.Fatal("recorded trace does not reach the back-edge branch")
+	}
+	plain, _, err := CompileSuperblock(spec, p.Len())
+	if err != nil {
+		t.Fatalf("compile plain: %v", err)
+	}
+	facts := SBFacts{Decided: func(pc int32) (bool, bool) {
+		if pc == brPC {
+			return true, true // matches the recording: back edge taken
+		}
+		return false, false
+	}}
+	sb, stats, err := CompileSuperblockFacts(spec, p.Len(), facts)
+	if err != nil {
+		t.Fatalf("compile with facts: %v", err)
+	}
+	if stats.Implied == 0 {
+		t.Fatal("decided branch did not drop a guard")
+	}
+	totalChecks := func(b *Superblock) int64 { return int64(b.NumGuards()) + b.BodyChecksAll() }
+	if totalChecks(sb) >= totalChecks(plain) {
+		t.Errorf("decided branch did not reduce checks: %d vs %d", totalChecks(sb), totalChecks(plain))
+	}
+	exit := sb.GuardsPass(m)
+	if !exit {
+		t.Fatal("entry guards fail on the recording's own state")
+	}
+	res := m.RunSuperblock(sb)
+	if !res.Completed {
+		t.Fatalf("superblock did not complete: %+v", res)
+	}
+}
+
+// TestNopSuccessorRefused: a Nop whose recorded successor is not pc+1 is a
+// corrupt spec, not something to compile around.
+func TestNopSuccessorRefused(t *testing.T) {
+	spec := []SBStep{{In: isa.Instr{Op: isa.Nop}, PC: 3, Next: 9}}
+	_, _, err := CompileSuperblock(spec, 20)
+	if err == nil {
+		t.Fatal("nop with wild successor compiled")
+	}
+}
+
+// TestPruneImpliedGuards exercises the entry-guard pruning lattice directly.
+func TestPruneImpliedGuards(t *testing.T) {
+	lt := func(a uint8, imm int64) sbGuard {
+		return sbGuard{a: a, useImm: true, want: true, cond: isa.Lt, imm: imm}
+	}
+	ge := func(a uint8, imm int64) sbGuard {
+		return sbGuard{a: a, useImm: true, want: true, cond: isa.Ge, imm: imm}
+	}
+	ne := func(a uint8, imm int64) sbGuard {
+		return sbGuard{a: a, useImm: true, want: true, cond: isa.Ne, imm: imm}
+	}
+	rr := sbGuard{a: 1, b: 2, want: true, cond: isa.Lt}
+
+	var stats SBStats
+	in := []sbGuard{
+		lt(1, 100), // keeps: first bound on r1
+		lt(1, 200), // implied: [_,99] within [_,199]
+		ge(1, 0),   // keeps: adds lower bound
+		ne(1, 500), // implied: 500 outside [0,99]
+		ne(1, 50),  // keeps: 50 inside [0,99]
+		rr,         // keeps: register-form untouched
+		lt(3, 10),  // keeps: different register
+	}
+	out := pruneImpliedGuards(in, &stats)
+	if len(out) != 5 {
+		t.Fatalf("kept %d guards, want 5: %+v", len(out), out)
+	}
+	if stats.Implied != 2 {
+		t.Errorf("Implied = %d, want 2", stats.Implied)
+	}
+	// The kept set must still contain the RR guard and both r1 bounds.
+	var haveRR, haveLt100, haveGe0 bool
+	for _, g := range out {
+		if !g.useImm {
+			haveRR = true
+		}
+		if g.useImm && g.cond == isa.Lt && g.imm == 100 {
+			haveLt100 = true
+		}
+		if g.useImm && g.cond == isa.Ge && g.imm == 0 {
+			haveGe0 = true
+		}
+	}
+	if !haveRR || !haveLt100 || !haveGe0 {
+		t.Errorf("pruning dropped a load-bearing guard: %+v", out)
+	}
+}
+
+// TestBodyChecksAccounting: checkPfx must total the in-body checks and be
+// monotone; elision must reduce it by exactly the elided count.
+func TestBodyChecksAccounting(t *testing.T) {
+	p, loadPC, storePC := maskedLoopProgram(t)
+	m := New(p)
+	spec := recordTrace(t, m, 14)
+	plain, _, err := CompileSuperblock(spec, p.Len())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	elided, stats, err := CompileSuperblockFacts(spec, p.Len(),
+		SBFacts{InBounds: func(pc int32) bool { return pc == loadPC || pc == storePC }})
+	if err != nil {
+		t.Fatalf("compile elided: %v", err)
+	}
+	if got, want := plain.BodyChecksAll()-elided.BodyChecksAll(), int64(stats.BoundsElided); got != want {
+		t.Errorf("elision removed %d body checks, stats say %d", got, want)
+	}
+	for g := int32(0); g <= int32(plain.NGuest()); g++ {
+		if plain.BodyChecksUpTo(g) > plain.BodyChecksAll() {
+			t.Fatalf("BodyChecksUpTo(%d) exceeds total", g)
+		}
+		if g > 0 && plain.BodyChecksUpTo(g) < plain.BodyChecksUpTo(g-1) {
+			t.Fatalf("BodyChecksUpTo not monotone at %d", g)
+		}
+	}
+	if plain.BodyChecksUpTo(int32(plain.NGuest())) != plain.BodyChecksAll() {
+		t.Error("BodyChecksUpTo(NGuest) != BodyChecksAll")
+	}
+}
+
+// TestGuardsIntrospection: Guards() must reflect the hoisted entry guards.
+func TestGuardsIntrospection(t *testing.T) {
+	p, _, _ := maskedLoopProgram(t)
+	m := New(p)
+	spec := recordTrace(t, m, 14)
+	sb, _, err := CompileSuperblock(spec, p.Len())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(sb.Guards()) != sb.NumGuards() {
+		t.Fatalf("Guards() length %d != NumGuards %d", len(sb.Guards()), sb.NumGuards())
+	}
+	for _, op := range sb.Ops() {
+		if op.Kind == SBOpInvalid {
+			t.Fatal("unregistered handler in compiled block")
+		}
+	}
+}

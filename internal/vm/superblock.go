@@ -53,6 +53,37 @@ type SBStats struct {
 	Redundant int
 	// Fused counts adjacent guest pairs merged into one fused handler.
 	Fused int
+	// Implied counts guards eliminated on static proof: branches the
+	// dataflow analysis decided, and entry guards implied by the kept
+	// entry guards that precede them.
+	Implied int
+	// BoundsElided counts memory bounds checks dropped because the address
+	// is statically proven inside [0, MemSize).
+	BoundsElided int
+}
+
+// SBFacts carries statically proven per-address facts the compiler may use
+// to drop runtime checks. The zero value claims nothing. Facts must hold on
+// every execution that reaches the address — the translation validator
+// (internal/dataflow) re-derives each one before a compiled superblock is
+// published, so a lying provider is caught before it can execute.
+type SBFacts struct {
+	// InBounds reports that the Load/Store at pc always addresses inside
+	// guest memory.
+	InBounds func(pc int32) bool
+	// Decided reports that the Br/BrI at pc always resolves the same way.
+	Decided func(pc int32) (taken, ok bool)
+}
+
+func (f SBFacts) inBounds(pc int32) bool {
+	return f.InBounds != nil && f.InBounds(pc)
+}
+
+func (f SBFacts) decided(pc int32) (bool, bool) {
+	if f.Decided == nil {
+		return false, false
+	}
+	return f.Decided(pc)
 }
 
 // SBExit reports one superblock execution.
@@ -111,6 +142,10 @@ type Superblock struct {
 	guards []sbGuard
 	nGuest int32
 	exitPC int32
+	// checkPfx[g] is the number of in-body runtime checks (branch guards,
+	// memory bounds tests, control fast-path compares) attributed to guest
+	// indices < g; len nGuest+1. Used for guards-executed accounting.
+	checkPfx []int32
 }
 
 // NGuest returns the number of guest steps the superblock covers.
@@ -121,6 +156,29 @@ func (sb *Superblock) NumGuards() int { return len(sb.guards) }
 
 // NumOps returns the number of host micro-ops in the body.
 func (sb *Superblock) NumOps() int { return len(sb.code) }
+
+// ExitPC returns the guest address a completed run continues at.
+func (sb *Superblock) ExitPC() int32 { return sb.exitPC }
+
+// BodyChecksAll returns the number of in-body runtime checks a full
+// on-trace completion executes. Entry guards are not included; the caller
+// accounts those per dispatch via NumGuards (they run even when they fail).
+func (sb *Superblock) BodyChecksAll() int64 {
+	return int64(sb.checkPfx[len(sb.checkPfx)-1])
+}
+
+// BodyChecksUpTo returns the in-body runtime checks attributed to the first
+// g completed guest steps. The check that stopped an early exit (a failed
+// guard or bounds test at index g) is not included.
+func (sb *Superblock) BodyChecksUpTo(g int32) int64 {
+	if g < 0 {
+		return 0
+	}
+	if int(g) >= len(sb.checkPfx) {
+		g = int32(len(sb.checkPfx) - 1)
+	}
+	return int64(sb.checkPfx[g])
+}
 
 // GuardsPass evaluates the hoisted entry guards against the machine's
 // current registers. A false result means the superblock must not run this
@@ -675,6 +733,15 @@ type guardFact struct {
 //
 //netpathvet:cold
 func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error) {
+	return CompileSuperblockFacts(spec, progLen, SBFacts{})
+}
+
+// CompileSuperblockFacts is CompileSuperblock with statically proven facts:
+// branches the analysis decided compile to nothing (a contradicting spec is
+// refused), and memory ops proven in-bounds lower to check-free handlers.
+//
+//netpathvet:cold
+func CompileSuperblockFacts(spec []SBStep, progLen int, facts SBFacts) (*Superblock, SBStats, error) {
 	var stats SBStats
 	n := len(spec)
 	if n == 0 {
@@ -697,6 +764,9 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 		case isa.Halt:
 			return nil, stats, fmt.Errorf("vm: superblock step %d is halt", i)
 		case isa.Nop:
+			if next != pc+1 {
+				return nil, stats, fmt.Errorf("vm: superblock step %d: nop successor %d != pc+1", i, next)
+			}
 			cls[i] = clSkip
 		case isa.Jmp:
 			if next != int(in.Target) {
@@ -710,6 +780,16 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 			if int(in.Target) == pc+1 {
 				// Both outcomes share the successor: no divergence possible.
 				cls[i] = clSkip
+			} else if taken, ok := facts.decided(st.PC); ok {
+				// Statically decided branch: every execution reaching this
+				// pc resolves it one way, so no guard is needed. A recorded
+				// direction disagreeing with the proof means the spec (or
+				// the fact provider) is corrupt — refuse to compile.
+				if taken != (next == int(in.Target)) {
+					return nil, stats, fmt.Errorf("vm: superblock step %d: recorded direction contradicts statically decided branch at pc %d", i, pc)
+				}
+				cls[i] = clSkip
+				stats.Implied++
 			} else if in.Op == isa.Br {
 				cls[i] = clGuardRR
 			} else {
@@ -738,11 +818,11 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 	// implied by an earlier one. Facts die when a source register is written.
 	var guards []sbGuard
 	var written [isa.NumRegs]bool
-	facts := map[guardFact]bool{}
+	gfacts := map[guardFact]bool{}
 	invalidate := func(r uint8) {
-		for f := range facts {
+		for f := range gfacts {
 			if f.a == r || (!f.useImm && f.b == r) {
-				delete(facts, f)
+				delete(gfacts, f)
 			}
 		}
 	}
@@ -761,18 +841,18 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 				f.b = in.B
 			}
 			switch {
-			case facts[f]:
+			case gfacts[f]:
 				cls[i] = clSkip
 				stats.Redundant++
 			case !written[in.A] && (f.useImm || !written[in.B]):
 				guards = append(guards, sbGuard{
 					a: f.a, b: f.b, useImm: f.useImm, want: f.want, cond: f.cond, imm: f.imm,
 				})
-				facts[f] = true
+				gfacts[f] = true
 				cls[i] = clSkip
 				stats.Hoisted++
 			default:
-				facts[f] = true
+				gfacts[f] = true
 			}
 		}
 		if r, ok := sbWrites(in); ok {
@@ -781,9 +861,17 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 		}
 	}
 
+	// Drop entry guards implied by the kept entry guards before them: a
+	// register state that passes the kept prefix cannot fail the dropped
+	// guard, so the body's assumptions still hold.
+	guards = pruneImpliedGuards(guards, &stats)
+
 	// Lower to host ops, fusing adjacent executable pairs. Skipped steps
-	// execute nothing, so fusion may reach across them.
+	// execute nothing, so fusion may reach across them. checkAt records the
+	// runtime checks each guest index contributes, for the guards-executed
+	// accounting exposed via BodyChecksAll/BodyChecksUpTo.
 	code := make([]sbop, 0, n)
+	checkAt := make([]int32, n)
 	nextEmit := func(from int) int {
 		for j := from; j < n; j++ {
 			if cls[j] != clSkip {
@@ -799,7 +887,7 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 			continue
 		}
 		if j := nextEmit(i + 1); j >= 0 {
-			if op, ok := fusePair(spec, cls, i, j); ok {
+			if op, ok := fusePair(spec, cls, i, j, facts, &stats, checkAt); ok {
 				code = append(code, op)
 				stats.Fused++
 				stats.Skipped += j - i - 1 // skips the fusion reached across
@@ -807,21 +895,129 @@ func CompileSuperblock(spec []SBStep, progLen int) (*Superblock, SBStats, error)
 				continue
 			}
 		}
-		code = append(code, lowerSingle(&spec[i], cls[i], i))
+		code = append(code, lowerSingle(&spec[i], cls[i], i, facts, &stats, checkAt))
 		i++
 	}
 
+	checkPfx := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		checkPfx[i+1] = checkPfx[i] + checkAt[i]
+	}
+
 	sb := &Superblock{
-		code:   code,
-		guards: guards,
-		nGuest: int32(n),
-		exitPC: spec[n-1].Next,
+		code:     code,
+		guards:   guards,
+		nGuest:   int32(n),
+		exitPC:   spec[n-1].Next,
+		checkPfx: checkPfx,
 	}
 	return sb, stats, nil
 }
 
-// lowerSingle builds the host op for one unfused guest step.
-func lowerSingle(st *SBStep, class uint8, guest int) sbop {
+// guardInterval returns the satisfied set of an immediate-form guard as an
+// interval, when it has one (every effective condition except Ne).
+func guardInterval(g sbGuard) (lo, hi int64, ok bool) {
+	cond, want := g.cond, g.want
+	if !want {
+		switch cond {
+		case isa.Eq:
+			cond = isa.Ne
+		case isa.Ne:
+			cond = isa.Eq
+		case isa.Lt:
+			cond = isa.Ge
+		case isa.Le:
+			cond = isa.Gt
+		case isa.Gt:
+			cond = isa.Le
+		case isa.Ge:
+			cond = isa.Lt
+		}
+	}
+	switch cond {
+	case isa.Eq:
+		return g.imm, g.imm, true
+	case isa.Lt:
+		if g.imm == minInt64 {
+			return 0, 0, false // never satisfiable; keep the guard
+		}
+		return minInt64, g.imm - 1, true
+	case isa.Le:
+		return minInt64, g.imm, true
+	case isa.Gt:
+		if g.imm == maxInt64 {
+			return 0, 0, false
+		}
+		return g.imm + 1, maxInt64, true
+	case isa.Ge:
+		return g.imm, maxInt64, true
+	}
+	return 0, 0, false // Ne: excluded-point form
+}
+
+// guardExcludes returns the single value an effective-Ne guard rules out.
+func guardExcludes(g sbGuard) (int64, bool) {
+	if (g.cond == isa.Ne && g.want) || (g.cond == isa.Eq && !g.want) {
+		return g.imm, true
+	}
+	return 0, false
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// pruneImpliedGuards removes immediate-form entry guards implied by the
+// kept entry guards preceding them on the same register. Register-form
+// guards are kept untouched (their truth depends on two registers).
+// Dropping a guard can only widen the set of states that enter the
+// superblock up to the set the remaining guards admit — and implication
+// means every such state satisfies the dropped guard too.
+func pruneImpliedGuards(guards []sbGuard, stats *SBStats) []sbGuard {
+	type bound struct {
+		lo, hi int64
+		has    bool
+	}
+	var cons [isa.NumRegs]bound
+	kept := guards[:0]
+	for _, g := range guards {
+		if !g.useImm {
+			kept = append(kept, g)
+			continue
+		}
+		c := &cons[g.a]
+		lo, hi, isIv := guardInterval(g)
+		if c.has {
+			if isIv && c.lo >= lo && c.hi <= hi {
+				stats.Implied++
+				continue
+			}
+			if excl, ok := guardExcludes(g); ok && (excl < c.lo || excl > c.hi) {
+				stats.Implied++
+				continue
+			}
+		}
+		if isIv {
+			if !c.has {
+				*c = bound{lo: lo, hi: hi, has: true}
+			} else {
+				if lo > c.lo {
+					c.lo = lo
+				}
+				if hi < c.hi {
+					c.hi = hi
+				}
+			}
+		}
+		kept = append(kept, g)
+	}
+	return kept
+}
+
+// lowerSingle builds the host op for one unfused guest step, dropping the
+// bounds check from memory ops the facts prove in-bounds.
+func lowerSingle(st *SBStep, class uint8, guest int, facts SBFacts, stats *SBStats, checkAt []int32) sbop {
 	in := st.In
 	op := sbop{
 		imm: in.Imm, pc: st.PC, next: st.Next, guest: int32(guest),
@@ -830,39 +1026,82 @@ func lowerSingle(st *SBStep, class uint8, guest int) sbop {
 	switch class {
 	case clStraight:
 		op.fn = sbStraight[in.Op]
+		switch in.Op {
+		case isa.Load, isa.Store:
+			if facts.inBounds(st.PC) {
+				if in.Op == isa.Load {
+					op.fn = sbLoadNC
+				} else {
+					op.fn = sbStoreNC
+				}
+				stats.BoundsElided++
+			} else {
+				checkAt[guest]++
+			}
+		}
 	case clGuardRR:
 		op.fn = sbGuardRRFns[in.Cond]
 		op.flag = st.Next == in.Target
+		checkAt[guest]++
 	case clGuardRI:
 		op.fn = sbGuardRIFns[in.Cond]
 		op.flag = st.Next == in.Target
+		checkAt[guest]++
 	case clCall:
 		op.fn = sbCall
+		checkAt[guest]++
 	case clRet:
 		op.fn = sbRet
+		checkAt[guest]++
 	case clJmpInd:
 		op.fn = sbJmpInd
+		checkAt[guest]++
 	case clCallInd:
 		op.fn = sbCallInd
+		checkAt[guest]++
 	}
 	return op
 }
 
 // fusePair attempts to merge guest steps i and j (the next two executable
-// steps) into one fused host op.
-func fusePair(spec []SBStep, cls []uint8, i, j int) (sbop, bool) {
+// steps) into one fused host op, with the memory sub-op's bounds check
+// elided when the facts prove its address in-bounds.
+func fusePair(spec []SBStep, cls []uint8, i, j int, facts SBFacts, stats *SBStats, checkAt []int32) (sbop, bool) {
 	a, b := &spec[i], &spec[j]
 	var fn sbFn
+	elide := false
 	switch {
 	case cls[i] == clStraight && a.In.Op == isa.Load && cls[j] == clStraight:
 		fn = sbLoadAluFns[b.In.Op]
+		if fn != nil {
+			if facts.inBounds(a.PC) {
+				fn = sbLoadAluFnsNC[b.In.Op]
+				elide = true
+			} else {
+				checkAt[i]++
+			}
+		}
 	case cls[i] == clStraight && b.In.Op == isa.Store && cls[j] == clStraight:
 		fn = sbAluStoreFns[a.In.Op]
+		if fn != nil {
+			if facts.inBounds(b.PC) {
+				fn = sbAluStoreFnsNC[a.In.Op]
+				elide = true
+			} else {
+				checkAt[j]++
+			}
+		}
 	case cls[i] == clStraight && (cls[j] == clGuardRR || cls[j] == clGuardRI):
 		fn = sbAluGuardFns[a.In.Op]
+		if fn != nil {
+			checkAt[j]++
+		}
 	}
 	if fn == nil {
 		return sbop{}, false
+	}
+	if elide {
+		stats.BoundsElided++
 	}
 	op := sbop{
 		fn:  fn,

@@ -228,8 +228,8 @@ func TestSuperblockFault(t *testing.T) {
 	b.SetMemSize(8)
 	f := b.Func("main")
 	f.Label("top")
-	f.Load(2, 0, 0)    // r2 = Mem[r0]
-	f.AddI(0, 0, 1)    // r0++
+	f.Load(2, 0, 0) // r2 = Mem[r0]
+	f.AddI(0, 0, 1) // r0++
 	f.Jmp("top")
 	p, err := b.Build()
 	if err != nil {
@@ -403,11 +403,11 @@ func TestSuperblockFusionLowering(t *testing.T) {
 	b.SetMemSize(16)
 	b.SetMem(3, 7)
 	f := b.Func("main")
-	f.Load(2, 1, 3)      // r2 = Mem[r1+3]
-	f.Nop()              // fusion must reach across this
+	f.Load(2, 1, 3)         // r2 = Mem[r1+3]
+	f.Nop()                 // fusion must reach across this
 	f.Op3(isa.Add, 3, 2, 2) // r3 = r2 + r2
-	f.AddI(4, 3, 5)      // r4 = r3 + 5
-	f.Store(4, 1, 6)     // Mem[r1+6] = r4
+	f.AddI(4, 3, 5)         // r4 = r3 + 5
+	f.Store(4, 1, 6)        // Mem[r1+6] = r4
 	f.Halt()
 	p, err := b.Build()
 	if err != nil {
